@@ -1,0 +1,285 @@
+package ballsbins
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/loadvec"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Spec selects an allocation protocol. Construct with Adaptive,
+// Threshold, Greedy, etc. The zero value is invalid.
+type Spec struct {
+	factory protocol.Factory
+}
+
+// Name returns the protocol's identifier, e.g. "adaptive" or
+// "greedy[2]".
+func (s Spec) Name() string {
+	s.mustBeValid()
+	return s.factory().Name()
+}
+
+func (s Spec) mustBeValid() {
+	if s.factory == nil {
+		panic("ballsbins: zero Spec; use a constructor such as Adaptive()")
+	}
+}
+
+// Adaptive returns the paper's adaptive protocol: ball i accepts a bin
+// with load < i/n + 1. Max load ⌈m/n⌉+1, O(m) expected time, smooth
+// final distribution; m need not be known in advance.
+func Adaptive() Spec {
+	return Spec{factory: func() protocol.Protocol { return protocol.NewAdaptive() }}
+}
+
+// Threshold returns the Czumaj–Stemann protocol: every ball accepts a
+// bin with load < m/n + 1. Max load ⌈m/n⌉+1 and allocation time
+// m + O(m^{3/4}·n^{1/4}), but a rough final distribution.
+func Threshold() Spec {
+	return Spec{factory: func() protocol.Protocol { return protocol.NewThreshold() }}
+}
+
+// AdaptiveNoSlack returns the ablation with acceptance bound i/n
+// (without the +1): Θ(m·log n) allocation time.
+func AdaptiveNoSlack() Spec {
+	return Spec{factory: func() protocol.Protocol { return protocol.NewAdaptiveNoSlack() }}
+}
+
+// SingleChoice returns the classical one-random-bin process.
+func SingleChoice() Spec {
+	return Spec{factory: func() protocol.Protocol { return protocol.NewSingleChoice() }}
+}
+
+// Greedy returns greedy[d]: best of d random bins (Azar et al.).
+// It panics if d < 1.
+func Greedy(d int) Spec {
+	protocol.NewGreedy(d) // validate eagerly
+	return Spec{factory: func() protocol.Protocol { return protocol.NewGreedy(d) }}
+}
+
+// Left returns left[d]: one bin from each of d groups with
+// Always-Go-Left tie breaking (Vöcking). It panics if d < 2.
+func Left(d int) Spec {
+	protocol.NewLeft(d)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewLeft(d) }}
+}
+
+// Memory returns the (d,k)-memory protocol of Mitzenmacher, Prabhakar
+// and Shah. It panics if d < 1 or k < 0.
+func Memory(d, k int) Spec {
+	protocol.NewMemory(d, k)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewMemory(d, k) }}
+}
+
+// FixedThreshold returns the protocol accepting bins with load
+// strictly below bound. It panics if bound < 1.
+func FixedThreshold(bound int) Spec {
+	protocol.NewFixedThreshold(bound)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewFixedThreshold(bound) }}
+}
+
+// OnePlusBeta returns the (1+β)-choice process of Peres, Talwar and
+// Wieder: each ball uses two choices with probability beta, one
+// otherwise. Gap Θ(log n/β) independent of m. It panics unless
+// 0 <= beta <= 1.
+func OnePlusBeta(beta float64) Spec {
+	protocol.NewOnePlusBeta(beta)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewOnePlusBeta(beta) }}
+}
+
+// StaleAdaptive returns the adaptive protocol with a ball counter that
+// is synchronized only every syncEvery balls (must be <= n at run
+// time). Stage-aligned synchronization (syncEvery = n) reproduces
+// Adaptive exactly; see the protocol documentation. It panics if
+// syncEvery < 1.
+func StaleAdaptive(syncEvery int64) Spec {
+	protocol.NewStaleAdaptive(syncEvery)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewStaleAdaptive(syncEvery) }}
+}
+
+// LaggedAdaptive returns the adaptive protocol with a counter running
+// lag balls behind the truth (must be <= n at run time). lag = n is
+// exactly the AdaptiveNoSlack ablation from ball n+1 onward. It panics
+// if lag < 0.
+func LaggedAdaptive(lag int64) Spec {
+	protocol.NewLaggedAdaptive(lag)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewLaggedAdaptive(lag) }}
+}
+
+// BoundedRetry returns the threshold protocol with at most `retries`
+// samples per ball, falling back to the least loaded sample — the
+// per-ball-time vs max-load tradeoff family of Czumaj–Stemann.
+// retries = 1 is single-choice; retries → ∞ recovers Threshold. It
+// panics if retries < 1.
+func BoundedRetry(retries int) Spec {
+	protocol.NewBoundedRetry(retries)
+	return Spec{factory: func() protocol.Protocol { return protocol.NewBoundedRetry(retries) }}
+}
+
+// Result summarizes one allocation run.
+type Result struct {
+	// Samples is the allocation time: the total number of random bin
+	// choices (the quantity the paper's Figure 3(a) plots).
+	Samples int64
+	// SamplesPerBall is Samples/m.
+	SamplesPerBall float64
+	// MaxLoad, MinLoad and Gap describe the final load distribution.
+	MaxLoad, MinLoad, Gap int
+	// Psi is the quadratic potential Σ(ℓᵢ−m/n)² (Figure 3(b)).
+	Psi float64
+	// Phi is the exponential potential with the paper's ε = 1/200.
+	Phi float64
+}
+
+// Snapshot is a mid-run observation delivered by WithSnapshots.
+type Snapshot struct {
+	Ball    int64 // 1-based index of the ball just placed
+	Samples int64 // cumulative random choices
+	MaxLoad int
+	Gap     int
+	Psi     float64
+}
+
+type options struct {
+	seed     uint64
+	snapEach int64
+	snapFn   func(Snapshot)
+}
+
+// Option configures Run and Replicates.
+type Option func(*options)
+
+// WithSeed fixes the master random seed (default 1). Identical seeds
+// reproduce runs exactly.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithSnapshots invokes fn after every `every` balls (and after the
+// first ball) with a summary of the run so far. It panics if every <=
+// 0 or fn is nil. Replicates ignores snapshots.
+func WithSnapshots(every int64, fn func(Snapshot)) Option {
+	if every <= 0 {
+		panic("ballsbins: WithSnapshots with every <= 0")
+	}
+	if fn == nil {
+		panic("ballsbins: WithSnapshots with nil callback")
+	}
+	return func(o *options) { o.snapEach = every; o.snapFn = fn }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Run places m balls into n bins with the chosen protocol and returns
+// the measured result. It panics if n <= 0, m < 0, or s is the zero
+// Spec.
+func Run(s Spec, n int, m int64, opts ...Option) Result {
+	s.mustBeValid()
+	o := buildOptions(opts)
+	var obs protocol.Observer
+	if o.snapFn != nil {
+		var cum int64
+		obs = func(ball, samples int64, v *loadvec.Vector) {
+			cum += samples
+			if ball%o.snapEach != 0 && ball != 1 {
+				return
+			}
+			o.snapFn(Snapshot{
+				Ball:    ball,
+				Samples: cum,
+				MaxLoad: v.MaxLoad(),
+				Gap:     v.Gap(),
+				Psi:     v.QuadraticPotential(),
+			})
+		}
+	}
+	out := protocol.RunWithObserver(s.factory(), n, m, rng.New(o.seed), obs)
+	return toResult(core.Measure(out))
+}
+
+func toResult(m core.Metrics) Result {
+	return Result{
+		Samples:        m.Samples,
+		SamplesPerBall: m.SamplesPerBall,
+		MaxLoad:        m.MaxLoad,
+		MinLoad:        m.MinLoad,
+		Gap:            m.Gap,
+		Psi:            m.Psi,
+		Phi:            m.Phi,
+	}
+}
+
+// Stat is a per-metric summary across replicates.
+type Stat struct {
+	Mean, Std, Min, Max float64
+	// CI95 is the half-width of the ~95% confidence interval of Mean.
+	CI95 float64
+}
+
+func toStat(w stats.Welford) Stat {
+	return Stat{Mean: w.Mean(), Std: w.Std(), Min: w.Min(), Max: w.Max(), CI95: w.CI95()}
+}
+
+// Summary aggregates a replicated experiment, one Stat per metric.
+type Summary struct {
+	Protocol string
+	N        int
+	M        int64
+	Reps     int
+
+	Time        Stat // allocation time (samples)
+	TimePerBall Stat
+	MaxLoad     Stat
+	Gap         Stat
+	Psi         Stat
+	Phi         Stat
+}
+
+// Replicates runs `reps` independent replicates (the paper uses 100)
+// across a worker pool and returns aggregate statistics. Replicate
+// seeds derive deterministically from the master seed, so results are
+// reproducible and independent of parallelism. The context cancels
+// outstanding work.
+func Replicates(ctx context.Context, s Spec, n int, m int64, reps int, opts ...Option) (Summary, error) {
+	s.mustBeValid()
+	o := buildOptions(opts)
+	agg, err := sim.Run(ctx, sim.Spec{
+		Factory: s.factory,
+		N:       n,
+		M:       m,
+		Reps:    reps,
+		Seed:    o.seed,
+	}, 0)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Protocol:    s.Name(),
+		N:           n,
+		M:           m,
+		Reps:        reps,
+		Time:        toStat(agg.Time),
+		TimePerBall: toStat(agg.TimePerBall),
+		MaxLoad:     toStat(agg.MaxLoad),
+		Gap:         toStat(agg.Gap),
+		Psi:         toStat(agg.Psi),
+		Phi:         toStat(agg.Phi),
+	}, nil
+}
+
+// MaxLoadGuarantee returns the deterministic bound ⌈m/n⌉+1 that the
+// adaptive and threshold protocols never exceed.
+func MaxLoadGuarantee(n int, m int64) int64 {
+	return protocol.MaxLoadBound(n, m)
+}

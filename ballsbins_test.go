@@ -1,0 +1,210 @@
+package ballsbins
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunAdaptive(t *testing.T) {
+	res := Run(Adaptive(), 100, 1000, WithSeed(7))
+	if res.MaxLoad > int(MaxLoadGuarantee(100, 1000)) {
+		t.Fatalf("max load %d exceeds guarantee", res.MaxLoad)
+	}
+	if res.Samples < 1000 {
+		t.Fatalf("samples %d below m", res.Samples)
+	}
+	if res.SamplesPerBall < 1 || res.SamplesPerBall > 3 {
+		t.Fatalf("samples per ball %v implausible", res.SamplesPerBall)
+	}
+	if res.Gap != res.MaxLoad-res.MinLoad {
+		t.Fatal("gap inconsistent")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a := Run(Threshold(), 64, 640, WithSeed(5))
+	b := Run(Threshold(), 64, 640, WithSeed(5))
+	if a != b {
+		t.Fatalf("same seed differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestSpecNames(t *testing.T) {
+	cases := map[string]Spec{
+		"adaptive":         Adaptive(),
+		"threshold":        Threshold(),
+		"adaptive-noslack": AdaptiveNoSlack(),
+		"single":           SingleChoice(),
+		"greedy[2]":        Greedy(2),
+		"left[2]":          Left(2),
+		"memory[1,1]":      Memory(1, 1),
+		"fixed[<3]":        FixedThreshold(3),
+	}
+	for want, spec := range cases {
+		if got := spec.Name(); got != want {
+			t.Errorf("Name = %q want %q", got, want)
+		}
+	}
+}
+
+func TestZeroSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero Spec did not panic")
+		}
+	}()
+	Run(Spec{}, 1, 1)
+}
+
+func TestConstructorValidationIsEager(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Greedy(0)":         func() { Greedy(0) },
+		"Left(1)":           func() { Left(1) },
+		"Memory(0,0)":       func() { Memory(0, 0) },
+		"FixedThreshold(0)": func() { FixedThreshold(0) },
+		"WithSnapshots bad": func() { WithSnapshots(0, func(Snapshot) {}) },
+		"WithSnapshots nil": func() { WithSnapshots(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	var snaps []Snapshot
+	Run(Adaptive(), 32, 320, WithSeed(3), WithSnapshots(32, func(s Snapshot) {
+		snaps = append(snaps, s)
+	}))
+	if len(snaps) != 1+10 {
+		t.Fatalf("got %d snapshots, want 11", len(snaps))
+	}
+	if snaps[0].Ball != 1 || snaps[len(snaps)-1].Ball != 320 {
+		t.Fatalf("snapshot boundaries wrong: %+v", snaps)
+	}
+	prev := int64(0)
+	for _, s := range snaps {
+		if s.Samples < prev {
+			t.Fatal("cumulative samples decreased")
+		}
+		prev = s.Samples
+	}
+}
+
+func TestReplicates(t *testing.T) {
+	sum, err := Replicates(context.Background(), Adaptive(), 64, 640, 10, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Reps != 10 || sum.Protocol != "adaptive" {
+		t.Fatalf("summary header wrong: %+v", sum)
+	}
+	if sum.TimePerBall.Mean < 1 || sum.TimePerBall.Mean > 3 {
+		t.Fatalf("time per ball %v", sum.TimePerBall.Mean)
+	}
+	if sum.Time.Min > sum.Time.Max {
+		t.Fatal("min > max")
+	}
+	if sum.Time.CI95 <= 0 {
+		t.Fatal("CI95 should be positive for 10 replicates")
+	}
+}
+
+func TestReplicatesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Replicates(ctx, Adaptive(), 64, 640, 1000); err == nil {
+		t.Fatal("cancelled context did not error")
+	}
+}
+
+func TestMaxLoadGuaranteeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := 1 + int(nRaw%200)
+		m := int64(mRaw % 4000)
+		for _, spec := range []Spec{Adaptive(), Threshold()} {
+			res := Run(spec, n, m, WithSeed(seed))
+			if res.MaxLoad > int(MaxLoadGuarantee(n, m)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelFacade(t *testing.T) {
+	res, err := LenzenWattenhofer(1<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad > 2 || res.Placed != 1<<10 {
+		t.Fatalf("LW result wrong: %+v", res)
+	}
+	ac, err := AdlerCollision(512, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Placed != 512 {
+		t.Fatalf("Adler result wrong: %+v", ac)
+	}
+	hp, err := HeavyParallel(256, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.MaxLoad > 17 {
+		t.Fatalf("heavy parallel max load %d", hp.MaxLoad)
+	}
+}
+
+func TestSelfBalanceFacade(t *testing.T) {
+	res := SelfBalance(128, 1024, 6)
+	if res.MaxLoad > 9 { // ceil(m/n)+1 = 9
+		t.Fatalf("self-balance max load %d", res.MaxLoad)
+	}
+	if res.Samples != 2048 {
+		t.Fatalf("samples %d want 2m", res.Samples)
+	}
+	if res.MaxLoad > res.InitialMaxLoad {
+		t.Fatal("balancing made things worse")
+	}
+}
+
+func TestCuckooFacade(t *testing.T) {
+	tab := NewCuckoo(CuckooConfig{Buckets: 128, BucketSize: 4, D: 2, Seed: 7})
+	for k := uint64(1); k <= 400; k++ {
+		if _, err := tab.Insert(k, k*2); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if v, ok := tab.Lookup(200); !ok || v != 400 {
+		t.Fatalf("lookup failed: %d %v", v, ok)
+	}
+	if tab.Len() != 400 {
+		t.Fatalf("len %d", tab.Len())
+	}
+}
+
+func TestSmoothnessHeadline(t *testing.T) {
+	// The package-level claim: adaptive is smoother than threshold at
+	// the same (n, m), at slightly higher allocation time.
+	const n = 128
+	m := int64(n) * int64(n)
+	a := Run(Adaptive(), n, m, WithSeed(11))
+	th := Run(Threshold(), n, m, WithSeed(11))
+	if a.Psi >= th.Psi {
+		t.Fatalf("adaptive Psi %v not below threshold %v", a.Psi, th.Psi)
+	}
+	if a.Samples <= th.Samples {
+		t.Logf("note: adaptive used fewer samples (%d vs %d) this seed",
+			a.Samples, th.Samples)
+	}
+}

@@ -1,0 +1,162 @@
+// Command bbfigures regenerates the paper's Figure 3: average
+// allocation time (3a) and average quadratic potential (3b) of the
+// adaptive and threshold protocols as m grows, rendered as ASCII
+// charts and optional CSV files.
+//
+// Usage:
+//
+//	bbfigures -fig both -n 10000 -mmin 200000 -mmax 1000000 -points 9 -reps 20
+//	bbfigures -fig 3a -csv fig3a.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	ballsbins "repro"
+	"repro/internal/cli"
+	"repro/internal/table"
+)
+
+type sweepResult struct {
+	ms       []int64
+	adaptive []ballsbins.Summary
+	thresh   []ballsbins.Summary
+}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "both", "which figure: 3a, 3b, or both")
+		n      = flag.Int("n", 10000, "number of bins")
+		mmin   = flag.Int64("mmin", 200000, "smallest m")
+		mmax   = flag.Int64("mmax", 1000000, "largest m")
+		points = flag.Int("points", 9, "sweep points between mmin and mmax")
+		reps   = flag.Int("reps", 20, "replicates per point (paper: 100)")
+		seed   = flag.Uint64("seed", 1, "master random seed")
+		csvOut = flag.String("csv", "", "optional CSV output path")
+	)
+	flag.Parse()
+	if *fig != "3a" && *fig != "3b" && *fig != "both" {
+		fmt.Fprintln(os.Stderr, "bbfigures: -fig must be 3a, 3b or both")
+		os.Exit(2)
+	}
+	if *points < 2 || *mmin < 1 || *mmax <= *mmin {
+		fmt.Fprintln(os.Stderr, "bbfigures: need points >= 2 and mmax > mmin >= 1")
+		os.Exit(2)
+	}
+
+	res := sweep(*n, *mmin, *mmax, *points, *reps, *seed)
+
+	if *fig == "3a" || *fig == "both" {
+		renderFig3a(res, *n, *reps)
+	}
+	if *fig == "3b" || *fig == "both" {
+		renderFig3b(res, *n, *reps)
+	}
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, res); err != nil {
+			fmt.Fprintln(os.Stderr, "bbfigures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+}
+
+func sweep(n int, mmin, mmax int64, points, reps int, seed uint64) sweepResult {
+	ctx := context.Background()
+	var res sweepResult
+	step := (mmax - mmin) / int64(points-1)
+	for i := 0; i < points; i++ {
+		m := mmin + int64(i)*step
+		if i == points-1 {
+			m = mmax
+		}
+		res.ms = append(res.ms, m)
+		a, err := ballsbins.Replicates(ctx, ballsbins.Adaptive(), n, m, reps,
+			ballsbins.WithSeed(seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbfigures:", err)
+			os.Exit(1)
+		}
+		t, err := ballsbins.Replicates(ctx, ballsbins.Threshold(), n, m, reps,
+			ballsbins.WithSeed(seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbfigures:", err)
+			os.Exit(1)
+		}
+		res.adaptive = append(res.adaptive, a)
+		res.thresh = append(res.thresh, t)
+		fmt.Fprintf(os.Stderr, "  m=%s done\n", cli.FmtCount(m))
+	}
+	return res
+}
+
+func seriesOf(res sweepResult, pick func(ballsbins.Summary) float64) (xs, ya, yt []float64) {
+	for i := range res.ms {
+		xs = append(xs, float64(res.ms[i]))
+		ya = append(ya, pick(res.adaptive[i]))
+		yt = append(yt, pick(res.thresh[i]))
+	}
+	return xs, ya, yt
+}
+
+func renderFig3a(res sweepResult, n, reps int) {
+	xs, ya, yt := seriesOf(res, func(s ballsbins.Summary) float64 { return s.Time.Mean })
+	var c table.Chart
+	c.Title = fmt.Sprintf("Figure 3(a): average allocation time, n=%d, %d reps", n, reps)
+	c.XLabel = "m"
+	c.YLabel = "avg samples"
+	c.Add(table.Series{Name: "ADAPTIVE", X: xs, Y: ya, Marker: 'A'})
+	c.Add(table.Series{Name: "THRESHOLD", X: xs, Y: yt, Marker: 'T'})
+	fmt.Print(c.Render())
+
+	tb := table.New("m", "adaptive time", "adaptive time/m", "threshold time", "threshold time/m")
+	for i, m := range res.ms {
+		tb.AddRow(cli.FmtCount(m),
+			fmt.Sprintf("%.0f", ya[i]), fmt.Sprintf("%.4f", ya[i]/float64(m)),
+			fmt.Sprintf("%.0f", yt[i]), fmt.Sprintf("%.4f", yt[i]/float64(m)))
+	}
+	fmt.Print(tb.Render())
+	fmt.Println()
+}
+
+func renderFig3b(res sweepResult, n, reps int) {
+	xs, ya, yt := seriesOf(res, func(s ballsbins.Summary) float64 { return s.Psi.Mean })
+	var c table.Chart
+	c.Title = fmt.Sprintf("Figure 3(b): average quadratic potential, n=%d, %d reps", n, reps)
+	c.XLabel = "m"
+	c.YLabel = "avg Psi"
+	c.Add(table.Series{Name: "ADAPTIVE", X: xs, Y: ya, Marker: 'A'})
+	c.Add(table.Series{Name: "THRESHOLD", X: xs, Y: yt, Marker: 'T'})
+	fmt.Print(c.Render())
+
+	tb := table.New("m", "adaptive Psi", "threshold Psi", "ratio")
+	for i, m := range res.ms {
+		tb.AddRow(cli.FmtCount(m), fmt.Sprintf("%.1f", ya[i]),
+			fmt.Sprintf("%.1f", yt[i]), fmt.Sprintf("%.1fx", yt[i]/ya[i]))
+	}
+	fmt.Print(tb.Render())
+	fmt.Println()
+}
+
+func writeCSV(path string, res sweepResult) error {
+	tb := table.New("m",
+		"adaptive_time", "adaptive_time_ci95", "threshold_time", "threshold_time_ci95",
+		"adaptive_psi", "threshold_psi", "adaptive_maxload", "threshold_maxload")
+	for i, m := range res.ms {
+		a, t := res.adaptive[i], res.thresh[i]
+		tb.AddRow(fmt.Sprint(m),
+			fmt.Sprintf("%.1f", a.Time.Mean), fmt.Sprintf("%.1f", a.Time.CI95),
+			fmt.Sprintf("%.1f", t.Time.Mean), fmt.Sprintf("%.1f", t.Time.CI95),
+			fmt.Sprintf("%.2f", a.Psi.Mean), fmt.Sprintf("%.2f", t.Psi.Mean),
+			fmt.Sprintf("%.2f", a.MaxLoad.Mean), fmt.Sprintf("%.2f", t.MaxLoad.Mean))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tb.CSV(f)
+}

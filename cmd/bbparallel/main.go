@@ -1,0 +1,82 @@
+// Command bbparallel runs the round-synchronous parallel allocation
+// protocols (Lenzen–Wattenhofer, Adler-style collision, heavy-load)
+// and prints rounds, messages and maximum load — the figures of merit
+// of the parallel balls-into-bins literature.
+//
+// Usage:
+//
+//	bbparallel -proto lw -n 65536
+//	bbparallel -proto adler -n 16384 -d 3
+//	bbparallel -proto heavy -n 4096 -m 262144
+//	bbparallel -proto lw -scaling        # sweep n and show growth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ballsbins "repro"
+	"repro/internal/cli"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		proto   = flag.String("proto", "lw", "protocol: lw, adler, heavy")
+		n       = flag.Int("n", 65536, "number of bins")
+		m       = flag.Int64("m", 0, "number of balls (heavy only; default 16n)")
+		d       = flag.Int("d", 2, "fixed choices per ball (adler only)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scaling = flag.Bool("scaling", false, "sweep n from 2^10 to 2^16")
+	)
+	flag.Parse()
+
+	run := func(n int) (ballsbins.ParallelResult, error) {
+		switch *proto {
+		case "lw":
+			return ballsbins.LenzenWattenhofer(n, *seed)
+		case "adler":
+			return ballsbins.AdlerCollision(n, *d, *seed)
+		case "heavy":
+			mm := *m
+			if mm == 0 {
+				mm = int64(16 * n)
+			}
+			return ballsbins.HeavyParallel(n, mm, *seed)
+		default:
+			return ballsbins.ParallelResult{},
+				fmt.Errorf("unknown protocol %q (want lw, adler, heavy)", *proto)
+		}
+	}
+
+	tb := table.New("n", "rounds", "messages", "messages/n", "max load", "placed")
+	add := func(n int) error {
+		res, err := run(n)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(cli.FmtCount(int64(n)), fmt.Sprint(res.Rounds),
+			cli.FmtCount(res.Messages),
+			fmt.Sprintf("%.2f", float64(res.Messages)/float64(n)),
+			fmt.Sprint(res.MaxLoad), cli.FmtCount(res.Placed))
+		return nil
+	}
+
+	var err error
+	if *scaling {
+		for logN := 10; logN <= 16; logN += 2 {
+			if err = add(1 << logN); err != nil {
+				break
+			}
+		}
+	} else {
+		err = add(*n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbparallel:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol=%s seed=%d\n\n", *proto, *seed)
+	fmt.Print(tb.Render())
+}

@@ -1,0 +1,67 @@
+// Command bbqueue runs the discrete-event dispatching simulation (the
+// supermarket model) and prints sojourn-time statistics per dispatch
+// policy across a sweep of offered loads.
+//
+// Usage:
+//
+//	bbqueue -n 64 -rhos 0.7,0.9,0.95 -jobs 150000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	ballsbins "repro"
+	"repro/internal/queueing"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 64, "number of servers")
+		rhos = flag.String("rhos", "0.7,0.9,0.95", "comma-separated offered loads (0,1)")
+		jobs = flag.Int64("jobs", 150000, "jobs to complete per run")
+		mu   = flag.Float64("mu", 1, "per-server service rate")
+		seed = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var loads []float64
+	for _, tok := range strings.Split(*rhos, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || v <= 0 || v >= 1 {
+			fmt.Fprintf(os.Stderr, "bbqueue: bad rho %q (need 0 < rho < 1)\n", tok)
+			os.Exit(2)
+		}
+		loads = append(loads, v)
+	}
+
+	policies := []queueing.Policy{
+		ballsbins.PickSingle, ballsbins.PickGreedy2, ballsbins.PickAdaptive,
+	}
+	for _, rho := range loads {
+		fmt.Printf("== rho = %.2f (n=%d, mu=%g, %d jobs) ==\n", rho, *n, *mu, *jobs)
+		tb := table.New("policy", "probes/job", "mean sojourn", "p50", "p99", "max queue")
+		for _, p := range policies {
+			res := ballsbins.RunQueue(ballsbins.QueueConfig{
+				N:           *n,
+				ArrivalRate: rho * float64(*n) * *mu,
+				ServiceRate: *mu,
+				Jobs:        *jobs,
+				Policy:      p,
+				Seed:        *seed,
+			})
+			tb.AddRow(p.String(),
+				fmt.Sprintf("%.3f", res.ProbesPerJob),
+				fmt.Sprintf("%.2f", res.MeanSojourn),
+				fmt.Sprintf("%.2f", res.P50Sojourn),
+				fmt.Sprintf("%.2f", res.P99Sojourn),
+				fmt.Sprint(res.MaxQueue))
+		}
+		fmt.Print(tb.Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,56 @@
+// Package ballsbins is a Go implementation of the allocation protocols
+// from Berenbrink, Khodamoradi, Sauerwald and Stauffer, "Balls-into-Bins
+// with Nearly Optimal Load Distribution" (SPAA 2013), together with
+// every baseline the paper compares against and a benchmark harness
+// that regenerates the paper's Table 1 and Figure 3.
+//
+// # The protocols
+//
+// The paper studies sequential processes that place m balls into n
+// bins using random choices, trading the number of choices (the
+// "allocation time") against the maximum and overall shape of the
+// final load distribution:
+//
+//   - Adaptive (the paper's contribution): ball i samples bins
+//     uniformly at random until it finds one with load < i/n + 1.
+//     Maximum load ⌈m/n⌉+1 by construction, O(m) expected allocation
+//     time (Theorem 3.1), and a smooth final distribution — max-min
+//     gap O(log n) w.h.p. and E[Ψ], E[Φ] = O(n) (Corollary 3.5). The
+//     number of balls need not be known in advance.
+//   - Threshold (Czumaj–Stemann): like Adaptive but with the fixed
+//     acceptance bound m/n + 1. Allocation time m + O(m^{3/4}·n^{1/4})
+//     (Theorem 4.1) — faster than Adaptive — but the final distribution
+//     is rough: for m = n² the gap is Ω(n^{1/8}) and Ψ = Ω(n^{9/8})
+//     (Lemma 4.2).
+//   - Baselines: SingleChoice, Greedy(d) (Azar et al.), Left(d)
+//     (Vöcking's Always-Go-Left), Memory(d,k) (Mitzenmacher–Prabhakar–
+//     Shah), plus the AdaptiveNoSlack ablation showing the "+1" slack
+//     is what buys the linear running time.
+//
+// Allocation time follows the paper's accounting — the number of
+// random bin choices, not wall-clock time.
+//
+// # Quick start
+//
+//	res := ballsbins.Run(ballsbins.Adaptive(), 1000, 100_000,
+//		ballsbins.WithSeed(42))
+//	fmt.Println(res.SamplesPerBall, res.MaxLoad, res.Gap)
+//
+// Replicated experiments with confidence intervals:
+//
+//	sum, err := ballsbins.Replicates(ctx, ballsbins.Threshold(),
+//		10_000, 1_000_000, 100, ballsbins.WithSeed(1))
+//
+// # Beyond the sequential protocols
+//
+// The package also exposes the paper's wider context: a round-
+// synchronous parallel allocation engine in the model of Adler et al.
+// and Lenzen–Wattenhofer (LenzenWattenhofer, AdlerCollision,
+// HeavyParallel), the self-balancing reallocation baseline of
+// Czumaj–Riley–Scheideler (SelfBalance), and a d-ary bucketed cuckoo
+// hash table (NewCuckoo) for the hashing application domain.
+//
+// Everything is deterministic under a seed, uses only the standard
+// library, and is exercised by the benchmark harness in bench_test.go,
+// one benchmark per table/figure of the paper (see EXPERIMENTS.md).
+package ballsbins

@@ -1,0 +1,83 @@
+package ballsbins_test
+
+import (
+	"context"
+	"fmt"
+
+	ballsbins "repro"
+)
+
+// The basic entry point: one allocation run with the paper's adaptive
+// protocol. With a fixed seed every number is reproducible.
+func ExampleRun() {
+	res := ballsbins.Run(ballsbins.Adaptive(), 1000, 100_000,
+		ballsbins.WithSeed(2013))
+	fmt.Printf("max load: %d (guarantee %d)\n",
+		res.MaxLoad, ballsbins.MaxLoadGuarantee(1000, 100_000))
+	fmt.Printf("gap: %d\n", res.Gap)
+	// Output:
+	// max load: 101 (guarantee 101)
+	// gap: 11
+}
+
+// The paper's headline comparison: at the same (n, m, seed), adaptive
+// produces a smoother distribution than threshold.
+func ExampleRun_smoothness() {
+	a := ballsbins.Run(ballsbins.Adaptive(), 100, 10_000, ballsbins.WithSeed(7))
+	t := ballsbins.Run(ballsbins.Threshold(), 100, 10_000, ballsbins.WithSeed(7))
+	fmt.Println("adaptive smoother:", a.Psi < t.Psi)
+	// Output:
+	// adaptive smoother: true
+}
+
+// Replicated experiments reproduce the paper's averaged methodology.
+func ExampleReplicates() {
+	sum, err := ballsbins.Replicates(context.Background(),
+		ballsbins.Adaptive(), 100, 1000, 10, ballsbins.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("protocol:", sum.Protocol)
+	fmt.Println("replicates:", sum.Reps)
+	fmt.Println("max load never exceeded guarantee:",
+		sum.MaxLoad.Max <= float64(ballsbins.MaxLoadGuarantee(100, 1000)))
+	// Output:
+	// protocol: adaptive
+	// replicates: 10
+	// max load never exceeded guarantee: true
+}
+
+// The parallel engine reproduces the Lenzen–Wattenhofer guarantees:
+// maximum load 2 for m = n balls.
+func ExampleLenzenWattenhofer() {
+	res, err := ballsbins.LenzenWattenhofer(1024, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max load: %d, placed: %d\n", res.MaxLoad, res.Placed)
+	// Output:
+	// max load: 2, placed: 1024
+}
+
+// Self-balancing reallocation (the Table 1 baseline [6]) improves on
+// its greedy[2] initial placement.
+func ExampleSelfBalance() {
+	res := ballsbins.SelfBalance(100, 1000, 3)
+	fmt.Printf("max load: %d (was %d before balancing)\n",
+		res.MaxLoad, res.InitialMaxLoad)
+	// Output:
+	// max load: 10 (was 12 before balancing)
+}
+
+// Weighted balls generalize the protocols; with constant weight 1 the
+// weighted guarantee W/n + 2·wmax mirrors ⌈m/n⌉+1.
+func ExampleRunWeighted() {
+	res := ballsbins.RunWeighted(ballsbins.WeightedAdaptive(),
+		100, 1000, ballsbins.ConstWeights(1), ballsbins.WithSeed(5))
+	fmt.Printf("total weight: %.0f\n", res.TotalWeight)
+	fmt.Println("within weighted guarantee:",
+		res.MaxLoad <= res.TotalWeight/100+2*res.MaxWeight)
+	// Output:
+	// total weight: 1000
+	// within weighted guarantee: true
+}

@@ -1,0 +1,80 @@
+// Hashing: bucket occupancy in hash tables, the classical application
+// of balls-into-bins processes.
+//
+// Two designs are contrasted:
+//
+//  1. A d-choice hash table (each key probes d buckets, goes to the
+//     emptiest): bucket occupancy is exactly the greedy[d] process, so
+//     the worst bucket holds m/n + ln ln n/ln d + O(1) keys.
+//  2. A cuckoo hash table (d candidate buckets of size k, displacement
+//     on conflict): near-perfect space utilization, but inserts move
+//     existing keys around — reallocation cost the paper's protocols
+//     are designed to avoid.
+//
+// Run with:
+//
+//	go run ./examples/hashing
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	ballsbins "repro"
+	"repro/internal/table"
+)
+
+func main() {
+	const buckets = 4096
+
+	fmt.Println("-- d-choice hash table: worst-bucket occupancy (greedy[d]) --")
+	occ := table.New("design", "keys", "load factor", "worst bucket", "probes/insert")
+	for _, d := range []int{1, 2, 3} {
+		var spec ballsbins.Spec
+		if d == 1 {
+			spec = ballsbins.SingleChoice()
+		} else {
+			spec = ballsbins.Greedy(d)
+		}
+		for _, keys := range []int64{buckets, 8 * buckets} {
+			res := ballsbins.Run(spec, buckets, keys, ballsbins.WithSeed(3))
+			occ.AddRow(fmt.Sprintf("%d-choice", d), fmt.Sprint(keys),
+				fmt.Sprintf("%.0f%%", 100*float64(keys)/float64(buckets)),
+				fmt.Sprint(res.MaxLoad), fmt.Sprint(d))
+		}
+	}
+	fmt.Print(occ.Render())
+
+	fmt.Println("\n-- cuckoo hash table: utilization vs displacement cost --")
+	ck := table.New("load factor", "keys", "displacements", "disp/insert", "stash")
+	for _, target := range []float64{0.50, 0.80, 0.90, 0.95} {
+		tab := ballsbins.NewCuckoo(ballsbins.CuckooConfig{
+			Buckets: buckets, BucketSize: 4, D: 2, Seed: 11,
+		})
+		keys := int64(float64(buckets*4) * target)
+		var failed bool
+		for k := int64(1); k <= keys; k++ {
+			if _, err := tab.Insert(uint64(k), uint64(k)); err != nil {
+				if errors.Is(err, ballsbins.ErrCuckooFull) {
+					failed = true
+					break
+				}
+				panic(err)
+			}
+		}
+		status := fmt.Sprintf("%.0f%%", 100*target)
+		if failed {
+			status += " (FULL)"
+		}
+		ck.AddRow(status, fmt.Sprint(tab.Len()),
+			fmt.Sprint(tab.Displacements),
+			fmt.Sprintf("%.4f", float64(tab.Displacements)/float64(tab.Len())),
+			fmt.Sprint(tab.StashLen()))
+	}
+	fmt.Print(ck.Render())
+
+	fmt.Println("\nReading: d-choice tables never move keys (like the paper's")
+	fmt.Println("protocols) but waste space on the worst bucket; cuckoo reaches")
+	fmt.Println("95% utilization at the price of displacements per insert —")
+	fmt.Println("exactly the reallocation cost Table 1 charges to [6].")
+}

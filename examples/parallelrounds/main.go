@@ -1,0 +1,67 @@
+// Parallel rounds: allocating all balls simultaneously over
+// synchronous communication rounds, after Lenzen–Wattenhofer and Adler
+// et al. — the parallel line of work the paper situates itself in.
+//
+// Balls and bins are modeled by goroutine workers and shards
+// exchanging request/offer/commit messages with barriers between
+// phases. The table shows the hallmark of the LW protocol: maximum
+// load 2 with round counts that are essentially CONSTANT in n
+// (log* n + O(1)) and O(n) total messages.
+//
+// Run with:
+//
+//	go run ./examples/parallelrounds
+package main
+
+import (
+	"fmt"
+
+	ballsbins "repro"
+	"repro/internal/table"
+)
+
+func main() {
+	fmt.Println("-- Lenzen-Wattenhofer style: m=n balls, bin capacity 2 --")
+	lw := table.New("n", "rounds", "messages", "messages/n", "max load")
+	for _, logN := range []int{10, 12, 14, 16} {
+		n := 1 << logN
+		res, err := ballsbins.LenzenWattenhofer(n, 1)
+		if err != nil {
+			panic(err)
+		}
+		lw.AddRow(fmt.Sprintf("2^%d", logN), fmt.Sprint(res.Rounds),
+			fmt.Sprint(res.Messages),
+			fmt.Sprintf("%.2f", float64(res.Messages)/float64(n)),
+			fmt.Sprint(res.MaxLoad))
+	}
+	fmt.Print(lw.Render())
+
+	fmt.Println("\n-- Adler-style collision protocol: d fixed choices, one grant/bin/round --")
+	ad := table.New("n", "d", "rounds", "messages/n", "max load")
+	for _, d := range []int{2, 3, 4} {
+		n := 1 << 14
+		res, err := ballsbins.AdlerCollision(n, d, 2)
+		if err != nil {
+			panic(err)
+		}
+		ad.AddRow("2^14", fmt.Sprint(d), fmt.Sprint(res.Rounds),
+			fmt.Sprintf("%.2f", float64(res.Messages)/float64(n)),
+			fmt.Sprint(res.MaxLoad))
+	}
+	fmt.Print(ad.Render())
+
+	fmt.Println("\n-- heavily loaded parallel: m = 64n, capacity ceil(m/n)+1 --")
+	hp := table.New("n", "m", "rounds", "messages/m", "max load")
+	for _, logN := range []int{10, 12} {
+		n := 1 << logN
+		m := int64(64 * n)
+		res, err := ballsbins.HeavyParallel(n, m, 3)
+		if err != nil {
+			panic(err)
+		}
+		hp.AddRow(fmt.Sprintf("2^%d", logN), fmt.Sprint(m), fmt.Sprint(res.Rounds),
+			fmt.Sprintf("%.2f", float64(res.Messages)/float64(m)),
+			fmt.Sprint(res.MaxLoad))
+	}
+	fmt.Print(hp.Render())
+}

@@ -1,0 +1,63 @@
+// Supermarket: the queueing-theory face of balls-into-bins. Jobs
+// arrive at a 64-server cluster as a Poisson process and are served
+// FIFO with exponential service times; the dispatcher picks the server
+// using the allocation protocols:
+//
+//   - single: one random server — each queue is an independent M/M/1,
+//     so sojourn times blow up like 1/(1−ρ) as load ρ → 1;
+//   - greedy2: shorter of two random queues — Mitzenmacher's
+//     supermarket model, double-exponential improvement in the tail;
+//   - adaptive: resample until a queue is below jobs-in-system/n + 1 —
+//     the paper's acceptance rule, which matches greedy2's tail with
+//     fewer expected probes at moderate load.
+//
+// Run with:
+//
+//	go run ./examples/supermarket
+package main
+
+import (
+	"fmt"
+
+	ballsbins "repro"
+	"repro/internal/table"
+)
+
+func main() {
+	const n = 64
+	const mu = 1.0
+	const jobs = 150_000
+
+	for _, rho := range []float64{0.7, 0.9, 0.95} {
+		fmt.Printf("offered load rho = %.2f (n=%d servers, %d jobs)\n",
+			rho, n, jobs)
+		tb := table.New("policy", "probes/job", "mean sojourn",
+			"p50", "p99", "max queue")
+		for _, policy := range []struct {
+			name string
+			p    ballsbins.QueueConfig
+		}{
+			{"single", ballsbins.QueueConfig{Policy: ballsbins.PickSingle}},
+			{"greedy2", ballsbins.QueueConfig{Policy: ballsbins.PickGreedy2}},
+			{"adaptive", ballsbins.QueueConfig{Policy: ballsbins.PickAdaptive}},
+		} {
+			cfg := policy.p
+			cfg.N = n
+			cfg.ArrivalRate = rho * n * mu
+			cfg.ServiceRate = mu
+			cfg.Jobs = jobs
+			cfg.Seed = 21
+			res := ballsbins.RunQueue(cfg)
+			tb.AddRow(policy.name,
+				fmt.Sprintf("%.3f", res.ProbesPerJob),
+				fmt.Sprintf("%.2f", res.MeanSojourn),
+				fmt.Sprintf("%.2f", res.P50Sojourn),
+				fmt.Sprintf("%.2f", res.P99Sojourn),
+				fmt.Sprint(res.MaxQueue))
+		}
+		fmt.Print(tb.Render())
+		fmt.Println()
+	}
+	fmt.Println("reading: at rho=0.95 single-choice p99 is an order of magnitude")
+	fmt.Println("worse; adaptive matches greedy2's tail with fewer probes per job.")
+}

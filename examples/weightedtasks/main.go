@@ -1,0 +1,78 @@
+// Weighted tasks: allocation when balls carry unequal weights — the
+// natural extension of the paper's model (cf. Talwar–Wieder, "Balanced
+// allocations: the weighted case").
+//
+// A dispatcher assigns m tasks with random service costs to n servers.
+// The weighted adaptive rule accepts a server whose current total cost
+// is below (cost placed so far)/n + wmax. The example sweeps weight
+// distributions of equal mean and shows:
+//
+//   - constant weights reproduce the unweighted picture (gap ~ wmax);
+//   - heavier tails roughen the distribution (the gap tracks the
+//     largest single task, which no allocation rule can split);
+//   - the deterministic guarantee max ≤ W/n + 2·wmax holds throughout,
+//     and the allocation stays ~1 probe per task because the slack is
+//     proportional to wmax.
+//
+// Run with:
+//
+//	go run ./examples/weightedtasks
+package main
+
+import (
+	"fmt"
+
+	ballsbins "repro"
+	"repro/internal/table"
+)
+
+func main() {
+	const n = 1000
+	const m = 50_000
+
+	workloads := []struct {
+		name string
+		s    ballsbins.WeightSampler
+		desc string
+	}{
+		{"const(1)", ballsbins.ConstWeights(1), "all tasks equal"},
+		{"uniform[0.5,1.5]", ballsbins.UniformWeights(0.5, 1.5), "mild variation"},
+		{"exp(mean 1)", ballsbins.ExpWeights(1), "memoryless service times"},
+		{"pareto(1.2)", ballsbins.ParetoWeights(1.2, 0.3, 30), "heavy tail, wmax=30"},
+	}
+
+	fmt.Printf("dispatching %d weighted tasks to %d servers (weighted adaptive)\n\n", m, n)
+	tb := table.New("workload", "probes/task", "avg load", "max load",
+		"gap", "guarantee W/n+2wmax", "held?")
+	for _, w := range workloads {
+		res := ballsbins.RunWeighted(ballsbins.WeightedAdaptive(), n, m, w.s,
+			ballsbins.WithSeed(17))
+		bound := res.TotalWeight/float64(n) + 2*res.MaxWeight
+		tb.AddRow(w.name,
+			fmt.Sprintf("%.3f", res.SamplesPerBall),
+			fmt.Sprintf("%.1f", res.TotalWeight/float64(n)),
+			fmt.Sprintf("%.1f", res.MaxLoad),
+			fmt.Sprintf("%.1f", res.Gap),
+			fmt.Sprintf("%.1f", bound),
+			fmt.Sprint(res.MaxLoad <= bound))
+	}
+	fmt.Print(tb.Render())
+
+	fmt.Println("\ncomparison at exp(1) weights: weighted adaptive vs alternatives")
+	cmp := table.New("protocol", "probes/task", "max load", "gap", "Psi/n")
+	for _, spec := range []ballsbins.WeightedSpec{
+		ballsbins.WeightedSingleChoice(),
+		ballsbins.WeightedGreedy(2),
+		ballsbins.WeightedThreshold(),
+		ballsbins.WeightedAdaptive(),
+	} {
+		res := ballsbins.RunWeighted(spec, n, m, ballsbins.ExpWeights(1),
+			ballsbins.WithSeed(17))
+		cmp.AddRow(spec.Name(),
+			fmt.Sprintf("%.3f", res.SamplesPerBall),
+			fmt.Sprintf("%.1f", res.MaxLoad),
+			fmt.Sprintf("%.1f", res.Gap),
+			fmt.Sprintf("%.2f", res.Psi/float64(n)))
+	}
+	fmt.Print(cmp.Render())
+}

@@ -1,0 +1,63 @@
+package ballsbins
+
+import (
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func TestRunDynamicFacade(t *testing.T) {
+	res := RunDynamic(DynamicConfig{
+		N: 64, Steps: 200, ArrivalRate: 2, DepartureProb: 0.25,
+		Arrival: ArriveAdaptive, Seed: 3,
+	})
+	if res.Arrivals == 0 || res.MeanTasks <= 0 {
+		t.Fatalf("dynamic run empty: %+v", res)
+	}
+	if res.Migrations != 0 {
+		t.Fatal("no balancing configured but migrations counted")
+	}
+}
+
+func TestRunQueueFacade(t *testing.T) {
+	res := RunQueue(QueueConfig{
+		N: 16, ArrivalRate: 16 * 0.8, ServiceRate: 1, Jobs: 20000,
+		Policy: PickAdaptive, Seed: 5,
+	})
+	if res.Completed != 20000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.MeanSojourn <= 1 {
+		// Sojourn includes one service time (mean 1), so it must
+		// exceed 1 under any queueing.
+		t.Fatalf("mean sojourn %v implausible", res.MeanSojourn)
+	}
+	if res.ProbesPerJob < 1 {
+		t.Fatalf("probes per job %v", res.ProbesPerJob)
+	}
+}
+
+func TestQueuePoliciesOrdered(t *testing.T) {
+	// The headline queueing fact at high load: two informed policies
+	// beat blind dispatch on the p99 tail.
+	base := QueueConfig{
+		N: 32, ArrivalRate: 32 * 0.9, ServiceRate: 1, Jobs: 60000, Seed: 6,
+	}
+	run := func(policy queueing.Policy) QueueResult {
+		cfg := base
+		cfg.Policy = policy
+		return RunQueue(cfg)
+	}
+	single := run(PickSingle)
+	greedy := run(PickGreedy2)
+	adaptive := run(PickAdaptive)
+	if greedy.P99Sojourn >= single.P99Sojourn {
+		t.Fatalf("greedy2 p99 %v not below single %v", greedy.P99Sojourn, single.P99Sojourn)
+	}
+	if adaptive.P99Sojourn >= single.P99Sojourn {
+		t.Fatalf("adaptive p99 %v not below single %v", adaptive.P99Sojourn, single.P99Sojourn)
+	}
+	if adaptive.ProbesPerJob >= greedy.ProbesPerJob {
+		t.Fatalf("adaptive probes %v not below greedy2's 2", adaptive.ProbesPerJob)
+	}
+}

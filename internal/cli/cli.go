@@ -1,0 +1,75 @@
+// Package cli holds helpers shared by the command-line tools: protocol
+// lookup by name and common formatting.
+package cli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	ballsbins "repro"
+)
+
+// SpecByName resolves a protocol name (as printed by Spec.Name, but
+// with parameters supplied separately) into a Spec. Valid names:
+// adaptive, threshold, adaptive-noslack, single, greedy, left, memory,
+// fixed.
+func SpecByName(name string, d, k, bound int) (ballsbins.Spec, error) {
+	switch strings.ToLower(name) {
+	case "adaptive":
+		return ballsbins.Adaptive(), nil
+	case "threshold":
+		return ballsbins.Threshold(), nil
+	case "adaptive-noslack", "noslack":
+		return ballsbins.AdaptiveNoSlack(), nil
+	case "single":
+		return ballsbins.SingleChoice(), nil
+	case "greedy":
+		return ballsbins.Greedy(d), nil
+	case "left":
+		return ballsbins.Left(d), nil
+	case "memory":
+		return ballsbins.Memory(d, k), nil
+	case "fixed":
+		return ballsbins.FixedThreshold(bound), nil
+	default:
+		return ballsbins.Spec{}, fmt.Errorf("unknown protocol %q (want one of %s)",
+			name, strings.Join(KnownProtocols(), ", "))
+	}
+}
+
+// KnownProtocols lists the names SpecByName accepts, sorted.
+func KnownProtocols() []string {
+	names := []string{
+		"adaptive", "threshold", "adaptive-noslack", "single",
+		"greedy", "left", "memory", "fixed",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FmtStat renders a Stat as "mean ± ci95".
+func FmtStat(s ballsbins.Stat) string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean, s.CI95)
+}
+
+// FmtCount renders a large count with thousands separators for
+// readability (e.g. 1_234_567).
+func FmtCount(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, "_")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

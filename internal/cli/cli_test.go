@@ -1,0 +1,58 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	ballsbins "repro"
+)
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range KnownProtocols() {
+		spec, err := SpecByName(name, 2, 1, 3)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if spec.Name() == "" {
+			t.Errorf("%s: empty protocol name", name)
+		}
+	}
+}
+
+func TestSpecByNameUnknown(t *testing.T) {
+	_, err := SpecByName("bogus", 2, 1, 3)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("expected descriptive error, got %v", err)
+	}
+}
+
+func TestSpecByNameCaseInsensitive(t *testing.T) {
+	spec, err := SpecByName("Adaptive", 2, 1, 3)
+	if err != nil || spec.Name() != "adaptive" {
+		t.Fatalf("case-insensitive lookup failed: %v %v", spec, err)
+	}
+}
+
+func TestFmtStat(t *testing.T) {
+	got := FmtStat(ballsbins.Stat{Mean: 1234.5, CI95: 6.7})
+	if !strings.Contains(got, "1234") || !strings.Contains(got, "±") {
+		t.Fatalf("FmtStat = %q", got)
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0",
+		999:     "999",
+		1000:    "1_000",
+		1234567: "1_234_567",
+		-4321:   "-4_321",
+		-100:    "-100",
+	}
+	for v, want := range cases {
+		if got := FmtCount(v); got != want {
+			t.Errorf("FmtCount(%d) = %q want %q", v, got, want)
+		}
+	}
+}

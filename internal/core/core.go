@@ -1,0 +1,56 @@
+// Package core orchestrates single allocation runs and provides the
+// closed-form predictions from the paper's Table 1, so measured values
+// can be printed next to what the theory promises.
+package core
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Metrics summarizes one completed allocation run with every quantity
+// the paper's evaluation reports.
+type Metrics struct {
+	N int
+	M int64
+
+	// Samples is the allocation time: total random bin choices.
+	Samples int64
+	// SamplesPerBall is Samples/M (0 when M == 0).
+	SamplesPerBall float64
+
+	MaxLoad int
+	MinLoad int
+	Gap     int
+
+	// Psi is the quadratic potential of the final load vector.
+	Psi float64
+	// Phi is the exponential potential with the paper's eps = 1/200.
+	Phi float64
+}
+
+// Measure extracts Metrics from a finished outcome.
+func Measure(out protocol.Outcome) Metrics {
+	v := out.Vector
+	m := Metrics{
+		N:       v.N(),
+		M:       v.Balls(),
+		Samples: out.Samples,
+		MaxLoad: v.MaxLoad(),
+		MinLoad: v.MinLoad(),
+		Gap:     v.Gap(),
+		Psi:     v.QuadraticPotential(),
+		Phi:     v.ExponentialPotential(loadvec.DefaultEpsilon),
+	}
+	if m.M > 0 {
+		m.SamplesPerBall = float64(m.Samples) / float64(m.M)
+	}
+	return m
+}
+
+// RunOne builds a fresh protocol from f, runs m balls into n bins with
+// the given seed, and returns the measured metrics.
+func RunOne(f protocol.Factory, n int, m int64, seed uint64) Metrics {
+	return Measure(protocol.Run(f(), n, m, rng.New(seed)))
+}

@@ -1,0 +1,253 @@
+// Package cuckoo implements d-ary bucketed cuckoo hashing, the
+// related-work allocation scheme the paper discusses in Section 1:
+// m data items (balls) are stored in n buckets (bins) of size k, every
+// item has d candidate buckets, and insertions displace existing items
+// along a random walk when all candidates are full.
+//
+// The package powers the hashing example application and provides
+// displacement-count instrumentation so the reallocation cost can be
+// contrasted with the paper's reallocation-free protocols.
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ErrTableFull is returned by Insert when the random walk exceeds its
+// displacement budget and the stash is full.
+var ErrTableFull = errors.New("cuckoo: table full")
+
+type entry struct {
+	key uint64
+	val uint64
+}
+
+// Table is a cuckoo hash table mapping uint64 keys to uint64 values.
+// It is not safe for concurrent use.
+type Table struct {
+	d          int
+	bucketSize int
+	buckets    [][]entry
+	seeds      []uint64
+	stash      []entry
+	stashCap   int
+	maxKicks   int
+	r          *rng.Rand
+	len        int
+
+	// Displacements counts every item moved during insert random
+	// walks, the table's analogue of the paper's reallocation cost.
+	Displacements int64
+}
+
+// Config parameterizes a Table.
+type Config struct {
+	Buckets    int    // number of buckets (n); required > 0
+	BucketSize int    // slots per bucket (k); required > 0
+	D          int    // hash choices per key; required >= 2
+	MaxKicks   int    // random-walk displacement budget; default 500
+	StashCap   int    // overflow stash capacity; default 8
+	Seed       uint64 // hash-function and walk seed
+}
+
+// New returns an empty table. It panics on invalid configuration.
+func New(cfg Config) *Table {
+	if cfg.Buckets <= 0 {
+		panic("cuckoo: Buckets must be positive")
+	}
+	if cfg.BucketSize <= 0 {
+		panic("cuckoo: BucketSize must be positive")
+	}
+	if cfg.D < 2 {
+		panic("cuckoo: D must be at least 2")
+	}
+	if cfg.MaxKicks == 0 {
+		cfg.MaxKicks = 500
+	}
+	if cfg.StashCap == 0 {
+		cfg.StashCap = 8
+	}
+	t := &Table{
+		d:          cfg.D,
+		bucketSize: cfg.BucketSize,
+		buckets:    make([][]entry, cfg.Buckets),
+		seeds:      make([]uint64, cfg.D),
+		stashCap:   cfg.StashCap,
+		maxKicks:   cfg.MaxKicks,
+		r:          rng.New(rng.Mix(cfg.Seed, 0xC0C0)),
+	}
+	for i := range t.seeds {
+		t.seeds[i] = rng.Mix(cfg.Seed, uint64(i)+1)
+	}
+	return t
+}
+
+// bucketOf returns the i-th candidate bucket of key.
+func (t *Table) bucketOf(key uint64, i int) int {
+	return int(rng.Mix(t.seeds[i], key) % uint64(len(t.buckets)))
+}
+
+// Len returns the number of stored items (including stashed ones).
+func (t *Table) Len() int { return t.len }
+
+// LoadFactor returns Len divided by total capacity (stash excluded).
+func (t *Table) LoadFactor() float64 {
+	return float64(t.len) / float64(len(t.buckets)*t.bucketSize)
+}
+
+// StashLen returns the number of items currently in the stash.
+func (t *Table) StashLen() int { return len(t.stash) }
+
+// Lookup returns the value stored under key.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	for i := 0; i < t.d; i++ {
+		b := t.buckets[t.bucketOf(key, i)]
+		for _, e := range b {
+			if e.key == key {
+				return e.val, true
+			}
+		}
+	}
+	for _, e := range t.stash {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores value under key, replacing any previous value. It
+// returns the number of displacements this insertion caused, and
+// ErrTableFull if the item could not be placed.
+func (t *Table) Insert(key, value uint64) (int, error) {
+	// Update in place if present.
+	for i := 0; i < t.d; i++ {
+		b := t.buckets[t.bucketOf(key, i)]
+		for j := range b {
+			if b[j].key == key {
+				b[j].val = value
+				return 0, nil
+			}
+		}
+	}
+	for j := range t.stash {
+		if t.stash[j].key == key {
+			t.stash[j].val = value
+			return 0, nil
+		}
+	}
+
+	// Fast path: any candidate bucket with a free slot.
+	cur := entry{key: key, val: value}
+	for i := 0; i < t.d; i++ {
+		bi := t.bucketOf(key, i)
+		if len(t.buckets[bi]) < t.bucketSize {
+			t.buckets[bi] = append(t.buckets[bi], cur)
+			t.len++
+			return 0, nil
+		}
+	}
+
+	// Random walk: evict a random entry from a random candidate bucket
+	// and re-place the evicted item, up to the displacement budget.
+	kicks := 0
+	for kicks < t.maxKicks {
+		bi := t.bucketOf(cur.key, t.r.Intn(t.d))
+		b := t.buckets[bi]
+		slot := t.r.Intn(len(b))
+		cur, b[slot] = b[slot], cur
+		kicks++
+		t.Displacements++
+
+		// Try the evicted item's candidates.
+		placed := false
+		for i := 0; i < t.d; i++ {
+			ci := t.bucketOf(cur.key, i)
+			if len(t.buckets[ci]) < t.bucketSize {
+				t.buckets[ci] = append(t.buckets[ci], cur)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			t.len++
+			return kicks, nil
+		}
+	}
+
+	// Walk exhausted: stash the wanderer.
+	if len(t.stash) < t.stashCap {
+		t.stash = append(t.stash, cur)
+		t.len++
+		return kicks, nil
+	}
+	// Restore is impossible without unwinding the walk; report failure.
+	// The wanderer `cur` is an evicted item, so the net effect is that
+	// the original key is stored but `cur` is lost unless the caller
+	// aborts. To keep the table consistent we put the wanderer back by
+	// force-growing its first bucket; callers treating ErrTableFull as
+	// fatal will discard the table anyway, and callers that continue
+	// retain a consistent (if slightly oversized) bucket.
+	bi := t.bucketOf(cur.key, 0)
+	t.buckets[bi] = append(t.buckets[bi], cur)
+	t.len++
+	return kicks, ErrTableFull
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	for i := 0; i < t.d; i++ {
+		bi := t.bucketOf(key, i)
+		b := t.buckets[bi]
+		for j := range b {
+			if b[j].key == key {
+				b[j] = b[len(b)-1]
+				t.buckets[bi] = b[:len(b)-1]
+				t.len--
+				return true
+			}
+		}
+	}
+	for j := range t.stash {
+		if t.stash[j].key == key {
+			t.stash[j] = t.stash[len(t.stash)-1]
+			t.stash = t.stash[:len(t.stash)-1]
+			t.len--
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural invariants (bucket sizes, item count,
+// no duplicate keys) and returns a descriptive error on violation.
+func (t *Table) Validate() error {
+	seen := make(map[uint64]bool, t.len)
+	count := 0
+	for bi, b := range t.buckets {
+		if len(b) > t.bucketSize+1 { // +1 for the ErrTableFull force-grow
+			return fmt.Errorf("bucket %d oversize: %d > %d", bi, len(b), t.bucketSize)
+		}
+		for _, e := range b {
+			if seen[e.key] {
+				return fmt.Errorf("duplicate key %d", e.key)
+			}
+			seen[e.key] = true
+			count++
+		}
+	}
+	for _, e := range t.stash {
+		if seen[e.key] {
+			return fmt.Errorf("duplicate key %d in stash", e.key)
+		}
+		seen[e.key] = true
+		count++
+	}
+	if count != t.len {
+		return fmt.Errorf("len %d but %d items found", t.len, count)
+	}
+	return nil
+}

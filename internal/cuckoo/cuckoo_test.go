@@ -1,0 +1,253 @@
+package cuckoo
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTable(buckets int) *Table {
+	return New(Config{Buckets: buckets, BucketSize: 4, D: 2, Seed: 99})
+}
+
+func TestInsertLookup(t *testing.T) {
+	tab := newTestTable(64)
+	for k := uint64(0); k < 100; k++ {
+		if _, err := tab.Insert(k, k*10); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if tab.Len() != 100 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	for k := uint64(0); k < 100; k++ {
+		v, ok := tab.Lookup(k)
+		if !ok || v != k*10 {
+			t.Fatalf("lookup %d: got (%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := tab.Lookup(1 << 40); ok {
+		t.Fatal("lookup of absent key succeeded")
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	tab := newTestTable(16)
+	tab.Insert(7, 1)
+	tab.Insert(7, 2)
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert", tab.Len())
+	}
+	if v, _ := tab.Lookup(7); v != 2 {
+		t.Fatalf("value not updated: %d", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := newTestTable(16)
+	tab.Insert(1, 10)
+	tab.Insert(2, 20)
+	if !tab.Delete(1) {
+		t.Fatal("delete of present key failed")
+	}
+	if tab.Delete(1) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := tab.Lookup(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := tab.Lookup(2); !ok || v != 20 {
+		t.Fatal("unrelated key damaged by delete")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighLoadFactor(t *testing.T) {
+	// d=2, k=4 cuckoo tables sustain >90% load factor. Fill to 93%.
+	buckets := 1024
+	tab := New(Config{Buckets: buckets, BucketSize: 4, D: 2, Seed: 5})
+	target := int(float64(buckets*4) * 0.93)
+	for k := 0; k < target; k++ {
+		if _, err := tab.Insert(uint64(k)+1, uint64(k)); err != nil {
+			t.Fatalf("insert %d of %d failed: %v (load %.2f)",
+				k, target, err, tab.LoadFactor())
+		}
+	}
+	if lf := tab.LoadFactor(); lf < 0.92 {
+		t.Fatalf("load factor %.3f below target", lf)
+	}
+	for k := 0; k < target; k++ {
+		if v, ok := tab.Lookup(uint64(k) + 1); !ok || v != uint64(k) {
+			t.Fatalf("post-fill lookup %d failed", k)
+		}
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisplacementsGrowWithLoad(t *testing.T) {
+	buckets := 512
+	tab := New(Config{Buckets: buckets, BucketSize: 4, D: 2, Seed: 6})
+	half := buckets * 2 // 50% load
+	for k := 0; k < half; k++ {
+		tab.Insert(uint64(k)+1, 0)
+	}
+	atHalf := tab.Displacements
+	for k := half; k < int(float64(buckets*4)*0.9); k++ {
+		tab.Insert(uint64(k)+1, 0)
+	}
+	if tab.Displacements <= atHalf {
+		t.Fatalf("displacements did not grow: %d then %d", atHalf, tab.Displacements)
+	}
+}
+
+func TestTableFullEventually(t *testing.T) {
+	// A tiny table with a tiny stash must eventually report full while
+	// staying consistent.
+	tab := New(Config{Buckets: 4, BucketSize: 1, D: 2, MaxKicks: 16, StashCap: 1, Seed: 7})
+	sawFull := false
+	for k := uint64(1); k <= 64; k++ {
+		if _, err := tab.Insert(k, k); err != nil {
+			if !errors.Is(err, ErrTableFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("table with capacity 4+1 never reported full after 64 inserts")
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStashUsed(t *testing.T) {
+	tab := New(Config{Buckets: 4, BucketSize: 1, D: 2, MaxKicks: 4, StashCap: 4, Seed: 8})
+	for k := uint64(1); k <= 6; k++ {
+		if _, err := tab.Insert(k, k); err != nil {
+			break
+		}
+	}
+	// With 4 slots and up to 4 stash entries, at least one of six
+	// inserted keys typically lands in the stash; whatever happened,
+	// every stored key must remain findable.
+	found := 0
+	for k := uint64(1); k <= 6; k++ {
+		if _, ok := tab.Lookup(k); ok {
+			found++
+		}
+	}
+	if found != tab.Len() {
+		t.Fatalf("lookup found %d keys, Len reports %d", found, tab.Len())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tab := New(Config{Buckets: 256, BucketSize: 4, D: 3, Seed: 9})
+		inserted := map[uint64]uint64{}
+		for i, k := range keys {
+			if len(inserted) > 700 {
+				break
+			}
+			if _, err := tab.Insert(k, uint64(i)); err != nil {
+				return false
+			}
+			inserted[k] = uint64(i)
+		}
+		if tab.Len() != len(inserted) {
+			return false
+		}
+		for k, v := range inserted {
+			got, ok := tab.Lookup(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return tab.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	tab := newTestTable(64)
+	for k := uint64(0); k < 200; k += 2 {
+		tab.Insert(k, k)
+	}
+	for k := uint64(0); k < 200; k += 4 {
+		tab.Delete(k)
+	}
+	for k := uint64(0); k < 200; k += 4 {
+		if _, err := tab.Insert(k, k+1); err != nil {
+			t.Fatalf("reinsert %d: %v", k, err)
+		}
+	}
+	for k := uint64(0); k < 200; k += 2 {
+		want := k
+		if k%4 == 0 {
+			want = k + 1
+		}
+		if v, ok := tab.Lookup(k); !ok || v != want {
+			t.Fatalf("key %d: got (%d,%v) want %d", k, v, ok, want)
+		}
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no buckets":  {Buckets: 0, BucketSize: 1, D: 2},
+		"no slots":    {Buckets: 1, BucketSize: 0, D: 2},
+		"d too small": {Buckets: 1, BucketSize: 1, D: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func BenchmarkInsert90PercentLoad(b *testing.B) {
+	buckets := 4096
+	tab := New(Config{Buckets: buckets, BucketSize: 4, D: 2, Seed: 1})
+	target := int(float64(buckets*4) * 0.9)
+	for k := 0; k < target; k++ {
+		tab.Insert(uint64(k)+1, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(target + i + 1)
+		tab.Insert(k, 0)
+		tab.Delete(k)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tab := New(Config{Buckets: 4096, BucketSize: 4, D: 2, Seed: 1})
+	for k := uint64(1); k <= 8192; k++ {
+		tab.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(uint64(i%8192) + 1)
+	}
+}

@@ -1,0 +1,64 @@
+package cuckoo
+
+import "testing"
+
+// FuzzTableAgainstMap drives a small cuckoo table with an arbitrary
+// operation tape and cross-checks every observable against a plain map
+// model. Tape semantics per byte pair (op, key): op%3 selects
+// insert/delete/lookup; keys are 1..16 so collisions are frequent.
+func FuzzTableAgainstMap(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 2, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tab := New(Config{Buckets: 8, BucketSize: 2, D: 2, MaxKicks: 32,
+			StashCap: 4, Seed: 99})
+		model := map[uint64]uint64{}
+		full := false
+		for i := 0; i+1 < len(tape); i += 2 {
+			op := tape[i] % 3
+			key := uint64(tape[i+1]%16) + 1
+			switch op {
+			case 0:
+				val := uint64(i)
+				if _, err := tab.Insert(key, val); err != nil {
+					// Once full, stop mutating; consistency must
+					// still hold below.
+					full = true
+				}
+				model[key] = val
+				if full {
+					// The failed insert force-stored the wanderer, so
+					// the model stays in sync; but stop inserting.
+					i = len(tape)
+				}
+			case 1:
+				got := tab.Delete(key)
+				_, want := model[key]
+				if got != want {
+					t.Fatalf("Delete(%d) = %v, model says %v", key, got, want)
+				}
+				delete(model, key)
+			case 2:
+				got, ok := tab.Lookup(key)
+				want, wantOK := model[key]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("Lookup(%d) = (%d,%v), model (%d,%v)",
+						key, got, ok, want, wantOK)
+				}
+			}
+		}
+		if tab.Len() != len(model) {
+			t.Fatalf("Len %d, model %d", tab.Len(), len(model))
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for key, want := range model {
+			got, ok := tab.Lookup(key)
+			if !ok || got != want {
+				t.Fatalf("final Lookup(%d) = (%d,%v) want %d", key, got, ok, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package dynamic implements a time-stepped dynamic load-balancing
+// simulation in the spirit of Lüling and Monien [13], the dynamic
+// reallocation baseline the paper cites: tasks arrive and depart over
+// time, and bins (processors) periodically balance with random
+// partners. The paper's protocols handle the arrival side without any
+// reallocation; this package exists to quantify the steady-state
+// smoothness that pairwise migration buys in the fully dynamic
+// setting, completing the related-work inventory.
+//
+// Model, per time step:
+//
+//  1. Arrivals: Poisson(ArrivalRate·n) new tasks are placed by the
+//     configured arrival rule (single random bin, greedy[2], or the
+//     adaptive acceptance rule against the current average).
+//  2. Departures: every task currently in the system departs
+//     independently with probability DepartureProb (so the steady
+//     state holds ≈ ArrivalRate·n/DepartureProb tasks).
+//  3. Balancing: each bin, with probability BalanceProb, contacts one
+//     uniformly random partner; if their loads differ by more than
+//     one, tasks migrate from the heavier to the lighter until the
+//     difference is at most one. Every migrated task counts as one
+//     reallocation.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Arrival selects the placement rule for new tasks.
+type Arrival int
+
+const (
+	// ArriveSingle places each arrival into a uniform random bin.
+	ArriveSingle Arrival = iota
+	// ArriveGreedy2 places each arrival into the lesser loaded of two
+	// uniform bins.
+	ArriveGreedy2
+	// ArriveAdaptive resamples until a bin is below (current total)/n
+	// + 1 — the paper's acceptance rule transplanted to the dynamic
+	// setting (the "ball count" is the live task count).
+	ArriveAdaptive
+)
+
+// String returns the rule's name.
+func (a Arrival) String() string {
+	switch a {
+	case ArriveSingle:
+		return "single"
+	case ArriveGreedy2:
+		return "greedy2"
+	case ArriveAdaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("arrival(%d)", int(a))
+	}
+}
+
+// Config parameterizes a dynamic simulation.
+type Config struct {
+	N             int     // bins; required > 0
+	Steps         int     // time steps; required > 0
+	ArrivalRate   float64 // mean arrivals per bin per step; required > 0
+	DepartureProb float64 // per-task departure probability; required in (0, 1]
+	BalanceProb   float64 // per-bin balancing probability; in [0, 1]
+	Arrival       Arrival
+	Seed          uint64
+	WarmupSteps   int // steps before statistics are collected (default Steps/4)
+}
+
+// Result holds steady-state statistics (collected after warm-up).
+type Result struct {
+	// MeanTasks is the time-averaged number of live tasks.
+	MeanTasks float64
+	// MeanGap and MaxGap summarize max−min load over sampled steps.
+	MeanGap float64
+	MaxGap  int
+	// MeanPsi is the time-averaged quadratic potential.
+	MeanPsi float64
+	// Migrations counts reallocated tasks (the balancing cost).
+	Migrations int64
+	// ArrivalSamples counts bin probes spent placing arrivals.
+	ArrivalSamples int64
+	// Arrivals and Departures count total task movements.
+	Arrivals, Departures int64
+}
+
+// Run executes the simulation and returns steady-state statistics.
+// It panics on invalid configuration.
+func Run(cfg Config) Result {
+	switch {
+	case cfg.N <= 0:
+		panic("dynamic: Config.N must be positive")
+	case cfg.Steps <= 0:
+		panic("dynamic: Config.Steps must be positive")
+	case cfg.ArrivalRate <= 0 || math.IsNaN(cfg.ArrivalRate):
+		panic("dynamic: Config.ArrivalRate must be positive")
+	case cfg.DepartureProb <= 0 || cfg.DepartureProb > 1 || math.IsNaN(cfg.DepartureProb):
+		panic("dynamic: Config.DepartureProb must be in (0,1]")
+	case cfg.BalanceProb < 0 || cfg.BalanceProb > 1 || math.IsNaN(cfg.BalanceProb):
+		panic("dynamic: Config.BalanceProb must be in [0,1]")
+	}
+	warmup := cfg.WarmupSteps
+	if warmup == 0 {
+		warmup = cfg.Steps / 4
+	}
+	if warmup >= cfg.Steps {
+		panic("dynamic: warm-up consumes every step")
+	}
+
+	r := rng.New(cfg.Seed)
+	v := loadvec.New(cfg.N)
+	var res Result
+	samples := 0
+
+	for step := 0; step < cfg.Steps; step++ {
+		// 1. Arrivals.
+		arrivals := r.Poisson(cfg.ArrivalRate * float64(cfg.N))
+		for a := int64(0); a < arrivals; a++ {
+			res.ArrivalSamples += place(v, r, cfg.Arrival)
+		}
+		res.Arrivals += arrivals
+
+		// 2. Departures: per-bin binomial thinning is equivalent to
+		// independent per-task departures and costs O(n) per step.
+		for bin := 0; bin < cfg.N; bin++ {
+			leaving := r.Binomial(int64(v.Load(bin)), cfg.DepartureProb)
+			for d := int64(0); d < leaving; d++ {
+				v.Decrement(bin)
+			}
+			res.Departures += leaving
+		}
+
+		// 3. Pairwise balancing.
+		if cfg.BalanceProb > 0 {
+			for bin := 0; bin < cfg.N; bin++ {
+				if !r.Bernoulli(cfg.BalanceProb) {
+					continue
+				}
+				partner := r.Intn(cfg.N)
+				if partner == bin {
+					continue
+				}
+				res.Migrations += balancePair(v, bin, partner)
+			}
+		}
+
+		if step >= warmup {
+			samples++
+			res.MeanTasks += float64(v.Balls())
+			gap := v.Gap()
+			res.MeanGap += float64(gap)
+			if gap > res.MaxGap {
+				res.MaxGap = gap
+			}
+			res.MeanPsi += v.QuadraticPotential()
+		}
+	}
+	if samples > 0 {
+		res.MeanTasks /= float64(samples)
+		res.MeanGap /= float64(samples)
+		res.MeanPsi /= float64(samples)
+	}
+	return res
+}
+
+// place inserts one task by the chosen rule and returns probes used.
+func place(v *loadvec.Vector, r *rng.Rand, rule Arrival) int64 {
+	n := v.N()
+	switch rule {
+	case ArriveGreedy2:
+		a, b := r.Intn(n), r.Intn(n)
+		if v.Load(b) < v.Load(a) {
+			a = b
+		}
+		v.Increment(a)
+		return 2
+	case ArriveAdaptive:
+		var probes int64
+		// Accept below ceil(avg)+1; some bin is always at or below the
+		// average, so this terminates.
+		for {
+			j := r.Intn(n)
+			probes++
+			if int64(v.Load(j)-1)*int64(n) < v.Balls() {
+				v.Increment(j)
+				return probes
+			}
+		}
+	default:
+		v.Increment(r.Intn(n))
+		return 1
+	}
+}
+
+// balancePair equalizes two bins to within one task, moving tasks from
+// the heavier to the lighter, and returns the number of migrations.
+func balancePair(v *loadvec.Vector, a, b int) int64 {
+	var moved int64
+	for v.Load(a) > v.Load(b)+1 {
+		v.Decrement(a)
+		v.Increment(b)
+		moved++
+	}
+	for v.Load(b) > v.Load(a)+1 {
+		v.Decrement(b)
+		v.Increment(a)
+		moved++
+	}
+	return moved
+}

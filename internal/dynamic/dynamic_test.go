@@ -1,0 +1,155 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:             256,
+		Steps:         400,
+		ArrivalRate:   2,
+		DepartureProb: 0.25,
+		BalanceProb:   0,
+		Arrival:       ArriveSingle,
+		Seed:          1,
+	}
+}
+
+func TestSteadyStateTaskCount(t *testing.T) {
+	// Birth-death equilibrium: statistics are sampled after the
+	// departure phase, and arrivals of a step are exposed to that
+	// step's departures, so T = (T + λn)(1−p) at the fixed point,
+	// i.e. λ(1−p)/p = 6 tasks per bin.
+	cfg := baseConfig()
+	res := Run(cfg)
+	p := cfg.DepartureProb
+	wantPerBin := cfg.ArrivalRate * (1 - p) / p
+	gotPerBin := res.MeanTasks / float64(cfg.N)
+	if math.Abs(gotPerBin-wantPerBin) > 0.15*wantPerBin {
+		t.Fatalf("steady-state %.2f tasks/bin, want ~%.2f", gotPerBin, wantPerBin)
+	}
+	if res.Arrivals == 0 || res.Departures == 0 {
+		t.Fatal("no movement recorded")
+	}
+}
+
+func TestBalancingSmooths(t *testing.T) {
+	// Pairwise balancing must reduce both the mean gap and Psi versus
+	// no balancing, at the cost of migrations.
+	cfg := baseConfig()
+	noBalance := Run(cfg)
+	cfg.BalanceProb = 0.5
+	balanced := Run(cfg)
+	if balanced.MeanGap >= noBalance.MeanGap {
+		t.Fatalf("balancing did not reduce gap: %.2f vs %.2f",
+			balanced.MeanGap, noBalance.MeanGap)
+	}
+	if balanced.MeanPsi >= noBalance.MeanPsi {
+		t.Fatalf("balancing did not reduce Psi: %.1f vs %.1f",
+			balanced.MeanPsi, noBalance.MeanPsi)
+	}
+	if balanced.Migrations == 0 {
+		t.Fatal("balancing reported no migrations")
+	}
+	if noBalance.Migrations != 0 {
+		t.Fatal("migrations counted without balancing")
+	}
+}
+
+func TestAdaptiveArrivalsBeatSingleWithoutMigrations(t *testing.T) {
+	// The paper's acceptance rule, used only at arrival time, keeps
+	// the dynamic system smoother than single-choice arrivals with no
+	// reallocation at all.
+	cfg := baseConfig()
+	single := Run(cfg)
+	cfg.Arrival = ArriveAdaptive
+	adaptive := Run(cfg)
+	if adaptive.MeanGap >= single.MeanGap {
+		t.Fatalf("adaptive arrivals gap %.2f not below single %.2f",
+			adaptive.MeanGap, single.MeanGap)
+	}
+	if adaptive.Migrations != 0 {
+		t.Fatal("adaptive arrivals should not migrate tasks")
+	}
+	// And greedy2 sits between single and adaptive in probe cost.
+	cfg.Arrival = ArriveGreedy2
+	greedy := Run(cfg)
+	if greedy.MeanGap >= single.MeanGap {
+		t.Fatalf("greedy2 arrivals gap %.2f not below single %.2f",
+			greedy.MeanGap, single.MeanGap)
+	}
+}
+
+func TestAdaptiveArrivalProbesBounded(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Arrival = ArriveAdaptive
+	res := Run(cfg)
+	probesPerArrival := float64(res.ArrivalSamples) / float64(res.Arrivals)
+	if probesPerArrival > 4 {
+		t.Fatalf("adaptive arrivals used %.2f probes each", probesPerArrival)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	cfg.BalanceProb = 0.3
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Fatal("same config+seed produced different results")
+	}
+	cfg.Seed = 2
+	c := Run(cfg)
+	if a == c {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestArrivalString(t *testing.T) {
+	if ArriveSingle.String() != "single" || ArriveGreedy2.String() != "greedy2" ||
+		ArriveAdaptive.String() != "adaptive" {
+		t.Fatal("arrival names wrong")
+	}
+	if Arrival(99).String() == "" {
+		t.Fatal("unknown arrival should still render")
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	base := baseConfig()
+	mutate := func(f func(*Config)) Config {
+		c := base
+		f(&c)
+		return c
+	}
+	cases := map[string]Config{
+		"n=0":        mutate(func(c *Config) { c.N = 0 }),
+		"steps=0":    mutate(func(c *Config) { c.Steps = 0 }),
+		"rate<=0":    mutate(func(c *Config) { c.ArrivalRate = 0 }),
+		"depart=0":   mutate(func(c *Config) { c.DepartureProb = 0 }),
+		"depart>1":   mutate(func(c *Config) { c.DepartureProb = 1.5 }),
+		"balance<0":  mutate(func(c *Config) { c.BalanceProb = -0.1 }),
+		"warmup>all": mutate(func(c *Config) { c.WarmupSteps = c.Steps }),
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func BenchmarkDynamicStep(b *testing.B) {
+	cfg := baseConfig()
+	cfg.Steps = b.N + 2
+	cfg.WarmupSteps = 1
+	cfg.BalanceProb = 0.25
+	b.ResetTimer()
+	Run(cfg)
+}

@@ -1,0 +1,39 @@
+package loadvec
+
+import "testing"
+
+// FuzzVectorOps drives a Vector with an arbitrary operation tape and
+// checks every maintained invariant against recomputation. Byte
+// semantics: low 6 bits select the bin (mod n), top bit selects
+// increment vs decrement (decrements of empty bins are skipped).
+func FuzzVectorOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0x80})
+	f.Add([]byte{0, 0, 0, 0x80, 0x80})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		const n = 17
+		v := New(n)
+		for _, op := range tape {
+			bin := int(op&0x3F) % n
+			if op&0x80 != 0 {
+				if v.Load(bin) > 0 {
+					v.Decrement(bin)
+				}
+				continue
+			}
+			v.Increment(bin)
+		}
+		if err := v.Validate(); err != nil {
+			t.Fatalf("invariants broken after %d ops: %v", len(tape), err)
+		}
+		// The clone must be equal and independent.
+		c := v.Clone()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("clone invalid: %v", err)
+		}
+		c.Increment(0)
+		if c.Balls() != v.Balls()+1 {
+			t.Fatal("clone not independent")
+		}
+	})
+}

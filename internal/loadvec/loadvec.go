@@ -1,0 +1,250 @@
+// Package loadvec implements the load-vector state shared by every
+// allocation protocol, together with the paper's two potential
+// functions (Section 2):
+//
+//	Ψ(ℓᵗ) = Σᵢ (ℓᵢ − t/n)²            (quadratic potential)
+//	Φ(ℓᵗ) = Σᵢ (1+ε)^{t/n + 2 − ℓᵢ}   (exponential potential, ε = 1/200)
+//
+// The representation keeps, besides the per-bin loads, a level-count
+// histogram (how many bins hold exactly ℓ balls), the exact sum of
+// squared loads, and the current minimum and maximum. This makes
+// Increment O(1) amortized, Ψ exact in O(1) via Σℓ² − t²/n, and Φ an
+// O(#levels) evaluation in the shifted domain t/n − ℓ (which stays
+// bounded, avoiding under/overflow even for very long runs).
+package loadvec
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultEpsilon is the ε = 1/200 the paper fixes for the exponential
+// potential function.
+const DefaultEpsilon = 1.0 / 200
+
+// Vector tracks the loads of n bins as balls are placed one at a time.
+// Construct with New; the zero value is not usable.
+type Vector struct {
+	loads  []int32 // loads[i] = balls in bin i
+	levels []int64 // levels[ℓ] = number of bins with load exactly ℓ
+	balls  int64   // total balls placed (t)
+	sumSq  int64   // Σ loads[i]²
+	min    int32   // current minimum load
+	max    int32   // current maximum load
+}
+
+// New returns a Vector for n empty bins. It panics if n <= 0.
+func New(n int) *Vector {
+	if n <= 0 {
+		panic("loadvec: New with n <= 0")
+	}
+	v := &Vector{
+		loads:  make([]int32, n),
+		levels: make([]int64, 1, 16),
+	}
+	v.levels[0] = int64(n)
+	return v
+}
+
+// N returns the number of bins.
+func (v *Vector) N() int { return len(v.loads) }
+
+// Balls returns the number of balls placed so far (the paper's t).
+func (v *Vector) Balls() int64 { return v.balls }
+
+// Load returns the load of bin i.
+func (v *Vector) Load(i int) int { return int(v.loads[i]) }
+
+// MaxLoad returns the current maximum load.
+func (v *Vector) MaxLoad() int { return int(v.max) }
+
+// MinLoad returns the current minimum load.
+func (v *Vector) MinLoad() int { return int(v.min) }
+
+// Gap returns MaxLoad − MinLoad, the smoothness measure of
+// Corollary 3.5 and Lemma 4.2.
+func (v *Vector) Gap() int { return int(v.max - v.min) }
+
+// LevelCount returns how many bins currently hold exactly load ℓ.
+func (v *Vector) LevelCount(l int) int64 {
+	if l < 0 || l >= len(v.levels) {
+		return 0
+	}
+	return v.levels[l]
+}
+
+// Increment places one ball into bin i.
+func (v *Vector) Increment(i int) {
+	l := v.loads[i]
+	v.loads[i] = l + 1
+	v.balls++
+	v.sumSq += int64(2*l) + 1
+
+	v.levels[l]--
+	if int(l+1) >= len(v.levels) {
+		v.levels = append(v.levels, 0)
+	}
+	v.levels[l+1]++
+
+	if l+1 > v.max {
+		v.max = l + 1
+	}
+	if l == v.min && v.levels[l] == 0 {
+		// The last bin at the minimum level moved up.
+		m := v.min
+		for v.levels[m] == 0 {
+			m++
+		}
+		v.min = m
+	}
+}
+
+// Decrement removes one ball from bin i (used by reallocation
+// protocols). It panics if bin i is empty.
+func (v *Vector) Decrement(i int) {
+	l := v.loads[i]
+	if l == 0 {
+		panic(fmt.Sprintf("loadvec: Decrement of empty bin %d", i))
+	}
+	v.loads[i] = l - 1
+	v.balls--
+	v.sumSq -= int64(2*l) - 1
+
+	v.levels[l]--
+	v.levels[l-1]++
+
+	if l-1 < v.min {
+		v.min = l - 1
+	}
+	if l == v.max && v.levels[l] == 0 {
+		m := v.max
+		for m > 0 && v.levels[m] == 0 {
+			m--
+		}
+		v.max = m
+	}
+}
+
+// SumSquares returns Σ loads[i]², exact in integer arithmetic.
+func (v *Vector) SumSquares() int64 { return v.sumSq }
+
+// QuadraticPotential returns Ψ(ℓᵗ) = Σᵢ (ℓᵢ − t/n)², evaluated exactly
+// as Σℓ² − t²/n (the cross terms cancel because Σℓᵢ = t).
+func (v *Vector) QuadraticPotential() float64 {
+	t := float64(v.balls)
+	return float64(v.sumSq) - t*t/float64(len(v.loads))
+}
+
+// ExponentialPotential returns Φ(ℓᵗ) = Σᵢ (1+ε)^{t/n + 2 − ℓᵢ} with the
+// given ε (pass DefaultEpsilon for the paper's choice). The sum runs
+// over occupied load levels only, so the cost is O(max − min + 1).
+func (v *Vector) ExponentialPotential(eps float64) float64 {
+	if eps <= 0 {
+		panic("loadvec: ExponentialPotential with eps <= 0")
+	}
+	avg := float64(v.balls) / float64(len(v.loads))
+	log1pe := math.Log1p(eps)
+	var sum float64
+	for l := int(v.min); l <= int(v.max); l++ {
+		c := v.levels[l]
+		if c == 0 {
+			continue
+		}
+		sum += float64(c) * math.Exp((avg+2-float64(l))*log1pe)
+	}
+	return sum
+}
+
+// Holes returns Σᵢ max(0, capacity − ℓᵢ): the total number of "holes"
+// relative to a per-bin capacity, the quantity the proof of Theorem 4.1
+// tracks (there capacity = ϕ+1). Bins at or above capacity contribute
+// nothing.
+func (v *Vector) Holes(capacity int) int64 {
+	var holes int64
+	for l := int(v.min); l < capacity && l < len(v.levels); l++ {
+		holes += v.levels[l] * int64(capacity-l)
+	}
+	return holes
+}
+
+// CountBelow returns the number of bins with load strictly less than x.
+func (v *Vector) CountBelow(x int) int64 {
+	var c int64
+	for l := int(v.min); l < x && l < len(v.levels); l++ {
+		c += v.levels[l]
+	}
+	return c
+}
+
+// Loads returns a copy of the per-bin loads.
+func (v *Vector) Loads() []int {
+	out := make([]int, len(v.loads))
+	for i, l := range v.loads {
+		out[i] = int(l)
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	out := &Vector{
+		loads:  append([]int32(nil), v.loads...),
+		levels: append([]int64(nil), v.levels...),
+		balls:  v.balls,
+		sumSq:  v.sumSq,
+		min:    v.min,
+		max:    v.max,
+	}
+	return out
+}
+
+// Validate checks every internal invariant (level counts, sum of
+// squares, min/max, ball count) against a recomputation from the raw
+// loads, returning a descriptive error on the first mismatch. It is
+// O(n) and intended for tests and debug builds.
+func (v *Vector) Validate() error {
+	var balls, sumSq int64
+	levels := make([]int64, len(v.levels))
+	min, max := int32(math.MaxInt32), int32(0)
+	for i, l := range v.loads {
+		if l < 0 {
+			return fmt.Errorf("bin %d has negative load %d", i, l)
+		}
+		balls += int64(l)
+		sumSq += int64(l) * int64(l)
+		if int(l) >= len(levels) {
+			return fmt.Errorf("bin %d load %d beyond level table (%d)", i, l, len(levels))
+		}
+		levels[l]++
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if balls != v.balls {
+		return fmt.Errorf("balls: have %d want %d", v.balls, balls)
+	}
+	if sumSq != v.sumSq {
+		return fmt.Errorf("sumSq: have %d want %d", v.sumSq, sumSq)
+	}
+	if v.min != min {
+		return fmt.Errorf("min: have %d want %d", v.min, min)
+	}
+	if v.max != max {
+		return fmt.Errorf("max: have %d want %d", v.max, max)
+	}
+	for l, c := range levels {
+		if v.levels[l] != c {
+			return fmt.Errorf("level %d: have %d want %d", l, v.levels[l], c)
+		}
+	}
+	return nil
+}
+
+// String returns a compact human-readable description.
+func (v *Vector) String() string {
+	return fmt.Sprintf("loadvec{n=%d t=%d min=%d max=%d psi=%.1f}",
+		len(v.loads), v.balls, v.min, v.max, v.QuadraticPotential())
+}

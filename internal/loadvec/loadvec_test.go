@@ -1,0 +1,309 @@
+package loadvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewEmpty(t *testing.T) {
+	v := New(5)
+	if v.N() != 5 || v.Balls() != 0 {
+		t.Fatalf("fresh vector wrong: %v", v)
+	}
+	if v.MaxLoad() != 0 || v.MinLoad() != 0 || v.Gap() != 0 {
+		t.Fatal("fresh vector loads not zero")
+	}
+	if v.LevelCount(0) != 5 {
+		t.Fatalf("level 0 count = %d", v.LevelCount(0))
+	}
+	if v.QuadraticPotential() != 0 {
+		t.Fatal("fresh Psi != 0")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestIncrementBasics(t *testing.T) {
+	v := New(3)
+	v.Increment(0)
+	v.Increment(0)
+	v.Increment(1)
+	if v.Load(0) != 2 || v.Load(1) != 1 || v.Load(2) != 0 {
+		t.Fatalf("loads = %v", v.Loads())
+	}
+	if v.Balls() != 3 {
+		t.Fatalf("balls = %d", v.Balls())
+	}
+	if v.MaxLoad() != 2 || v.MinLoad() != 0 || v.Gap() != 2 {
+		t.Fatalf("max/min/gap = %d/%d/%d", v.MaxLoad(), v.MinLoad(), v.Gap())
+	}
+	if v.SumSquares() != 5 {
+		t.Fatalf("sumSq = %d", v.SumSquares())
+	}
+	// Psi = 4 + 1 + 0 - 9/3 = 2.
+	if !almost(v.QuadraticPotential(), 2, 1e-12) {
+		t.Fatalf("Psi = %v", v.QuadraticPotential())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMinTracksUp(t *testing.T) {
+	v := New(2)
+	v.Increment(0)
+	if v.MinLoad() != 0 {
+		t.Fatal("min should still be 0")
+	}
+	v.Increment(1)
+	if v.MinLoad() != 1 {
+		t.Fatal("min should rise to 1 once all bins reach 1")
+	}
+}
+
+func TestDecrement(t *testing.T) {
+	v := New(3)
+	v.Increment(0)
+	v.Increment(0)
+	v.Increment(1)
+	v.Decrement(0)
+	if v.Load(0) != 1 || v.Balls() != 2 {
+		t.Fatalf("after decrement: loads %v balls %d", v.Loads(), v.Balls())
+	}
+	if v.MaxLoad() != 1 {
+		t.Fatalf("max should drop to 1, got %d", v.MaxLoad())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecrementPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decrement of empty bin did not panic")
+		}
+	}()
+	New(2).Decrement(0)
+}
+
+func TestPotentialAgainstBruteForce(t *testing.T) {
+	// Property: after any random sequence of increments/decrements the
+	// maintained Psi, Phi, min, max agree with brute-force recomputes.
+	f := func(seed uint64, opsRaw uint16) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%17)
+		v := New(n)
+		ops := int(opsRaw % 2000)
+		for i := 0; i < ops; i++ {
+			if v.Balls() > 0 && r.Intn(10) == 0 {
+				// Occasionally remove from a non-empty bin.
+				for {
+					j := r.Intn(n)
+					if v.Load(j) > 0 {
+						v.Decrement(j)
+						break
+					}
+				}
+			} else {
+				v.Increment(r.Intn(n))
+			}
+		}
+		if err := v.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		// Brute-force Psi.
+		tb := float64(v.Balls())
+		avg := tb / float64(n)
+		var psi, phi float64
+		for i := 0; i < n; i++ {
+			d := float64(v.Load(i)) - avg
+			psi += d * d
+			phi += math.Pow(1+DefaultEpsilon, avg+2-float64(v.Load(i)))
+		}
+		if !almost(psi, v.QuadraticPotential(), 1e-6*(1+psi)) {
+			t.Logf("psi: brute %v maintained %v", psi, v.QuadraticPotential())
+			return false
+		}
+		if !almost(phi, v.ExponentialPotential(DefaultEpsilon), 1e-6*(1+phi)) {
+			t.Logf("phi: brute %v maintained %v", phi, v.ExponentialPotential(DefaultEpsilon))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialPotentialUniform(t *testing.T) {
+	// Perfectly balanced load ℓ = t/n gives Phi = n·(1+eps)².
+	v := New(10)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			v.Increment(i)
+		}
+	}
+	want := 10 * math.Pow(1+DefaultEpsilon, 2)
+	if got := v.ExponentialPotential(DefaultEpsilon); !almost(got, want, 1e-9) {
+		t.Fatalf("Phi = %v want %v", got, want)
+	}
+}
+
+func TestExponentialPotentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0 did not panic")
+		}
+	}()
+	New(1).ExponentialPotential(0)
+}
+
+func TestPsiOfPointMass(t *testing.T) {
+	// All t balls in one bin of n: Psi = (t - t/n)² + (n-1)(t/n)²
+	n, tb := 4, 8
+	v := New(n)
+	for i := 0; i < tb; i++ {
+		v.Increment(0)
+	}
+	avg := float64(tb) / float64(n)
+	want := (float64(tb)-avg)*(float64(tb)-avg) + float64(n-1)*avg*avg
+	if got := v.QuadraticPotential(); !almost(got, want, 1e-9) {
+		t.Fatalf("Psi = %v want %v", got, want)
+	}
+}
+
+func TestHoles(t *testing.T) {
+	v := New(4)
+	// loads: 0,1,2,3
+	v.Increment(1)
+	v.Increment(2)
+	v.Increment(2)
+	for i := 0; i < 3; i++ {
+		v.Increment(3)
+	}
+	// capacity 3: holes = 3 + 2 + 1 + 0 = 6
+	if got := v.Holes(3); got != 6 {
+		t.Fatalf("Holes(3) = %d want 6", got)
+	}
+	// capacity 1: holes = 1 (only the empty bin)
+	if got := v.Holes(1); got != 1 {
+		t.Fatalf("Holes(1) = %d want 1", got)
+	}
+	if got := v.Holes(0); got != 0 {
+		t.Fatalf("Holes(0) = %d want 0", got)
+	}
+}
+
+func TestHolesIdentity(t *testing.T) {
+	// Property: Holes(cap) == Σ max(0, cap − ℓᵢ) by brute force.
+	f := func(seed uint64, capRaw uint8) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%9)
+		v := New(n)
+		for i := 0; i < 5*n; i++ {
+			v.Increment(r.Intn(n))
+		}
+		capacity := int(capRaw % 12)
+		var want int64
+		for i := 0; i < n; i++ {
+			if h := capacity - v.Load(i); h > 0 {
+				want += int64(h)
+			}
+		}
+		return v.Holes(capacity) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	v := New(4)
+	v.Increment(0) // loads 1,0,0,0
+	if got := v.CountBelow(1); got != 3 {
+		t.Fatalf("CountBelow(1) = %d", got)
+	}
+	if got := v.CountBelow(2); got != 4 {
+		t.Fatalf("CountBelow(2) = %d", got)
+	}
+	if got := v.CountBelow(0); got != 0 {
+		t.Fatalf("CountBelow(0) = %d", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := New(3)
+	v.Increment(0)
+	v.Increment(1)
+	c := v.Clone()
+	c.Increment(2)
+	if v.Balls() != 2 || c.Balls() != 3 {
+		t.Fatal("clone not independent")
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelCountOutOfRange(t *testing.T) {
+	v := New(2)
+	if v.LevelCount(-1) != 0 || v.LevelCount(99) != 0 {
+		t.Fatal("out-of-range level counts should be 0")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	v := New(2)
+	v.Increment(0)
+	s := v.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkIncrement(b *testing.B) {
+	v := New(1024)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Increment(r.Intn(1024))
+	}
+}
+
+func BenchmarkExponentialPotential(b *testing.B) {
+	v := New(1024)
+	r := rng.New(1)
+	for i := 0; i < 100*1024; i++ {
+		v.Increment(r.Intn(1024))
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += v.ExponentialPotential(DefaultEpsilon)
+	}
+	_ = sink
+}

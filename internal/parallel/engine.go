@@ -1,0 +1,395 @@
+// Package parallel implements a round-synchronous parallel
+// balls-into-bins engine in the model of Adler et al. [1] and
+// Lenzen–Wattenhofer [12], the line of work the paper situates itself
+// in. Goroutines model the communication rounds naturally:
+//
+//   - Every round has three phases: REQUEST (each unplaced ball
+//     contacts k bins), ACCEPT (each contacted bin offers slots to a
+//     random subset of its requesters, bounded by its remaining
+//     capacity), and COMMIT (each ball with at least one offer commits
+//     to one bin; unclaimed offers lapse).
+//   - Ball workers and bin shards run as goroutines with barrier
+//     synchronization between phases; requests, accepts and commits are
+//     the only communication, and every message is counted, giving the
+//     message complexity the literature reports.
+//
+// Determinism is scheduling-independent: all randomness is derived
+// from (seed, round, ball) and (seed, round, bin) coordinates, so the
+// result is bit-identical regardless of how many workers or shards the
+// engine uses. This is verified by tests.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Config describes a parallel allocation instance.
+type Config struct {
+	N int   // number of bins; required > 0
+	M int64 // number of balls; required >= 0
+
+	// Capacity bounds every bin's final load; bins stop issuing offers
+	// once full. Capacity*N must be at least M. Required > 0.
+	Capacity int
+
+	// Schedule returns how many bins each unplaced ball contacts in
+	// the given round (1-based). nil defaults to doubling 1, 2, 4, ...
+	// capped at 32 — the adaptive contact growth of [12].
+	Schedule func(round int) int
+
+	// AcceptPerRound caps how many offers a bin issues per round;
+	// 0 means "up to remaining capacity".
+	AcceptPerRound int
+
+	// FixedChoices, when d > 0, restricts every ball to d candidate
+	// bins fixed up front (the collision-protocol model of [1]); each
+	// round contacts min(Schedule(round), d) of them without
+	// replacement. 0 means fresh uniform bins every round.
+	FixedChoices int
+
+	// MaxRounds aborts the run if balls remain unplaced (safety
+	// bound). 0 defaults to 64.
+	MaxRounds int
+
+	// Workers is the number of ball-worker goroutines; Shards the
+	// number of bin-shard goroutines. 0 defaults to GOMAXPROCS.
+	Workers, Shards int
+
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Result describes a completed parallel run.
+type Result struct {
+	Loads    []int // final per-bin loads
+	MaxLoad  int
+	Rounds   int
+	Messages int64 // requests + offers + commits
+	Placed   int64
+}
+
+// ErrNotConverged is wrapped in the error returned by Run when
+// MaxRounds elapsed with balls still unplaced.
+var ErrNotConverged = errors.New("parallel: balls left unplaced")
+
+type request struct {
+	ball int64
+	bin  int32
+}
+
+// Run executes the round-synchronous protocol described by cfg.
+func Run(cfg Config) (Result, error) {
+	if cfg.N <= 0 {
+		panic("parallel: Config.N must be positive")
+	}
+	if cfg.M < 0 {
+		panic("parallel: Config.M must be non-negative")
+	}
+	if cfg.Capacity <= 0 {
+		panic("parallel: Config.Capacity must be positive")
+	}
+	if int64(cfg.Capacity)*int64(cfg.N) < cfg.M {
+		panic(fmt.Sprintf("parallel: capacity %d×%d cannot hold %d balls",
+			cfg.Capacity, cfg.N, cfg.M))
+	}
+	if cfg.Schedule == nil {
+		cfg.Schedule = DoublingSchedule(32)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+
+	e := &engine{cfg: cfg}
+	return e.run()
+}
+
+type engine struct {
+	cfg Config
+
+	loads    []int32
+	placed   []bool
+	unplaced []int64 // indices of unplaced balls, ascending
+	choices  [][]int32
+
+	messages int64
+}
+
+func (e *engine) run() (Result, error) {
+	cfg := e.cfg
+	e.loads = make([]int32, cfg.N)
+	e.placed = make([]bool, cfg.M)
+	e.unplaced = make([]int64, cfg.M)
+	for i := range e.unplaced {
+		e.unplaced[i] = int64(i)
+	}
+	if cfg.FixedChoices > 0 {
+		e.fixChoices()
+	}
+
+	round := 0
+	for len(e.unplaced) > 0 {
+		round++
+		if round > cfg.MaxRounds {
+			return e.result(round - 1),
+				fmt.Errorf("%w: %d after %d rounds", ErrNotConverged,
+					len(e.unplaced), cfg.MaxRounds)
+		}
+		k := cfg.Schedule(round)
+		if k < 1 {
+			k = 1
+		}
+
+		reqs := e.requestPhase(round, k)
+		offers := e.acceptPhase(round, reqs)
+		e.commitPhase(round, offers)
+	}
+	return e.result(round), nil
+}
+
+func (e *engine) result(rounds int) Result {
+	res := Result{
+		Loads:    make([]int, len(e.loads)),
+		Rounds:   rounds,
+		Messages: e.messages,
+		Placed:   e.cfg.M - int64(len(e.unplaced)),
+	}
+	for i, l := range e.loads {
+		res.Loads[i] = int(l)
+		if int(l) > res.MaxLoad {
+			res.MaxLoad = int(l)
+		}
+	}
+	return res
+}
+
+// fixChoices draws each ball's d fixed candidate bins (distinct).
+func (e *engine) fixChoices() {
+	d := e.cfg.FixedChoices
+	n := uint64(e.cfg.N)
+	e.choices = make([][]int32, e.cfg.M)
+	e.parallelBalls(func(w int, balls []int64) {
+		for _, b := range balls {
+			src := rng.NewSplitMix64(rng.Mix(e.cfg.Seed, 0xF1, uint64(b)))
+			cs := make([]int32, 0, d)
+			for len(cs) < d {
+				c := int32(rng.Uint64nFrom(src, n))
+				dup := false
+				for _, prev := range cs {
+					if prev == c {
+						dup = true
+						break
+					}
+				}
+				if !dup || int(n) < d {
+					cs = append(cs, c)
+				}
+			}
+			e.choices[b] = cs
+		}
+	})
+}
+
+// parallelBalls fans work over the unplaced balls across Workers
+// goroutines. Each worker receives a contiguous slice, preserving
+// per-ball determinism.
+func (e *engine) parallelBalls(f func(worker int, balls []int64)) {
+	w := e.cfg.Workers
+	total := len(e.unplaced)
+	if total == 0 {
+		return
+	}
+	if w > total {
+		w = total
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * total / w
+		hi := (i + 1) * total / w
+		wg.Add(1)
+		go func(worker int, balls []int64) {
+			defer wg.Done()
+			f(worker, balls)
+		}(i, e.unplaced[lo:hi])
+	}
+	wg.Wait()
+}
+
+// requestPhase generates this round's requests, grouped by shard and,
+// within a shard, ordered by (ball, draw order) for determinism.
+func (e *engine) requestPhase(round, k int) [][]request {
+	s := e.cfg.Shards
+	n := uint64(e.cfg.N)
+	perWorker := make([][][]request, e.cfg.Workers)
+	e.parallelBalls(func(worker int, balls []int64) {
+		bufs := make([][]request, s)
+		for _, b := range balls {
+			src := rng.NewSplitMix64(rng.Mix(e.cfg.Seed, 0xA0, uint64(round), uint64(b)))
+			if e.choices != nil {
+				// Contact min(k, d) of the fixed choices, chosen by a
+				// deterministic partial shuffle.
+				cs := e.choices[b]
+				kk := k
+				if kk > len(cs) {
+					kk = len(cs)
+				}
+				perm := make([]int32, len(cs))
+				copy(perm, cs)
+				for i := 0; i < kk; i++ {
+					j := i + int(rng.Uint64nFrom(src, uint64(len(perm)-i)))
+					perm[i], perm[j] = perm[j], perm[i]
+					bin := perm[i]
+					sh := int(bin) * s / e.cfg.N
+					bufs[sh] = append(bufs[sh], request{ball: b, bin: bin})
+				}
+			} else {
+				for i := 0; i < k; i++ {
+					bin := int32(rng.Uint64nFrom(src, n))
+					sh := int(bin) * s / e.cfg.N
+					bufs[sh] = append(bufs[sh], request{ball: b, bin: bin})
+				}
+			}
+		}
+		perWorker[worker] = bufs
+	})
+
+	// Merge per-worker buffers in worker order: deterministic.
+	byShard := make([][]request, s)
+	var total int64
+	for sh := 0; sh < s; sh++ {
+		for w := range perWorker {
+			if perWorker[w] != nil {
+				byShard[sh] = append(byShard[sh], perWorker[w][sh]...)
+			}
+		}
+		total += int64(len(byShard[sh]))
+	}
+	e.messages += total
+	return byShard
+}
+
+// acceptPhase lets every contacted bin offer slots to a random subset
+// of its requesters, bounded by remaining capacity and AcceptPerRound.
+// It returns, per ball, the bins that offered (ordered by bin).
+func (e *engine) acceptPhase(round int, byShard [][]request) map[int64][]int32 {
+	s := e.cfg.Shards
+	results := make([][]request, s) // offers emitted by each shard
+	var wg sync.WaitGroup
+	for sh := 0; sh < s; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			reqs := byShard[sh]
+			if len(reqs) == 0 {
+				return
+			}
+			// Group requesters by bin. Requests arrive in deterministic
+			// order; a stable sort by bin keeps it so.
+			sort.SliceStable(reqs, func(a, b int) bool { return reqs[a].bin < reqs[b].bin })
+			var offers []request
+			i := 0
+			for i < len(reqs) {
+				j := i
+				bin := reqs[i].bin
+				for j < len(reqs) && reqs[j].bin == bin {
+					j++
+				}
+				free := e.cfg.Capacity - int(e.loads[bin])
+				if free > 0 {
+					quota := free
+					if e.cfg.AcceptPerRound > 0 && quota > e.cfg.AcceptPerRound {
+						quota = e.cfg.AcceptPerRound
+					}
+					group := reqs[i:j]
+					if quota >= len(group) {
+						offers = append(offers, group...)
+					} else {
+						// Deterministic partial Fisher–Yates to pick
+						// quota requesters uniformly.
+						src := rng.NewSplitMix64(rng.Mix(e.cfg.Seed, 0xB0,
+							uint64(round), uint64(bin)))
+						for q := 0; q < quota; q++ {
+							pick := q + int(rng.Uint64nFrom(src, uint64(len(group)-q)))
+							group[q], group[pick] = group[pick], group[q]
+							offers = append(offers, group[q])
+						}
+					}
+				}
+				i = j
+			}
+			results[sh] = offers
+		}(sh)
+	}
+	wg.Wait()
+
+	// Scatter offers to balls in shard order: deterministic.
+	offersByBall := make(map[int64][]int32)
+	for sh := 0; sh < s; sh++ {
+		for _, o := range results[sh] {
+			offersByBall[o.ball] = append(offersByBall[o.ball], o.bin)
+			e.messages++
+		}
+	}
+	return offersByBall
+}
+
+// commitPhase lets every ball with offers commit to one of them
+// (uniformly at random), updates loads, and compacts the unplaced set.
+func (e *engine) commitPhase(round int, offersByBall map[int64][]int32) {
+	remaining := e.unplaced[:0]
+	for _, b := range e.unplaced {
+		offers := offersByBall[b]
+		if len(offers) == 0 {
+			remaining = append(remaining, b)
+			continue
+		}
+		pick := offers[0]
+		if len(offers) > 1 {
+			src := rng.NewSplitMix64(rng.Mix(e.cfg.Seed, 0xC0, uint64(round), uint64(b)))
+			pick = offers[rng.Uint64nFrom(src, uint64(len(offers)))]
+		}
+		e.loads[pick]++
+		e.placed[b] = true
+		e.messages++ // the commit message
+	}
+	e.unplaced = remaining
+}
+
+// DoublingSchedule returns the adaptive contact schedule k_r =
+// min(2^{r-1}, cap): 1, 2, 4, ... as in [12], capped to bound message
+// bursts.
+func DoublingSchedule(cap int) func(int) int {
+	if cap < 1 {
+		panic("parallel: DoublingSchedule cap must be positive")
+	}
+	return func(round int) int {
+		k := 1
+		for i := 1; i < round; i++ {
+			k *= 2
+			if k >= cap {
+				return cap
+			}
+		}
+		return k
+	}
+}
+
+// ConstantSchedule returns the schedule that contacts k bins every
+// round.
+func ConstantSchedule(k int) func(int) int {
+	if k < 1 {
+		panic("parallel: ConstantSchedule k must be positive")
+	}
+	return func(int) int { return k }
+}

@@ -1,0 +1,325 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLenzenWattenhoferBasics(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		res, err := Run(LenzenWattenhofer(n, 1))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Placed != int64(n) {
+			t.Fatalf("n=%d: placed %d", n, res.Placed)
+		}
+		if res.MaxLoad > 2 {
+			t.Fatalf("n=%d: max load %d > 2", n, res.MaxLoad)
+		}
+		if res.Rounds > 20 {
+			t.Errorf("n=%d: %d rounds, expected log*-ish", n, res.Rounds)
+		}
+		if res.Messages > int64(20*n) {
+			t.Errorf("n=%d: %d messages, expected O(n)", n, res.Messages)
+		}
+		var total int
+		for _, l := range res.Loads {
+			total += l
+		}
+		if total != n {
+			t.Fatalf("n=%d: loads sum to %d", n, total)
+		}
+	}
+}
+
+func TestRoundsGrowVerySlowly(t *testing.T) {
+	// The hallmark of [12]: round count is essentially constant in n.
+	small, err := Run(LenzenWattenhofer(1<<10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(LenzenWattenhofer(1<<16, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Rounds > small.Rounds+5 {
+		t.Errorf("rounds grew from %d (n=2^10) to %d (n=2^16)", small.Rounds, big.Rounds)
+	}
+}
+
+func TestMessagesLinearInN(t *testing.T) {
+	a, err := Run(LenzenWattenhofer(1<<12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(LenzenWattenhofer(1<<13, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b.Messages) / float64(a.Messages)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("message ratio for 2x bins = %.2f, expected ~2 (O(n))", ratio)
+	}
+}
+
+func TestSchedulingIndependentDeterminism(t *testing.T) {
+	// The headline property of the engine: identical results regardless
+	// of worker/shard parallelism, because randomness is derived from
+	// (seed, round, ball/bin) coordinates.
+	base := LenzenWattenhofer(1<<12, 77)
+	configs := []Config{base, base, base}
+	configs[0].Workers, configs[0].Shards = 1, 1
+	configs[1].Workers, configs[1].Shards = 4, 3
+	configs[2].Workers, configs[2].Shards = 16, 16
+	var results []Result
+	for _, cfg := range configs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Rounds != results[0].Rounds ||
+			results[i].Messages != results[0].Messages ||
+			results[i].MaxLoad != results[0].MaxLoad {
+			t.Fatalf("config %d differs: %+v vs %+v", i,
+				headline(results[i]), headline(results[0]))
+		}
+		for bin := range results[i].Loads {
+			if results[i].Loads[bin] != results[0].Loads[bin] {
+				t.Fatalf("config %d: bin %d load %d vs %d", i, bin,
+					results[i].Loads[bin], results[0].Loads[bin])
+			}
+		}
+	}
+}
+
+func headline(r Result) [3]int64 {
+	return [3]int64{int64(r.Rounds), r.Messages, int64(r.MaxLoad)}
+}
+
+func TestSameSeedSameResult(t *testing.T) {
+	a, err := Run(LenzenWattenhofer(1<<11, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(LenzenWattenhofer(1<<11, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != b.Messages || a.Rounds != b.Rounds {
+		t.Fatal("same seed diverged")
+	}
+	c, err := Run(LenzenWattenhofer(1<<11, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages == c.Messages && a.Rounds == c.Rounds {
+		sameLoads := true
+		for i := range a.Loads {
+			if a.Loads[i] != c.Loads[i] {
+				sameLoads = false
+				break
+			}
+		}
+		if sameLoads {
+			t.Fatal("different seeds produced identical runs")
+		}
+	}
+}
+
+func TestAdlerCollisionConverges(t *testing.T) {
+	for _, d := range []int{2, 3} {
+		res, err := Run(AdlerCollision(1<<12, d, 9))
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if res.Placed != 1<<12 {
+			t.Fatalf("d=%d: placed %d", d, res.Placed)
+		}
+		// One grant per bin per round caps loads by the round count,
+		// and collision resolution keeps both small.
+		if res.MaxLoad > res.Rounds {
+			t.Fatalf("d=%d: max load %d exceeds rounds %d", d, res.MaxLoad, res.Rounds)
+		}
+		if res.Rounds > 20 {
+			t.Errorf("d=%d: %d rounds to resolve collisions", d, res.Rounds)
+		}
+	}
+}
+
+func TestHeavyParallel(t *testing.T) {
+	const n = 1 << 10
+	const m = 16 * n
+	res, err := Run(HeavyParallel(n, m, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != m {
+		t.Fatalf("placed %d of %d", res.Placed, m)
+	}
+	if res.MaxLoad > 17 {
+		t.Fatalf("max load %d > ceil(m/n)+1", res.MaxLoad)
+	}
+	if res.Rounds > 25 {
+		t.Errorf("heavy case took %d rounds", res.Rounds)
+	}
+}
+
+func TestNotConverged(t *testing.T) {
+	// Capacity 1 with a single fixed choice per ball cannot resolve
+	// collisions: two balls sharing their only candidate bin deadlock.
+	cfg := Config{
+		N: 16, M: 16, Capacity: 1, FixedChoices: 1,
+		Schedule: ConstantSchedule(1), MaxRounds: 8, Seed: 3,
+	}
+	res, err := Run(cfg)
+	if err == nil {
+		t.Skip("collision-free draw; extremely unlikely but legal")
+	}
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("error %v does not wrap ErrNotConverged", err)
+	}
+	if res.Placed >= cfg.M {
+		t.Fatal("error reported but all balls placed")
+	}
+	if res.MaxLoad > 1 {
+		t.Fatal("capacity bound violated in failed run")
+	}
+}
+
+func TestCapacityNeverExceededProperty(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		n := 64 + int(seed*17)
+		m := int64(n) * int64(1+seed%4)
+		capacity := int(m/int64(n)) + 1
+		res, err := Run(Config{
+			N: n, M: m, Capacity: capacity, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		for bin, l := range res.Loads {
+			if l > capacity {
+				t.Fatalf("seed=%d: bin %d load %d > capacity %d", seed, bin, l, capacity)
+			}
+		}
+	}
+}
+
+func TestAcceptPerRoundLimitsPlacementRate(t *testing.T) {
+	// With AcceptPerRound=1, a bin can gain at most one ball per round,
+	// so after r rounds no bin exceeds r.
+	res, err := Run(Config{
+		N: 128, M: 256, Capacity: 4, AcceptPerRound: 1, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad > res.Rounds {
+		t.Fatalf("max load %d exceeds rounds %d with AcceptPerRound=1",
+			res.MaxLoad, res.Rounds)
+	}
+}
+
+func TestZeroBalls(t *testing.T) {
+	res, err := Run(Config{N: 8, M: 0, Capacity: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Messages != 0 || res.Placed != 0 {
+		t.Fatalf("empty run not empty: %+v", res)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"n=0":        {N: 0, M: 1, Capacity: 1},
+		"m<0":        {N: 1, M: -1, Capacity: 1},
+		"capacity=0": {N: 1, M: 1, Capacity: 0},
+		"infeasible": {N: 4, M: 9, Capacity: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestDoublingSchedule(t *testing.T) {
+	s := DoublingSchedule(8)
+	want := []int{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := s(i + 1); got != w {
+			t.Errorf("round %d: k = %d want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"doubling cap<1": func() { DoublingSchedule(0) },
+		"constant k<1":   func() { ConstantSchedule(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFixedChoicesAreRespected(t *testing.T) {
+	// With d fixed choices, every ball must land in one of them. Use
+	// d=2 and verify via the engine's own choice table by re-deriving
+	// it from a second run with capacity large enough that the first
+	// offer always wins.
+	cfg := AdlerCollision(256, 2, 21)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != cfg.M {
+		t.Fatal("not all balls placed")
+	}
+	// The engine derives choices from (seed, 0xF1, ball); recompute and
+	// check aggregate consistency: the multiset of loads must be
+	// explainable by the choice graph — every bin with load > 0 must be
+	// some ball's candidate. Normalize worker counts before driving the
+	// engine internals directly (Run does this for callers).
+	cfg.Workers, cfg.Shards = 2, 2
+	candidate := make(map[int]bool)
+	e := &engine{cfg: cfg}
+	e.unplaced = make([]int64, cfg.M)
+	for i := range e.unplaced {
+		e.unplaced[i] = int64(i)
+	}
+	e.fixChoices()
+	for _, cs := range e.choices {
+		for _, c := range cs {
+			candidate[int(c)] = true
+		}
+	}
+	for bin, l := range res.Loads {
+		if l > 0 && !candidate[bin] {
+			t.Fatalf("bin %d loaded but is nobody's candidate", bin)
+		}
+	}
+}
+
+func BenchmarkLenzenWattenhofer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(LenzenWattenhofer(1<<12, uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package parallel
+
+import "repro/internal/protocol"
+
+// LenzenWattenhofer returns the configuration for the symmetric
+// adaptive parallel protocol of [12] in this engine's model: m = n
+// balls, bin capacity 2, fresh uniform contacts with the doubling
+// schedule. [12] proves max load 2 within log*(n)+O(1) rounds and O(n)
+// messages; the capacity bound makes max load ≤ 2 structural here, and
+// the tests check the round and message counts grow as slowly as the
+// theorem describes.
+func LenzenWattenhofer(n int, seed uint64) Config {
+	return Config{
+		N:        n,
+		M:        int64(n),
+		Capacity: 2,
+		Schedule: DoublingSchedule(32),
+		Seed:     seed,
+	}
+}
+
+// AdlerCollision returns the configuration for a collision-style
+// protocol after Adler et al. [1]: every ball fixes d candidate bins
+// up front and contacts all of them each round; every contacted bin
+// grants at most ONE requester per round (the collision rule), so a
+// ball is delayed exactly when it loses the collision at all d of its
+// bins. Unlike the cuckoo-style fixed-capacity setting, the final
+// maximum load emerges from collision resolution rather than a hard
+// cap — mirroring [1], where r communication rounds trade against
+// maximum load. The generous Capacity only guards the engine's
+// feasibility invariant.
+func AdlerCollision(n, d int, seed uint64) Config {
+	return Config{
+		N:              n,
+		M:              int64(n),
+		Capacity:       8,
+		FixedChoices:   d,
+		Schedule:       ConstantSchedule(d),
+		AcceptPerRound: 1,
+		Seed:           seed,
+	}
+}
+
+// HeavyParallel returns the parallel analogue of the threshold
+// protocol for the heavily loaded case: m balls, bin capacity
+// ⌈m/n⌉+1 (the paper's maximum-load guarantee), fresh uniform
+// contacts. It demonstrates that the ⌈m/n⌉+1 bound is reachable in
+// few synchronous rounds with O(m) messages.
+func HeavyParallel(n int, m int64, seed uint64) Config {
+	return Config{
+		N:        n,
+		M:        m,
+		Capacity: int(protocol.MaxLoadBound(n, m)),
+		Schedule: DoublingSchedule(32),
+		Seed:     seed,
+	}
+}

@@ -1,0 +1,74 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// BoundedRetry is the threshold protocol with a hard cap on the
+// retries per ball: each ball samples at most R bins, accepts the
+// first one below m/n + 1, and falls back to the least loaded of its R
+// samples if none qualified. Czumaj and Stemann [7] study exactly this
+// family of tradeoffs between the maximum allocation time of a single
+// ball (R), the average allocation time, and the maximum load:
+//
+//   - R = 1 is the single-choice process (the sample is always taken,
+//     qualified or not);
+//   - R → ∞ recovers the threshold protocol (max load ⌈m/n⌉+1,
+//     unbounded per-ball time — the paper notes some balls must try
+//     Ω(log n) bins);
+//   - intermediate R caps every ball's time at R while the max-load
+//     guarantee softens from a certainty into a high-probability
+//     statement with a graceful failure mode (the fallback is
+//     greedy-among-R, not a blind drop).
+type BoundedRetry struct {
+	retries int
+	m       int64
+	n       int64
+}
+
+// NewBoundedRetry returns the threshold protocol capped at the given
+// number of retries per ball. It panics if retries < 1.
+func NewBoundedRetry(retries int) *BoundedRetry {
+	if retries < 1 {
+		panic("protocol: NewBoundedRetry with retries < 1")
+	}
+	return &BoundedRetry{retries: retries}
+}
+
+// Retries returns the per-ball sample cap.
+func (b *BoundedRetry) Retries() int { return b.retries }
+
+// Name implements Protocol.
+func (b *BoundedRetry) Name() string {
+	return fmt.Sprintf("threshold-retry[%d]", b.retries)
+}
+
+// Reset implements Protocol.
+func (b *BoundedRetry) Reset(n int, m int64) {
+	b.n = int64(n)
+	b.m = m
+}
+
+// Place implements Protocol. Per-ball allocation time is at most
+// Retries by construction.
+func (b *BoundedRetry) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	n := v.N()
+	best := -1
+	bestLoad := 0
+	for attempt := 1; attempt <= b.retries; attempt++ {
+		j := r.Intn(n)
+		load := v.Load(j)
+		if b.n*int64(load-1) < b.m {
+			v.Increment(j)
+			return int64(attempt)
+		}
+		if best < 0 || load < bestLoad {
+			best, bestLoad = j, load
+		}
+	}
+	v.Increment(best)
+	return int64(b.retries)
+}

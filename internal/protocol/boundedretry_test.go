@@ -1,0 +1,125 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+func TestBoundedRetryOneIsSingleChoice(t *testing.T) {
+	// With R = 1 every ball lands in its single sample (qualified or
+	// not): decisions coincide exactly with single-choice on the same
+	// stream.
+	const n, m = 64, 640
+	a := Run(NewSingleChoice(), n, m, rng.New(3))
+	b := Run(NewBoundedRetry(1), n, m, rng.New(3))
+	if a.Samples != b.Samples {
+		t.Fatalf("samples differ: %d vs %d", a.Samples, b.Samples)
+	}
+	la, lb := a.Vector.Loads(), b.Vector.Loads()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("loads differ at bin %d", i)
+		}
+	}
+}
+
+func TestBoundedRetryLargeIsThreshold(t *testing.T) {
+	// With an effectively unlimited cap the fallback never fires, so
+	// decisions coincide exactly with the threshold protocol.
+	const n, m = 64, 1280
+	a := Run(NewThreshold(), n, m, rng.New(5))
+	b := Run(NewBoundedRetry(1<<20), n, m, rng.New(5))
+	if a.Samples != b.Samples {
+		t.Fatalf("samples differ: %d vs %d", a.Samples, b.Samples)
+	}
+	la, lb := a.Vector.Loads(), b.Vector.Loads()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("loads differ at bin %d", i)
+		}
+	}
+}
+
+func TestBoundedRetryPerBallCap(t *testing.T) {
+	// The defining guarantee: no ball ever uses more than R samples.
+	const n, m, retries = 32, 640, 4
+	var worst int64
+	out := RunWithObserver(NewBoundedRetry(retries), n, m, rng.New(7),
+		func(_, samples int64, _ *loadvec.Vector) {
+			if samples > worst {
+				worst = samples
+			}
+		})
+	if worst > retries {
+		t.Fatalf("a ball used %d samples, cap is %d", worst, retries)
+	}
+	if out.Samples > retries*m {
+		t.Fatalf("total samples %d exceed R*m", out.Samples)
+	}
+	if out.Vector.Balls() != m {
+		t.Fatalf("placed %d", out.Vector.Balls())
+	}
+}
+
+func TestBoundedRetryMaxLoadImprovesWithR(t *testing.T) {
+	// The Czumaj–Stemann tradeoff: more retries, better max load.
+	// Compare means over replicates at heavy load; R=1 (single) must
+	// be clearly worse than R=8, which approaches the ceil(m/n)+1
+	// guarantee.
+	const n = 1024
+	m := int64(64 * n)
+	const reps = 3
+	sum := func(retries int) int {
+		total := 0
+		for rep := 0; rep < reps; rep++ {
+			total += Run(NewBoundedRetry(retries), n, m,
+				rng.New(uint64(600+rep))).Vector.MaxLoad()
+		}
+		return total
+	}
+	r1, r8 := sum(1), sum(8)
+	if r8 >= r1 {
+		t.Fatalf("R=8 mean max load %d not below R=1 %d", r8/reps, r1/reps)
+	}
+	bound := int(MaxLoadBound(n, m))
+	// With 8 retries at phi=64 the fallback almost never fires: the
+	// guarantee should hold with a +1 safety margin.
+	if got := sum(8) / reps; got > bound+1 {
+		t.Fatalf("R=8 max load %d far above guarantee %d", got, bound)
+	}
+}
+
+func TestBoundedRetryFallbackViolatesBoundRarely(t *testing.T) {
+	// With R=2 at heavy load the fallback fires and the hard guarantee
+	// can be exceeded — that is the point of the tradeoff. Verify the
+	// overshoot stays moderate (greedy-among-R fallback, not a blind
+	// drop).
+	const n = 1024
+	m := int64(64 * n)
+	out := Run(NewBoundedRetry(2), n, m, rng.New(11))
+	bound := int(MaxLoadBound(n, m))
+	if out.Vector.MaxLoad() > bound+8 {
+		t.Fatalf("R=2 overshoot too large: %d vs bound %d",
+			out.Vector.MaxLoad(), bound)
+	}
+}
+
+func TestBoundedRetryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBoundedRetry(0) did not panic")
+		}
+	}()
+	NewBoundedRetry(0)
+}
+
+func TestBoundedRetryName(t *testing.T) {
+	if got := NewBoundedRetry(4).Name(); got != "threshold-retry[4]" {
+		t.Fatalf("name %q", got)
+	}
+	if got := NewBoundedRetry(4).Retries(); got != 4 {
+		t.Fatalf("retries %d", got)
+	}
+}

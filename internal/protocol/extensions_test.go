@@ -1,0 +1,222 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestOnePlusBetaEdges(t *testing.T) {
+	const n, m = 256, 2560
+	// beta = 0 is exactly single-choice; beta = 1 exactly greedy[2]
+	// (modulo the coin flips, which for beta 0/1 are still drawn but
+	// deterministic in effect — so compare distributions, not streams).
+	zero := Run(NewOnePlusBeta(0), n, m, rng.New(1))
+	if zero.Samples != m {
+		t.Fatalf("beta=0 used %d samples, want m", zero.Samples)
+	}
+	one := Run(NewOnePlusBeta(1), n, m, rng.New(1))
+	if one.Samples != 2*m {
+		t.Fatalf("beta=1 used %d samples, want 2m", one.Samples)
+	}
+}
+
+func TestOnePlusBetaSampleCount(t *testing.T) {
+	// Expected samples per ball is 1 + beta.
+	const n, m = 128, 100000
+	for _, beta := range []float64{0.25, 0.5, 0.75} {
+		out := Run(NewOnePlusBeta(beta), n, m, rng.New(7))
+		perBall := float64(out.Samples) / float64(m)
+		if math.Abs(perBall-(1+beta)) > 0.02 {
+			t.Errorf("beta=%v: %.4f samples/ball, want %.2f", beta, perBall, 1+beta)
+		}
+	}
+}
+
+func TestOnePlusBetaGapInterpolates(t *testing.T) {
+	// In the heavily loaded regime the gap decreases as beta grows:
+	// single-choice's Theta(sqrt(m log n / n)) shrinks toward
+	// two-choice's Theta(log n). Compare beta = 0.1 vs 0.9 means.
+	const n = 512
+	const m = int64(200 * n)
+	const reps = 3
+	var lo, hi float64
+	for rep := 0; rep < reps; rep++ {
+		seed := uint64(400 + rep)
+		hi += float64(Run(NewOnePlusBeta(0.1), n, m, rng.New(seed)).Vector.Gap())
+		lo += float64(Run(NewOnePlusBeta(0.9), n, m, rng.New(seed)).Vector.Gap())
+	}
+	if lo >= hi {
+		t.Fatalf("gap did not shrink with beta: beta=0.9 gap %v >= beta=0.1 gap %v",
+			lo/reps, hi/reps)
+	}
+}
+
+func TestOnePlusBetaGapIndependentOfM(t *testing.T) {
+	// Peres–Talwar–Wieder: for fixed beta the gap is Theta(log n / beta)
+	// independent of m. Check gap does not blow up as m grows 16x.
+	const n = 512
+	const beta = 0.5
+	small := Run(NewOnePlusBeta(beta), n, int64(50*n), rng.New(5)).Vector.Gap()
+	big := Run(NewOnePlusBeta(beta), n, int64(800*n), rng.New(5)).Vector.Gap()
+	if float64(big) > 3*float64(small)+10 {
+		t.Fatalf("gap grew with m: %d -> %d", small, big)
+	}
+}
+
+func TestOnePlusBetaPanics(t *testing.T) {
+	for _, beta := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("beta=%v did not panic", beta)
+				}
+			}()
+			NewOnePlusBeta(beta)
+		}()
+	}
+}
+
+func TestStaleAdaptiveMaxLoadGuarantee(t *testing.T) {
+	// Stale counters only make acceptance harder: the ceil(m/n)+1
+	// guarantee survives any staleness.
+	const n = 100
+	for _, sync := range []int64{1, 7, 50, 100} {
+		for _, m := range []int64{0, 50, 1000, 3333} {
+			out := Run(NewStaleAdaptive(sync), n, m, rng.New(uint64(sync*1000)+uint64(m)))
+			if out.Vector.MaxLoad() > int(MaxLoadBound(n, m)) {
+				t.Errorf("sync=%d m=%d: max %d > bound", sync, m, out.Vector.MaxLoad())
+			}
+			if out.Vector.Balls() != m {
+				t.Errorf("sync=%d m=%d: placed %d", sync, m, out.Vector.Balls())
+			}
+		}
+	}
+}
+
+func TestStaleAdaptiveStageSyncIsExactlyAdaptive(t *testing.T) {
+	// The headline robustness fact: synchronizing the counter once per
+	// stage (B = n) — and, trivially, every ball (B = 1) — reproduces
+	// adaptive decision for decision, because the integer acceptance
+	// bound only changes at stage boundaries.
+	const n, m = 64, 640
+	a := Run(NewAdaptive(), n, m, rng.New(9))
+	for _, sync := range []int64{1, n} {
+		s := Run(NewStaleAdaptive(sync), n, m, rng.New(9))
+		if a.Samples != s.Samples {
+			t.Fatalf("sync=%d differs from adaptive: %d vs %d samples",
+				sync, s.Samples, a.Samples)
+		}
+		la, ls := a.Vector.Loads(), s.Vector.Loads()
+		for i := range la {
+			if la[i] != ls[i] {
+				t.Fatalf("sync=%d: loads differ at bin %d", sync, i)
+			}
+		}
+	}
+}
+
+func TestStaleAdaptiveIntermediateSyncNearlyFree(t *testing.T) {
+	// Sync periods that do not align with stages (e.g. B=7) perturb
+	// decisions only in small boundary windows: the cost stays within
+	// a few percent of adaptive's.
+	const n = 1000
+	const m = int64(32 * n)
+	const reps = 3
+	var base, stale float64
+	for rep := 0; rep < reps; rep++ {
+		seed := uint64(500 + rep)
+		base += float64(Run(NewAdaptive(), n, m, rng.New(seed)).Samples)
+		stale += float64(Run(NewStaleAdaptive(7), n, m, rng.New(seed)).Samples)
+	}
+	if stale > 1.10*base {
+		t.Fatalf("sync=7 cost %.0f more than 10%% above adaptive %.0f", stale/reps, base/reps)
+	}
+}
+
+func TestLaggedAdaptiveZeroLagIsAdaptive(t *testing.T) {
+	const n, m = 64, 640
+	a := Run(NewAdaptive(), n, m, rng.New(10))
+	l := Run(NewLaggedAdaptive(0), n, m, rng.New(10))
+	if a.Samples != l.Samples {
+		t.Fatalf("lag=0 differs from adaptive: %d vs %d", l.Samples, a.Samples)
+	}
+}
+
+func TestLaggedAdaptiveFullStageIsNoSlack(t *testing.T) {
+	// The unification: a counter lagging one full stage turns the
+	// acceptance rule n(load-1) < i-n into n·load < i, which is the
+	// AdaptiveNoSlack ablation. The rules coincide for every ball
+	// i > n, and for i <= n lagged is the (free) adaptive rule — so
+	// the coupon-collector blow-up appears with the lag.
+	const n = 512
+	m := int64(8 * n)
+	adaptive := Run(NewAdaptive(), n, m, rng.New(12)).Samples
+	lagged := Run(NewLaggedAdaptive(n), n, m, rng.New(12)).Samples
+	noslack := Run(NewAdaptiveNoSlack(), n, m, rng.New(12)).Samples
+	if float64(lagged) < 2*float64(adaptive) {
+		t.Fatalf("full-stage lag not costly: lagged %d vs adaptive %d", lagged, adaptive)
+	}
+	// lagged and noslack differ only on the first stage; their totals
+	// must be within the scale of one coupon-collector stage.
+	diff := lagged - noslack
+	if diff < 0 {
+		diff = -diff
+	}
+	stageScale := int64(3 * float64(n) * math.Log(float64(n)))
+	if diff > stageScale {
+		t.Fatalf("lagged (%d) and noslack (%d) differ by %d, beyond one stage (%d)",
+			lagged, noslack, diff, stageScale)
+	}
+}
+
+func TestLaggedAndStaleMaxLoadGuarantee(t *testing.T) {
+	// Stale/lagged counts never exceed the truth, so acceptance is
+	// never easier and the ceil(m/n)+1 guarantee survives.
+	const n = 100
+	for _, m := range []int64{0, 50, 1000, 3333} {
+		for _, p := range []Protocol{
+			NewStaleAdaptive(7), NewStaleAdaptive(100),
+			NewLaggedAdaptive(13), NewLaggedAdaptive(100),
+		} {
+			out := Run(p, n, m, rng.New(uint64(m)+77))
+			if out.Vector.MaxLoad() > int(MaxLoadBound(n, m)) {
+				t.Errorf("%s m=%d: max %d > bound", p.Name(), m, out.Vector.MaxLoad())
+			}
+			if out.Vector.Balls() != m {
+				t.Errorf("%s m=%d: placed %d", p.Name(), m, out.Vector.Balls())
+			}
+		}
+	}
+}
+
+func TestStaleLaggedPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"syncEvery<1": func() { NewStaleAdaptive(0) },
+		"sync>n":      func() { Run(NewStaleAdaptive(11), 10, 10, rng.New(1)) },
+		"lag<0":       func() { NewLaggedAdaptive(-1) },
+		"lag>n":       func() { Run(NewLaggedAdaptive(11), 10, 10, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExtensionNames(t *testing.T) {
+	if got := NewOnePlusBeta(0.25).Name(); got != "oneplusbeta[0.25]" {
+		t.Errorf("name %q", got)
+	}
+	if got := NewStaleAdaptive(64).Name(); got != "adaptive-stale[64]" {
+		t.Errorf("name %q", got)
+	}
+	if got := NewLaggedAdaptive(64).Name(); got != "adaptive-lag[64]" {
+		t.Errorf("name %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzMaxLoadInvariant checks the paper's deterministic guarantee on
+// arbitrary (n, m, seed) triples for both headline protocols, plus the
+// internal consistency of the final vector.
+func FuzzMaxLoadInvariant(f *testing.F) {
+	f.Add(uint16(10), uint16(100), uint64(1))
+	f.Add(uint16(1), uint16(1), uint64(0))
+	f.Add(uint16(128), uint16(0), uint64(42))
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint16, seed uint64) {
+		n := 1 + int(nRaw%256)
+		m := int64(mRaw % 4096)
+		bound := int(MaxLoadBound(n, m))
+		for _, fac := range []Factory{
+			func() Protocol { return NewAdaptive() },
+			func() Protocol { return NewThreshold() },
+			func() Protocol { return NewStaleAdaptive(1 + int64(seed%uint64(n))) },
+		} {
+			out := Run(fac(), n, m, rng.New(seed))
+			if out.Vector.Balls() != m {
+				t.Fatalf("placed %d of %d", out.Vector.Balls(), m)
+			}
+			if out.Vector.MaxLoad() > bound {
+				t.Fatalf("max load %d exceeds %d", out.Vector.MaxLoad(), bound)
+			}
+			if err := out.Vector.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

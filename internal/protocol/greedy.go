@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Greedy is greedy[d] of Azar, Broder, Karlin and Upfal [4]: each ball
+// samples d bins independently and uniformly at random (with
+// replacement) and is placed into a least loaded one. In the heavily
+// loaded case the maximum load is m/n + ln ln n / ln d + O(1) w.h.p.
+// (Berenbrink, Czumaj, Steger, Vöcking [5]).
+type Greedy struct {
+	d          int
+	randomTies bool
+}
+
+// NewGreedy returns greedy[d] with ties broken in favor of the first
+// sampled minimum. It panics if d < 1.
+func NewGreedy(d int) *Greedy {
+	if d < 1 {
+		panic("protocol: NewGreedy with d < 1")
+	}
+	return &Greedy{d: d}
+}
+
+// NewGreedyRandomTies returns greedy[d] breaking ties uniformly at
+// random among the sampled minima, the variant analyzed in [4].
+func NewGreedyRandomTies(d int) *Greedy {
+	g := NewGreedy(d)
+	g.randomTies = true
+	return g
+}
+
+// D returns the number of choices per ball.
+func (g *Greedy) D() int { return g.d }
+
+// Name implements Protocol.
+func (g *Greedy) Name() string { return formatD("greedy", g.d) }
+
+// Reset implements Protocol; greedy is stateless across balls.
+func (g *Greedy) Reset(n int, m int64) {}
+
+// Place implements Protocol, using exactly d random choices.
+func (g *Greedy) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	n := v.N()
+	best := r.Intn(n)
+	bestLoad := v.Load(best)
+	ties := 1
+	for j := 1; j < g.d; j++ {
+		c := r.Intn(n)
+		l := v.Load(c)
+		switch {
+		case l < bestLoad:
+			best, bestLoad, ties = c, l, 1
+		case l == bestLoad && g.randomTies:
+			// Reservoir-style uniform choice among minima. The extra
+			// Intn draws are tie-breaking randomness, not bin choices,
+			// so they do not count toward allocation time.
+			ties++
+			if r.Intn(ties) == 0 {
+				best = c
+			}
+		}
+	}
+	v.Increment(best)
+	return int64(g.d)
+}

@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Left is left[d] of Vöcking [16]: the n bins are split into d groups
+// of (nearly) equal size; each ball samples one bin uniformly from
+// each group and is placed into a least loaded one, breaking ties in
+// favor of the leftmost group ("Always-Go-Left"). The asymmetric tie
+// breaking improves the maximum load to m/n + ln ln n / (d·ln Φ_d) +
+// O(1), matching Vöcking's lower bound.
+type Left struct {
+	d int
+	n int
+}
+
+// NewLeft returns left[d]. It panics if d < 2 (with one group the
+// process degenerates to single-choice and the tie-breaking rule is
+// meaningless).
+func NewLeft(d int) *Left {
+	if d < 2 {
+		panic("protocol: NewLeft with d < 2")
+	}
+	return &Left{d: d}
+}
+
+// D returns the number of groups (choices per ball).
+func (l *Left) D() int { return l.d }
+
+// Name implements Protocol.
+func (l *Left) Name() string { return formatD("left", l.d) }
+
+// Reset implements Protocol. It panics if n < d, since each group must
+// be non-empty.
+func (l *Left) Reset(n int, m int64) {
+	if n < l.d {
+		panic("protocol: left[d] needs n >= d")
+	}
+	l.n = n
+}
+
+// groupBounds returns the half-open index range [lo, hi) of group g.
+// Groups partition [0, n) as evenly as possible.
+func (l *Left) groupBounds(g int) (lo, hi int) {
+	lo = g * l.n / l.d
+	hi = (g + 1) * l.n / l.d
+	return lo, hi
+}
+
+// Place implements Protocol, using exactly d random choices. Strict
+// inequality when comparing against the incumbent implements
+// Always-Go-Left: on equal loads the earlier (leftmost) group wins.
+func (l *Left) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	lo, hi := l.groupBounds(0)
+	best := lo + r.Intn(hi-lo)
+	bestLoad := v.Load(best)
+	for g := 1; g < l.d; g++ {
+		lo, hi = l.groupBounds(g)
+		c := lo + r.Intn(hi-lo)
+		if load := v.Load(c); load < bestLoad {
+			best, bestLoad = c, load
+		}
+	}
+	v.Increment(best)
+	return int64(l.d)
+}

@@ -1,0 +1,88 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Memory is the (d,k)-memory process of Mitzenmacher, Prabhakar and
+// Shah [14]: each ball chooses d bins uniformly at random plus the k
+// least loaded bins remembered from the previous ball's candidate set,
+// and is placed into a least loaded of the d+k. After placement the k
+// least loaded candidates (with current loads) are remembered for the
+// next ball. For d = k = 1 the maximum load is
+// ln ln n / (2·ln Φ₂) + O(1), matching Vöcking's lower bound while
+// using only one random choice per ball.
+type Memory struct {
+	d, k  int
+	cache []int // remembered bin indices from the previous ball
+	cand  []int // scratch: candidate bins for the current ball
+}
+
+// NewMemory returns the (d,k)-memory protocol. It panics if d < 1 or
+// k < 0.
+func NewMemory(d, k int) *Memory {
+	if d < 1 {
+		panic("protocol: NewMemory with d < 1")
+	}
+	if k < 0 {
+		panic("protocol: NewMemory with k < 0")
+	}
+	return &Memory{d: d, k: k}
+}
+
+// Name implements Protocol.
+func (m *Memory) Name() string { return fmt.Sprintf("memory[%d,%d]", m.d, m.k) }
+
+// Reset implements Protocol, clearing the remembered bins.
+func (m *Memory) Reset(n int, _ int64) {
+	m.cache = m.cache[:0]
+	if m.cand == nil {
+		m.cand = make([]int, 0, m.d+m.k)
+	}
+}
+
+// Place implements Protocol, using exactly d random choices (the
+// remembered bins are free).
+func (m *Memory) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	n := v.N()
+	m.cand = m.cand[:0]
+	for j := 0; j < m.d; j++ {
+		m.cand = append(m.cand, r.Intn(n))
+	}
+	m.cand = append(m.cand, m.cache...)
+
+	best := m.cand[0]
+	bestLoad := v.Load(best)
+	for _, c := range m.cand[1:] {
+		if l := v.Load(c); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	v.Increment(best)
+
+	// Remember the k least loaded candidates at their post-placement
+	// loads. The candidate set is tiny (d+k), so an in-place insertion
+	// sort avoids the allocations a sort.Slice closure would cost in
+	// this per-ball hot path.
+	if m.k > 0 {
+		for i := 1; i < len(m.cand); i++ {
+			c := m.cand[i]
+			l := v.Load(c)
+			j := i - 1
+			for j >= 0 && v.Load(m.cand[j]) > l {
+				m.cand[j+1] = m.cand[j]
+				j--
+			}
+			m.cand[j+1] = c
+		}
+		keep := m.k
+		if keep > len(m.cand) {
+			keep = len(m.cand)
+		}
+		m.cache = append(m.cache[:0], m.cand[:keep]...)
+	}
+	return int64(m.d)
+}

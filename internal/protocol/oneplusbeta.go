@@ -1,0 +1,59 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// OnePlusBeta is the (1+β)-choice process of Peres, Talwar and Wieder:
+// with probability β the ball uses two choices (greedy[2]), otherwise
+// a single uniform choice. It interpolates between single-choice
+// (β = 0) and greedy[2] (β = 1); for 0 < β < 1 the max−min gap is
+// Θ(log n / β) independent of m — already a fraction of two-choice
+// decisions smooths the distribution dramatically.
+//
+// It is included as an extension baseline: like the paper's adaptive
+// protocol it buys smoothness cheaply, but with a weaker guarantee
+// (O(log n/β) above average rather than ⌈m/n⌉+1) at a comparable
+// expected cost of 1+β choices per ball.
+type OnePlusBeta struct {
+	beta float64
+}
+
+// NewOnePlusBeta returns the (1+β)-choice process. It panics unless
+// 0 <= beta <= 1.
+func NewOnePlusBeta(beta float64) *OnePlusBeta {
+	if beta < 0 || beta > 1 || beta != beta {
+		panic("protocol: NewOnePlusBeta with beta outside [0,1]")
+	}
+	return &OnePlusBeta{beta: beta}
+}
+
+// Beta returns the two-choice probability.
+func (p *OnePlusBeta) Beta() float64 { return p.beta }
+
+// Name implements Protocol.
+func (p *OnePlusBeta) Name() string { return fmt.Sprintf("oneplusbeta[%.2f]", p.beta) }
+
+// Reset implements Protocol; the process is stateless.
+func (p *OnePlusBeta) Reset(n int, m int64) {}
+
+// Place implements Protocol. The coin flip for "one or two choices" is
+// bookkeeping randomness, not a bin choice, so it does not count
+// toward allocation time; the bin samples (1 or 2) do.
+func (p *OnePlusBeta) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	n := v.N()
+	first := r.Intn(n)
+	if !r.Bernoulli(p.beta) {
+		v.Increment(first)
+		return 1
+	}
+	second := r.Intn(n)
+	if v.Load(second) < v.Load(first) {
+		first = second
+	}
+	v.Increment(first)
+	return 2
+}

@@ -1,0 +1,26 @@
+package protocol
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// SingleChoice is the classical process: each ball goes into one bin
+// chosen independently and uniformly at random. For m = n the maximum
+// load is log n / log log n + O(1) w.h.p. (Raab–Steger [15]).
+type SingleChoice struct{}
+
+// NewSingleChoice returns the single-choice protocol.
+func NewSingleChoice() *SingleChoice { return &SingleChoice{} }
+
+// Name implements Protocol.
+func (*SingleChoice) Name() string { return "single" }
+
+// Reset implements Protocol; single-choice is stateless.
+func (*SingleChoice) Reset(n int, m int64) {}
+
+// Place implements Protocol, using exactly one random choice.
+func (*SingleChoice) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	v.Increment(r.Intn(v.N()))
+	return 1
+}

@@ -1,0 +1,180 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1SojournMatchesTheory(t *testing.T) {
+	// n=1 is an M/M/1 queue: E[sojourn] = 1/(mu - lambda).
+	cfg := Config{
+		N: 1, ArrivalRate: 0.5, ServiceRate: 1, Jobs: 200000, Seed: 4,
+	}
+	res := Run(cfg)
+	want := 1 / (cfg.ServiceRate - cfg.ArrivalRate) // = 2
+	if math.Abs(res.MeanSojourn-want) > 0.12*want {
+		t.Fatalf("M/M/1 mean sojourn %.3f want ~%.3f", res.MeanSojourn, want)
+	}
+	if res.Completed != cfg.Jobs {
+		t.Fatalf("completed %d want %d", res.Completed, cfg.Jobs)
+	}
+}
+
+func TestSingleChoiceClusterIsNIndependentMM1(t *testing.T) {
+	// With single-choice dispatch each server is M/M/1 at rate
+	// lambda = Lambda/n, so mean sojourn is 1/(mu - lambda) again.
+	cfg := Config{
+		N: 16, ArrivalRate: 16 * 0.7, ServiceRate: 1, Jobs: 200000, Seed: 5,
+		Policy: PickSingle,
+	}
+	res := Run(cfg)
+	want := 1 / (1 - 0.7)
+	if math.Abs(res.MeanSojourn-want) > 0.15*want {
+		t.Fatalf("cluster mean sojourn %.3f want ~%.3f", res.MeanSojourn, want)
+	}
+}
+
+func TestPowerOfTwoChoicesCutsSojourn(t *testing.T) {
+	// The supermarket-model effect at high load: greedy2 slashes mean
+	// and tail sojourn versus single choice.
+	base := Config{
+		N: 64, ArrivalRate: 64 * 0.9, ServiceRate: 1, Jobs: 150000, Seed: 6,
+	}
+	single := base
+	single.Policy = PickSingle
+	greedy := base
+	greedy.Policy = PickGreedy2
+	s := Run(single)
+	g := Run(greedy)
+	if g.MeanSojourn >= s.MeanSojourn {
+		t.Fatalf("greedy2 mean %.2f not below single %.2f", g.MeanSojourn, s.MeanSojourn)
+	}
+	if g.P99Sojourn >= s.P99Sojourn {
+		t.Fatalf("greedy2 p99 %.2f not below single %.2f", g.P99Sojourn, s.P99Sojourn)
+	}
+	if g.MaxQueue >= s.MaxQueue {
+		t.Fatalf("greedy2 max queue %d not below single %d", g.MaxQueue, s.MaxQueue)
+	}
+}
+
+func TestAdaptiveDispatchCompetitive(t *testing.T) {
+	// The paper's acceptance rule on queues: much better than single
+	// choice, with ~1.something probes per job at moderate load.
+	base := Config{
+		N: 64, ArrivalRate: 64 * 0.9, ServiceRate: 1, Jobs: 150000, Seed: 7,
+	}
+	single := base
+	single.Policy = PickSingle
+	adaptive := base
+	adaptive.Policy = PickAdaptive
+	s := Run(single)
+	a := Run(adaptive)
+	if a.MeanSojourn >= s.MeanSojourn {
+		t.Fatalf("adaptive mean %.2f not below single %.2f", a.MeanSojourn, s.MeanSojourn)
+	}
+	if a.ProbesPerJob > 4 {
+		t.Fatalf("adaptive used %.2f probes/job", a.ProbesPerJob)
+	}
+	if a.MaxQueue >= s.MaxQueue {
+		t.Fatalf("adaptive max queue %d not below single %d", a.MaxQueue, s.MaxQueue)
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	cfg := Config{
+		N: 8, ArrivalRate: 4, ServiceRate: 1, Jobs: 5000, Seed: 8,
+	}
+	cfg.Policy = PickSingle
+	if res := Run(cfg); res.ProbesPerJob != 1 {
+		t.Fatalf("single probes/job = %v", res.ProbesPerJob)
+	}
+	cfg.Policy = PickGreedy2
+	if res := Run(cfg); res.ProbesPerJob != 2 {
+		t.Fatalf("greedy2 probes/job = %v", res.ProbesPerJob)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		N: 16, ArrivalRate: 8, ServiceRate: 1, Jobs: 20000, Seed: 9,
+		Policy: PickAdaptive,
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a != b {
+		t.Fatal("same seed produced different results")
+	}
+	cfg.Seed = 10
+	if c := Run(cfg); a == c {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestUtilizationReported(t *testing.T) {
+	cfg := Config{N: 10, ArrivalRate: 7, ServiceRate: 1, Jobs: 1000, Seed: 1}
+	res := Run(cfg)
+	if math.Abs(res.Utilization-0.7) > 1e-12 {
+		t.Fatalf("utilization %v want 0.7", res.Utilization)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PickSingle.String() != "single" || PickGreedy2.String() != "greedy2" ||
+		PickAdaptive.String() != "adaptive" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(42).String() == "" {
+		t.Fatal("unknown policy should render")
+	}
+}
+
+func TestSojournQuantilesOrdered(t *testing.T) {
+	cfg := Config{
+		N: 32, ArrivalRate: 32 * 0.8, ServiceRate: 1, Jobs: 60000, Seed: 11,
+		Policy: PickGreedy2,
+	}
+	res := Run(cfg)
+	if !(res.P50Sojourn <= res.MeanSojourn*2 && res.P50Sojourn <= res.P99Sojourn) {
+		t.Fatalf("quantiles out of order: p50=%.2f mean=%.2f p99=%.2f",
+			res.P50Sojourn, res.MeanSojourn, res.P99Sojourn)
+	}
+	if res.P99Sojourn <= 0 {
+		t.Fatal("p99 missing")
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	ok := Config{N: 2, ArrivalRate: 1, ServiceRate: 1, Jobs: 10, Seed: 1}
+	mutate := func(f func(*Config)) Config {
+		c := ok
+		f(&c)
+		return c
+	}
+	cases := map[string]Config{
+		"n=0":        mutate(func(c *Config) { c.N = 0 }),
+		"lambda<=0":  mutate(func(c *Config) { c.ArrivalRate = 0 }),
+		"mu<=0":      mutate(func(c *Config) { c.ServiceRate = 0 }),
+		"jobs=0":     mutate(func(c *Config) { c.Jobs = 0 }),
+		"unstable":   mutate(func(c *Config) { c.ArrivalRate = 2 }),
+		"warmup=all": mutate(func(c *Config) { c.WarmupJobs = 10 }),
+	}
+	for name, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func BenchmarkSupermarketGreedy2(b *testing.B) {
+	cfg := Config{
+		N: 64, ArrivalRate: 64 * 0.9, ServiceRate: 1,
+		Jobs: int64(b.N) + 10, WarmupJobs: 1, Policy: PickGreedy2, Seed: 1,
+	}
+	b.ResetTimer()
+	Run(cfg)
+}

@@ -1,0 +1,301 @@
+// Package realloc implements a self-balancing reallocation scheme in
+// the style of Czumaj, Riley and Scheideler's "Perfectly Balanced
+// Allocation" [6], the Table 1 baseline that achieves maximum load
+// ⌈m/n⌉ (+1 in the lightly loaded regime) at the price of
+// reallocations.
+//
+// Each ball draws two independent uniform bin choices. The initial
+// placement is greedy[2]. Balancing then proceeds in two mechanisms:
+//
+//  1. Local moves: a ball migrates to its alternate choice whenever
+//     that bin's load is at least two below its current bin's. Every
+//     such move strictly decreases Σℓ², so this reaches a fixed point.
+//  2. Path shifts: local fixed points can still hold an avoidable
+//     maximum (a ball in a max bin whose alternate is only one lower,
+//     which in turn holds a ball with a truly lower alternate). A
+//     breadth-first search over the choice graph finds a shortest
+//     "augmenting" path from a maximum-load bin to a bin at least two
+//     below, and shifts one ball along every edge of the path: the max
+//     bin loses a ball, the final bin gains one, intermediate loads
+//     are unchanged, and Σℓ² strictly decreases. When no such path
+//     exists the maximum load is optimal for the drawn choice graph
+//     (max-flow duality).
+//
+// Every migration is counted as a reallocation move — the cost the
+// paper's reallocation-free protocols are designed to avoid.
+package realloc
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// Result describes a completed self-balancing run.
+type Result struct {
+	// Vector is the final load distribution.
+	Vector *loadvec.Vector
+	// InitialSamples is the number of random bin choices drawn (2m).
+	InitialSamples int64
+	// Moves is the number of reallocation steps (local moves plus
+	// per-edge path shifts) performed after the initial placement.
+	Moves int64
+	// Passes is the number of local-move sweeps executed.
+	Passes int
+	// PathShifts is the number of augmenting paths applied.
+	PathShifts int
+	// InitialMaxLoad is the maximum load right after greedy[2], before
+	// any self-balancing.
+	InitialMaxLoad int
+	// Optimal reports whether balancing stopped because no augmenting
+	// path existed (the max load is optimal for the choice graph)
+	// rather than because a budget ran out.
+	Optimal bool
+	// ChoiceA and ChoiceB are each ball's two bin choices, and
+	// Assignment its final bin, exposed for verification and analysis.
+	ChoiceA, ChoiceB, Assignment []int32
+}
+
+// Config tunes the self-balancer.
+type Config struct {
+	// MaxPasses caps local-move sweeps (safety bound; the process
+	// terminates on its own). 0 means no cap.
+	MaxPasses int
+	// ShufflePasses randomizes ball order each sweep, matching the
+	// randomized scheduling of [6]. SelfBalance enables it.
+	ShufflePasses bool
+	// DisablePathShifts turns off the augmenting-path phase, leaving
+	// only local moves (useful for ablation).
+	DisablePathShifts bool
+	// ShiftBudget caps the number of ball migrations performed by path
+	// shifts. 0 means the default 4n+128.
+	ShiftBudget int
+}
+
+type balancer struct {
+	v        *loadvec.Vector
+	choiceA  []int32
+	choiceB  []int32
+	cur      []int32
+	binBalls [][]int32
+	res      *Result
+}
+
+// SelfBalance places m balls into n bins with two choices each and
+// rebalances until the maximum load is optimal for the drawn choice
+// graph (or budgets run out). It panics if n <= 0 or m < 0.
+func SelfBalance(n int, m int64, r *rng.Rand) Result {
+	return SelfBalanceConfig(n, m, r, Config{ShufflePasses: true})
+}
+
+// SelfBalanceConfig is SelfBalance with explicit configuration.
+func SelfBalanceConfig(n int, m int64, r *rng.Rand, cfg Config) Result {
+	if n <= 0 {
+		panic("realloc: SelfBalance with n <= 0")
+	}
+	if m < 0 {
+		panic("realloc: SelfBalance with m < 0")
+	}
+	b := &balancer{
+		v:       loadvec.New(n),
+		choiceA: make([]int32, m),
+		choiceB: make([]int32, m),
+		cur:     make([]int32, m),
+		res:     &Result{},
+	}
+
+	// Initial greedy[2] placement.
+	for i := int64(0); i < m; i++ {
+		a := int32(r.Intn(n))
+		c := int32(r.Intn(n))
+		b.choiceA[i], b.choiceB[i] = a, c
+		pick := a
+		if b.v.Load(int(c)) < b.v.Load(int(a)) {
+			pick = c
+		}
+		b.v.Increment(int(pick))
+		b.cur[i] = pick
+	}
+	b.res.Vector = b.v
+	b.res.InitialSamples = 2 * m
+	b.res.InitialMaxLoad = b.v.MaxLoad()
+	b.res.ChoiceA, b.res.ChoiceB, b.res.Assignment = b.choiceA, b.choiceB, b.cur
+
+	b.localMoves(r, cfg)
+
+	if !cfg.DisablePathShifts {
+		budget := cfg.ShiftBudget
+		if budget == 0 {
+			budget = 4*n + 128
+		}
+		b.buildBinBalls()
+		b.res.Optimal = b.pathShifts(budget)
+		// Path shifts can expose new profitable local moves; settle.
+		b.localMoves(r, cfg)
+	}
+	return *b.res
+}
+
+// localMoves sweeps the balls, migrating any ball whose alternate
+// choice is at least two below its current bin, until a sweep makes no
+// move (or MaxPasses is hit).
+func (b *balancer) localMoves(r *rng.Rand, cfg Config) {
+	m := len(b.cur)
+	order := make([]int64, m)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	for {
+		if cfg.MaxPasses > 0 && b.res.Passes >= cfg.MaxPasses {
+			return
+		}
+		if cfg.ShufflePasses {
+			r.Shuffle(len(order), func(i, j int) {
+				order[i], order[j] = order[j], order[i]
+			})
+		}
+		moves := int64(0)
+		for _, ball := range order {
+			here := b.cur[ball]
+			other := b.otherChoice(ball, here)
+			if other == here {
+				continue
+			}
+			if b.v.Load(int(other))+2 <= b.v.Load(int(here)) {
+				b.move(ball, here, other)
+				moves++
+			}
+		}
+		b.res.Passes++
+		b.res.Moves += moves
+		if moves == 0 {
+			return
+		}
+	}
+}
+
+// otherChoice returns the ball's choice that is not `here` (or `here`
+// itself when both choices coincide).
+func (b *balancer) otherChoice(ball int64, here int32) int32 {
+	if o := b.choiceA[ball]; o != here {
+		return o
+	}
+	return b.choiceB[ball]
+}
+
+// move migrates ball from bin `from` to bin `to`, maintaining the
+// bin-to-balls index when it exists.
+func (b *balancer) move(ball int64, from, to int32) {
+	b.v.Decrement(int(from))
+	b.v.Increment(int(to))
+	b.cur[ball] = to
+	if b.binBalls != nil {
+		list := b.binBalls[from]
+		for i, bb := range list {
+			if int64(bb) == ball {
+				list[i] = list[len(list)-1]
+				b.binBalls[from] = list[:len(list)-1]
+				break
+			}
+		}
+		b.binBalls[to] = append(b.binBalls[to], int32(ball))
+	}
+}
+
+// buildBinBalls indexes balls by their current bin.
+func (b *balancer) buildBinBalls() {
+	b.binBalls = make([][]int32, b.v.N())
+	for ball, bin := range b.cur {
+		b.binBalls[bin] = append(b.binBalls[bin], int32(ball))
+	}
+}
+
+// pathShifts repeatedly finds a shortest augmenting path from some
+// maximum-load bin to a bin at least two lower and shifts one ball
+// along each edge. It returns true if it stopped because no augmenting
+// path exists (max load optimal), false if the budget ran out.
+func (b *balancer) pathShifts(budget int) bool {
+	n := b.v.N()
+	visited := make([]int32, n) // generation marks; 0 = unseen
+	parentBall := make([]int64, n)
+	parentBin := make([]int32, n)
+	queue := make([]int32, 0, n)
+	gen := int32(0)
+
+	shifted := 0
+	for shifted < budget {
+		max := b.v.MaxLoad()
+		if b.v.MinLoad() >= max-1 {
+			return true // already optimally flat
+		}
+		gen++
+		queue = queue[:0]
+		for bin := 0; bin < n; bin++ {
+			if b.v.Load(bin) == max {
+				visited[bin] = gen
+				parentBall[bin] = -1
+				queue = append(queue, int32(bin))
+			}
+		}
+		var sink int32 = -1
+	bfs:
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			for _, ball := range b.binBalls[x] {
+				y := b.otherChoice(int64(ball), x)
+				if y == x || visited[y] == gen {
+					continue
+				}
+				visited[y] = gen
+				parentBall[y] = int64(ball)
+				parentBin[y] = x
+				if b.v.Load(int(y)) <= max-2 {
+					sink = y
+					break bfs
+				}
+				queue = append(queue, y)
+			}
+		}
+		if sink < 0 {
+			return true // no augmenting path: max load is optimal
+		}
+		// Shift one ball along every edge, walking the path backwards
+		// from the sink to a maximum bin.
+		for bin := sink; parentBall[bin] >= 0; bin = parentBin[bin] {
+			ball := parentBall[bin]
+			b.move(ball, parentBin[bin], bin)
+			b.res.Moves++
+			shifted++
+		}
+		b.res.PathShifts++
+	}
+	return false
+}
+
+// Verify checks that res is a local fixed point: no ball can move to
+// its alternate choice and reduce the load difference by two or more,
+// and every ball sits in one of its own choices. It is O(m) and
+// intended for tests. It returns nil for results produced without a
+// pass cap.
+func Verify(res Result) error {
+	v := res.Vector
+	for ball, here := range res.Assignment {
+		if here != res.ChoiceA[ball] && here != res.ChoiceB[ball] {
+			return fmt.Errorf("ball %d assigned to %d, not among its choices (%d, %d)",
+				ball, here, res.ChoiceA[ball], res.ChoiceB[ball])
+		}
+		other := res.ChoiceA[ball]
+		if other == here {
+			other = res.ChoiceB[ball]
+		}
+		if other == here {
+			continue
+		}
+		if v.Load(int(other))+2 <= v.Load(int(here)) {
+			return fmt.Errorf("ball %d can still improve: %d -> %d (%d vs %d)",
+				ball, here, other, v.Load(int(here)), v.Load(int(other)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package realloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestSelfBalanceBasics(t *testing.T) {
+	const n, m = 256, 2048
+	res := SelfBalance(n, m, rng.New(1))
+	if res.Vector.Balls() != m {
+		t.Fatalf("balls = %d want %d", res.Vector.Balls(), m)
+	}
+	if res.InitialSamples != 2*m {
+		t.Fatalf("initial samples = %d want %d", res.InitialSamples, 2*m)
+	}
+	if err := res.Vector.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfBalanceReachesNearPerfectLoad(t *testing.T) {
+	// [6]: the fixed point has max load ceil(m/n) (+1). With two
+	// choices per ball and m >> n the local optimum is within 1 of
+	// perfectly balanced w.h.p.
+	cases := []struct {
+		n int
+		m int64
+	}{
+		{128, 128}, {128, 1024}, {512, 4096}, {1024, 1024},
+	}
+	for _, c := range cases {
+		res := SelfBalance(c.n, c.m, rng.New(uint64(300+c.n)))
+		perfect := int(protocol.CeilDiv(c.m, int64(c.n)))
+		if res.Vector.MaxLoad() > perfect+1 {
+			t.Errorf("n=%d m=%d: max load %d exceeds ceil(m/n)+1 = %d",
+				c.n, c.m, res.Vector.MaxLoad(), perfect+1)
+		}
+		if res.Vector.MaxLoad() > res.InitialMaxLoad {
+			t.Errorf("n=%d m=%d: balancing worsened max load %d -> %d",
+				c.n, c.m, res.InitialMaxLoad, res.Vector.MaxLoad())
+		}
+	}
+}
+
+func TestSelfBalanceImprovesOnGreedy(t *testing.T) {
+	// In the heavily loaded case greedy[2] drifts log log n above m/n;
+	// self-balancing must strictly improve it.
+	const n = 256
+	const m = int64(64 * n)
+	res := SelfBalance(n, m, rng.New(7))
+	if res.Vector.MaxLoad() >= res.InitialMaxLoad &&
+		res.InitialMaxLoad > int(m)/n+1 {
+		t.Errorf("no improvement: initial %d final %d", res.InitialMaxLoad,
+			res.Vector.MaxLoad())
+	}
+	if res.Moves == 0 && res.InitialMaxLoad > int(m)/n+1 {
+		t.Error("expected at least one reallocation move")
+	}
+}
+
+func TestSelfBalanceMovesAreLinearish(t *testing.T) {
+	// [6] promises O(m) + n^{O(1)} reallocations; locally we just check
+	// moves do not explode superlinearly at laptop scale.
+	const n = 512
+	for _, phi := range []int64{1, 8, 32} {
+		m := phi * n
+		res := SelfBalance(n, m, rng.New(uint64(11+phi)))
+		if res.Moves > 4*m+int64(n) {
+			t.Errorf("phi=%d: %d moves for m=%d, superlinear", phi, res.Moves, m)
+		}
+	}
+}
+
+func TestSelfBalanceFixedPointProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := 1 + int(nRaw%64)
+		m := int64(mRaw % 1024)
+		res := SelfBalance(n, m, rng.New(seed))
+		if res.Vector.Balls() != m {
+			return false
+		}
+		if err := res.Vector.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := Verify(res); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfBalanceDeterministic(t *testing.T) {
+	a := SelfBalance(64, 512, rng.New(42))
+	b := SelfBalance(64, 512, rng.New(42))
+	if a.Moves != b.Moves || a.Passes != b.Passes ||
+		a.Vector.MaxLoad() != b.Vector.MaxLoad() {
+		t.Fatal("same seed produced different balancing runs")
+	}
+}
+
+func TestPathShiftsBeatLocalMoves(t *testing.T) {
+	// For m = n the local-move fixed point typically leaves max load 3;
+	// augmenting-path shifts must bring it to the 2-orientability
+	// optimum (m/n = 1 is far below the d=2, k=2 threshold ~1.79).
+	const n = 10000
+	const m = int64(n)
+	withShifts := SelfBalance(n, m, rng.New(5))
+	withoutShifts := SelfBalanceConfig(n, m, rng.New(5),
+		Config{ShufflePasses: true, DisablePathShifts: true})
+	if got := withShifts.Vector.MaxLoad(); got > 2 {
+		t.Errorf("path shifts left max load %d, want <= 2", got)
+	}
+	if withShifts.Vector.MaxLoad() > withoutShifts.Vector.MaxLoad() {
+		t.Errorf("path shifts made things worse: %d vs %d",
+			withShifts.Vector.MaxLoad(), withoutShifts.Vector.MaxLoad())
+	}
+	if !withShifts.Optimal {
+		t.Error("expected Optimal=true (no augmenting path left)")
+	}
+	if err := Verify(withShifts); err != nil {
+		t.Fatal(err)
+	}
+	if err := withShifts.Vector.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathShiftBudgetRespected(t *testing.T) {
+	res := SelfBalanceConfig(4096, 4096, rng.New(9),
+		Config{ShufflePasses: true, ShiftBudget: 1})
+	// With budget 1, at most one migration can come from path shifts;
+	// the run must still be internally consistent.
+	if err := res.Vector.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfBalanceMaxPassesCap(t *testing.T) {
+	res := SelfBalanceConfig(64, 4096, rng.New(3), Config{MaxPasses: 1})
+	if res.Passes > 1 {
+		t.Fatalf("passes = %d despite cap 1", res.Passes)
+	}
+}
+
+func TestSelfBalanceZeroBalls(t *testing.T) {
+	res := SelfBalance(8, 0, rng.New(1))
+	if res.Vector.Balls() != 0 || res.Moves != 0 {
+		t.Fatal("m=0 should be a no-op")
+	}
+	if err := Verify(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfBalancePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0": func() { SelfBalance(0, 1, rng.New(1)) },
+		"m<0": func() { SelfBalance(1, -1, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkSelfBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SelfBalance(1024, 8192, rng.New(uint64(i)))
+	}
+}

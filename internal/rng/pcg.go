@@ -1,0 +1,62 @@
+package rng
+
+import "math/bits"
+
+// PCG32 implements O'Neill's PCG-XSH-RR 64/32 generator: 64 bits of
+// LCG state with a permuted 32-bit output. It is included as an
+// alternative generator family for cross-checking results; experiments
+// run with two unrelated generators and agreeing statistics are strong
+// evidence against generator artifacts.
+type PCG32 struct {
+	state uint64
+	inc   uint64 // must be odd
+}
+
+const pcgMultiplier = 6364136223846793005
+
+// NewPCG32 returns a PCG32 initialized from seed and the given stream
+// selector. Distinct stream values yield independent sequences.
+func NewPCG32(seed, stream uint64) *PCG32 {
+	p := &PCG32{inc: (stream << 1) | 1}
+	p.state = 0
+	p.next32()
+	p.state += seed
+	p.next32()
+	return p
+}
+
+// next32 returns the next 32-bit output.
+func (p *PCG32) next32() uint32 {
+	old := p.state
+	p.state = old*pcgMultiplier + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := int(old >> 59)
+	return bits.RotateLeft32(xorshifted, -rot)
+}
+
+// Uint64 returns the next 64 bits, assembled from two 32-bit outputs,
+// so PCG32 satisfies Source.
+func (p *PCG32) Uint64() uint64 {
+	hi := uint64(p.next32())
+	lo := uint64(p.next32())
+	return hi<<32 | lo
+}
+
+// Advance skips the generator delta steps forward in O(log delta) time
+// using LCG fast-forwarding.
+func (p *PCG32) Advance(delta uint64) {
+	curMult := uint64(pcgMultiplier)
+	curPlus := p.inc
+	accMult := uint64(1)
+	accPlus := uint64(0)
+	for delta > 0 {
+		if delta&1 != 0 {
+			accMult *= curMult
+			accPlus = accPlus*curMult + curPlus
+		}
+		curPlus = (curMult + 1) * curPlus
+		curMult *= curMult
+		delta >>= 1
+	}
+	p.state = accMult*p.state + accPlus
+}

@@ -1,0 +1,381 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: %x != %x", i, av, bv)
+		}
+	}
+}
+
+func TestSplitMix64SeedsDiffer(t *testing.T) {
+	a := NewSplitMix64(1)
+	b := NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d times in 1000 draws", same)
+	}
+}
+
+func TestSplitMix64SeedReset(t *testing.T) {
+	s := NewSplitMix64(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, step %d: got %x want %x", i, got, first[i])
+		}
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(99)
+	b := NewXoshiro256(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+func TestXoshiroJumpDisjoint(t *testing.T) {
+	// After a jump, the stream must not overlap the pre-jump prefix.
+	a := NewXoshiro256(5)
+	prefix := make(map[uint64]bool, 4096)
+	for i := 0; i < 4096; i++ {
+		prefix[a.Uint64()] = true
+	}
+	b := NewXoshiro256(5)
+	b.Jump()
+	hits := 0
+	for i := 0; i < 4096; i++ {
+		if prefix[b.Uint64()] {
+			hits++
+		}
+	}
+	// Random 64-bit collisions among 2*4096 values are essentially
+	// impossible; any hit indicates stream overlap.
+	if hits != 0 {
+		t.Fatalf("jumped stream overlapped prefix %d times", hits)
+	}
+}
+
+func TestXoshiroJumpCommutesWithSteps(t *testing.T) {
+	// jump then n steps == n steps then jump must NOT be equal in
+	// general, but jump must be a pure function of state: two identical
+	// generators jumped once must agree forever.
+	a := NewXoshiro256(123)
+	b := NewXoshiro256(123)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 256; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("jumped twins diverged at %d", i)
+		}
+	}
+}
+
+func TestPCG32Deterministic(t *testing.T) {
+	a := NewPCG32(2024, 54)
+	b := NewPCG32(2024, 54)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("diverged at step %d", i)
+		}
+	}
+}
+
+func TestPCG32StreamsDiffer(t *testing.T) {
+	a := NewPCG32(7, 1)
+	b := NewPCG32(7, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 matched %d of 1000 draws", same)
+	}
+}
+
+func TestPCG32Advance(t *testing.T) {
+	a := NewPCG32(11, 3)
+	b := NewPCG32(11, 3)
+	const skip = 1000
+	for i := 0; i < skip; i++ {
+		a.next32()
+	}
+	b.Advance(skip)
+	for i := 0; i < 64; i++ {
+		if a.next32() != b.next32() {
+			t.Fatalf("Advance(%d) disagrees with stepping at offset %d", skip, i)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(1)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 20, (1 << 63) + 12345} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Chi-square goodness of fit over 16 buckets. With 160000 samples
+	// and 15 degrees of freedom, chi2 > 60 has probability ~3e-7.
+	r := New(77)
+	const buckets = 16
+	const samples = 160000
+	var counts [buckets]int
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	expected := float64(samples) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 60 {
+		t.Fatalf("chi-square %.2f too large; counts %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean %.4f deviates from 0.5", mean)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	base := New(999)
+	s1 := base.Stream(1)
+	s2 := base.Stream(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 1 and 2 matched %d times", same)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := New(5).Stream(9)
+	b := New(5).Stream(9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed,stream) diverged at %d", i)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(6)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformSmall(t *testing.T) {
+	// All 6 permutations of 3 elements should appear with roughly equal
+	// frequency.
+	r := New(8)
+	counts := map[[3]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := r.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations, want 6", len(counts))
+	}
+	for perm, c := range counts {
+		if c < trials/6-800 || c > trials/6+800 {
+			t.Fatalf("permutation %v frequency %d deviates from %d", perm, c, trials/6)
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	// Shuffle must preserve the multiset of elements.
+	f := func(seed uint64, raw []byte) bool {
+		r := New(seed)
+		vals := make([]int, len(raw))
+		for i, b := range raw {
+			vals[i] = int(b)
+		}
+		orig := map[int]int{}
+		for _, v := range vals {
+			orig[v]++
+		}
+		r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		got := map[int]int{}
+		for _, v := range vals {
+			got[v]++
+		}
+		if len(orig) != len(got) {
+			return false
+		}
+		for k, v := range orig {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(p) {
+				hits++
+			}
+		}
+		freq := float64(hits) / n
+		if math.Abs(freq-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) frequency %.4f", p, freq)
+		}
+	}
+}
+
+func TestGeneratorFamiliesDisagree(t *testing.T) {
+	// Same seed, different algorithms: the streams must be unrelated.
+	x := NewXoshiro256(42)
+	p := NewPCG32(42, 0)
+	s := NewSplitMix64(42)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a, b, c := x.Uint64(), p.Uint64(), s.Uint64()
+		if a == b || b == c || a == c {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct generator families collided %d times", same)
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPCG32Uint64(b *testing.B) {
+	r := NewPCG32(1, 0)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64n(10007)
+	}
+	_ = sink
+}

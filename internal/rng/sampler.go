@@ -1,0 +1,158 @@
+package rng
+
+import "math"
+
+// Poisson returns a sample from the Poisson distribution with mean
+// lambda. It panics if lambda < 0; Poisson(0) is 0.
+//
+// For small lambda the sampler uses Knuth's product-of-uniforms method,
+// which is exact. For large lambda it splits lambda in halves and sums
+// two independent Poisson samples (Poi(a)+Poi(b) ~ Poi(a+b)), keeping
+// the method exact at every scale, at O(lambda) expected cost. The
+// experiments in this repository only need lambda up to a few hundred,
+// where this is plenty fast.
+func (r *Rand) Poisson(lambda float64) int64 {
+	switch {
+	case lambda < 0 || math.IsNaN(lambda):
+		panic("rng: Poisson with lambda < 0")
+	case lambda == 0:
+		return 0
+	case lambda <= 30:
+		return r.poissonKnuth(lambda)
+	default:
+		half := lambda / 2
+		return r.Poisson(half) + r.Poisson(lambda-half)
+	}
+}
+
+// poissonKnuth is exact for moderate lambda: count uniforms whose
+// running product stays above e^-lambda.
+func (r *Rand) poissonKnuth(lambda float64) int64 {
+	limit := math.Exp(-lambda)
+	var k int64
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// Binomial returns a sample from Binomial(n, p): the number of
+// successes in n independent trials with success probability p.
+// It panics if n < 0 or p is outside [0, 1].
+//
+// The sampler uses geometric gap-skipping (O(np+1) expected time),
+// exploiting symmetry for p > 1/2, and is exact for every (n, p).
+func (r *Rand) Binomial(n int64, p float64) int64 {
+	switch {
+	case n < 0:
+		panic("rng: Binomial with n < 0")
+	case p < 0 || p > 1 || math.IsNaN(p):
+		panic("rng: Binomial with p outside [0,1]")
+	case n == 0 || p == 0:
+		return 0
+	case p == 1:
+		return n
+	case p > 0.5:
+		return n - r.Binomial(n, 1-p)
+	}
+	// Skip over failures geometrically: the gap to the next success is
+	// Geometric(p) distributed.
+	logQ := math.Log1p(-p)
+	var successes, trial int64
+	for {
+		// gap >= 1 is the index (1-based) of the next success among the
+		// remaining trials.
+		gap := int64(math.Ceil(math.Log1p(-r.Float64()) / logQ))
+		if gap < 1 {
+			gap = 1 // guards the measure-zero u==0 edge after rounding
+		}
+		trial += gap
+		if trial > n {
+			return successes
+		}
+		successes++
+	}
+}
+
+// Geometric returns the number of Bernoulli(p) trials up to and
+// including the first success. Support {1, 2, ...}, mean 1/p.
+// It panics unless 0 < p <= 1.
+func (r *Rand) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic("rng: Geometric with p outside (0,1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	k := int64(math.Ceil(math.Log1p(-r.Float64()) / math.Log1p(-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Exponential returns a sample from the exponential distribution with
+// the given rate (mean 1/rate). It panics if rate <= 0.
+func (r *Rand) Exponential(rate float64) float64 {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic("rng: Exponential with rate <= 0")
+	}
+	return -math.Log1p(-r.Float64()) / rate
+}
+
+// Normal returns a sample from the standard normal distribution using
+// the Marsaglia polar method with a cached spare variate.
+func (r *Rand) Normal() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// NormalMeanStd returns a normal sample with the given mean and
+// standard deviation. It panics if std < 0.
+func (r *Rand) NormalMeanStd(mean, std float64) float64 {
+	if std < 0 {
+		panic("rng: NormalMeanStd with std < 0")
+	}
+	return mean + std*r.Normal()
+}
+
+// Pareto returns a sample from the Pareto distribution with shape
+// alpha and scale xm (support [xm, ∞), by inversion). It panics unless
+// alpha > 0 and xm > 0.
+func (r *Rand) Pareto(alpha, xm float64) float64 {
+	if alpha <= 0 || xm <= 0 || math.IsNaN(alpha) || math.IsNaN(xm) {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	return xm * math.Pow(1-r.Float64(), -1/alpha)
+}
+
+// BoundedPareto returns a sample from the Pareto(alpha, lo)
+// distribution truncated to [lo, hi], via exact inversion of the
+// truncated CDF (no rejection, no clamping bias). It panics unless
+// alpha > 0 and 0 < lo < hi.
+func (r *Rand) BoundedPareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo ||
+		math.IsNaN(alpha) || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic("rng: BoundedPareto with invalid parameters")
+	}
+	// F(hi) = 1 - (lo/hi)^alpha; invert u' = u * F(hi).
+	fHi := 1 - math.Pow(lo/hi, alpha)
+	u := r.Float64() * fHi
+	return lo * math.Pow(1-u, -1/alpha)
+}

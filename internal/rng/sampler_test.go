@@ -1,0 +1,264 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// meanVar computes the sample mean and variance of draws.
+func meanVar(draws []float64) (mean, variance float64) {
+	for _, d := range draws {
+		mean += d
+	}
+	mean /= float64(len(draws))
+	for _, d := range draws {
+		variance += (d - mean) * (d - mean)
+	}
+	variance /= float64(len(draws) - 1)
+	return mean, variance
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(21)
+	for _, lambda := range []float64{0.5, 1, 199.0 / 198.0, 5, 30, 100, 250} {
+		const n = 50000
+		draws := make([]float64, n)
+		for i := range draws {
+			draws[i] = float64(r.Poisson(lambda))
+		}
+		mean, variance := meanVar(draws)
+		// Mean and variance of Poisson(lambda) are both lambda.
+		tol := 5 * math.Sqrt(lambda/float64(n)) * 3 // ~5 sigma on the mean
+		if math.Abs(mean-lambda) > math.Max(tol, 0.05) {
+			t.Errorf("lambda=%v: mean %.4f", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > math.Max(0.15*lambda, 0.1) {
+			t.Errorf("lambda=%v: variance %.4f", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := New(22)
+	for i := 0; i < 100; i++ {
+		if v := r.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d", v)
+		}
+	}
+}
+
+func TestPoissonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestPoissonSplitConsistency(t *testing.T) {
+	// The recursive split used for lambda > 30 must produce the same
+	// distribution as the direct method. Compare P(X <= k) empirically
+	// for lambda=40 against the normal approximation to within generous
+	// slack.
+	r := New(23)
+	const lambda = 40.0
+	const n = 40000
+	below := 0
+	for i := 0; i < n; i++ {
+		if float64(r.Poisson(lambda)) <= lambda {
+			below++
+		}
+	}
+	// P(Poi(40) <= 40) ~ 0.54 (slightly above 1/2 due to discreteness).
+	frac := float64(below) / n
+	if frac < 0.49 || frac > 0.60 {
+		t.Fatalf("P(Poi(40)<=40) estimated at %.3f", frac)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(24)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{10, 0.5}, {100, 0.1}, {100, 0.9}, {1000, 0.01}, {5000, 0.5}, {7, 1.0 / 7.0},
+	}
+	for _, c := range cases {
+		const reps = 30000
+		draws := make([]float64, reps)
+		for i := range draws {
+			draws[i] = float64(r.Binomial(c.n, c.p))
+		}
+		mean, variance := meanVar(draws)
+		wantMean := float64(c.n) * c.p
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		if math.Abs(mean-wantMean) > math.Max(0.05*wantMean, 0.1) {
+			t.Errorf("Bin(%d,%v): mean %.3f want %.3f", c.n, c.p, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > math.Max(0.15*wantVar, 0.2) {
+			t.Errorf("Bin(%d,%v): var %.3f want %.3f", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(25)
+	if v := r.Binomial(0, 0.5); v != 0 {
+		t.Fatalf("Bin(0,1/2) = %d", v)
+	}
+	if v := r.Binomial(10, 0); v != 0 {
+		t.Fatalf("Bin(10,0) = %d", v)
+	}
+	if v := r.Binomial(10, 1); v != 10 {
+		t.Fatalf("Bin(10,1) = %d", v)
+	}
+	for i := 0; i < 1000; i++ {
+		if v := r.Binomial(5, 0.3); v < 0 || v > 5 {
+			t.Fatalf("Bin(5,0.3) = %d out of support", v)
+		}
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative n": func() { New(1).Binomial(-1, 0.5) },
+		"p too big":  func() { New(1).Binomial(1, 1.5) },
+		"p negative": func() { New(1).Binomial(1, -0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGeometricMoments(t *testing.T) {
+	r := New(26)
+	for _, p := range []float64{0.05, 0.2, 0.5, 0.9, 1.0} {
+		const n = 50000
+		sum := 0.0
+		minv := int64(math.MaxInt64)
+		for i := 0; i < n; i++ {
+			g := r.Geometric(p)
+			if g < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", p, g)
+			}
+			if g < minv {
+				minv = g
+			}
+			sum += float64(g)
+		}
+		mean := sum / n
+		want := 1 / p
+		if math.Abs(mean-want) > 0.05*want+0.01 {
+			t.Errorf("Geometric(%v): mean %.3f want %.3f", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(27)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 1 {
+			t.Fatalf("Geometric(1) = %d", v)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%v) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(28)
+	for _, rate := range []float64{0.5, 1, 4} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := r.Exponential(rate)
+			if v < 0 {
+				t.Fatalf("Exponential(%v) = %v < 0", rate, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want) > 0.03*want {
+			t.Errorf("Exponential(%v): mean %.4f want %.4f", rate, mean, want)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(29)
+	const n = 200000
+	draws := make([]float64, n)
+	for i := range draws {
+		draws[i] = r.Normal()
+	}
+	mean, variance := meanVar(draws)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance %.4f", variance)
+	}
+}
+
+func TestNormalMeanStd(t *testing.T) {
+	r := New(30)
+	const n = 100000
+	draws := make([]float64, n)
+	for i := range draws {
+		draws[i] = r.NormalMeanStd(10, 3)
+	}
+	mean, variance := meanVar(draws)
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean %.3f want 10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.1 {
+		t.Errorf("std %.3f want 3", math.Sqrt(variance))
+	}
+}
+
+func TestNormalMeanStdPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NormalMeanStd with std<0 did not panic")
+		}
+	}()
+	New(1).NormalMeanStd(0, -1)
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Poisson(1.005)
+	}
+	_ = sink
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	r := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.Binomial(100000, 0.0001)
+	}
+	_ = sink
+}

@@ -1,0 +1,170 @@
+// Package sim is the experiment harness: it runs replicated allocation
+// experiments across a worker pool, with deterministic per-replicate
+// seeding and mergeable statistics, reproducing the paper's Section 5
+// methodology ("every point is the average over 100 simulations").
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Spec describes one experiment configuration.
+type Spec struct {
+	// Name labels the configuration in outputs (defaults to the
+	// protocol name when empty).
+	Name string
+	// Factory builds a fresh protocol instance per replicate.
+	Factory protocol.Factory
+	// N and M are the bins and balls of each replicate.
+	N int
+	M int64
+	// Reps is the number of replicates (the paper uses 100).
+	Reps int
+	// Seed is the master seed; replicate r uses stream r, so results
+	// are reproducible and independent of scheduling.
+	Seed uint64
+}
+
+// Aggregate holds per-metric statistics over the replicates of one
+// Spec.
+type Aggregate struct {
+	Spec Spec
+
+	Time        stats.Welford // allocation time (samples)
+	TimePerBall stats.Welford
+	MaxLoad     stats.Welford
+	Gap         stats.Welford
+	Psi         stats.Welford
+	Phi         stats.Welford
+}
+
+// Label returns the spec's display name.
+func (s Spec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.Factory().Name()
+}
+
+// validate panics on malformed specs, which are programming errors.
+func (s Spec) validate() {
+	if s.Factory == nil {
+		panic("sim: Spec without Factory")
+	}
+	if s.N <= 0 {
+		panic("sim: Spec with N <= 0")
+	}
+	if s.M < 0 {
+		panic("sim: Spec with M < 0")
+	}
+	if s.Reps <= 0 {
+		panic("sim: Spec with Reps <= 0")
+	}
+}
+
+// Run executes all replicates of spec, fanning out over `workers`
+// goroutines (0 = GOMAXPROCS), and returns merged statistics. The
+// aggregation order is fixed by replicate index, so results are
+// bit-for-bit reproducible for a given seed regardless of workers.
+// ctx cancellation aborts pending replicates and returns ctx.Err().
+func Run(ctx context.Context, spec Spec, workers int) (Aggregate, error) {
+	spec.validate()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > spec.Reps {
+		workers = spec.Reps
+	}
+
+	metrics := make([]core.Metrics, spec.Reps)
+	errs := make([]error, spec.Reps)
+	var wg sync.WaitGroup
+	next := make(chan int)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[rep] = fmt.Errorf("replicate %d panicked: %v", rep, r)
+						}
+					}()
+					seed := rng.New(spec.Seed).Stream(uint64(rep)).Seed()
+					metrics[rep] = core.RunOne(spec.Factory, spec.N, spec.M, seed)
+				}()
+			}
+		}()
+	}
+
+feed:
+	for rep := 0; rep < spec.Reps; rep++ {
+		select {
+		case next <- rep:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Aggregate{}, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Aggregate{}, err
+		}
+	}
+
+	agg := Aggregate{Spec: spec}
+	for _, m := range metrics {
+		agg.Time.Add(float64(m.Samples))
+		agg.TimePerBall.Add(m.SamplesPerBall)
+		agg.MaxLoad.Add(float64(m.MaxLoad))
+		agg.Gap.Add(float64(m.Gap))
+		agg.Psi.Add(m.Psi)
+		agg.Phi.Add(m.Phi)
+	}
+	return agg, nil
+}
+
+// RunAll runs every spec in order and returns the aggregates. It stops
+// at the first error (including context cancellation).
+func RunAll(ctx context.Context, specs []Spec, workers int) ([]Aggregate, error) {
+	out := make([]Aggregate, 0, len(specs))
+	for _, s := range specs {
+		agg, err := Run(ctx, s, workers)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+// SweepM builds one spec per m value, sharing every other parameter —
+// the shape of the paper's Figure 3 sweeps.
+func SweepM(name string, f protocol.Factory, n int, ms []int64, reps int, seed uint64) []Spec {
+	specs := make([]Spec, len(ms))
+	for i, m := range ms {
+		specs[i] = Spec{
+			Name:    fmt.Sprintf("%s m=%d", name, m),
+			Factory: f,
+			N:       n,
+			M:       m,
+			Reps:    reps,
+			Seed:    rng.Mix(seed, uint64(i)),
+		}
+	}
+	return specs
+}

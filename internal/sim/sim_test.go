@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func adaptiveSpec(reps int) Spec {
+	return Spec{
+		Factory: func() protocol.Protocol { return protocol.NewAdaptive() },
+		N:       64, M: 640, Reps: reps, Seed: 7,
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	agg, err := Run(context.Background(), adaptiveSpec(20), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Time.Count() != 20 {
+		t.Fatalf("count = %d", agg.Time.Count())
+	}
+	if agg.Time.Mean() < 640 {
+		t.Fatalf("mean time %v below m", agg.Time.Mean())
+	}
+	if agg.TimePerBall.Mean() < 1 || agg.TimePerBall.Mean() > 3 {
+		t.Fatalf("time per ball %v implausible", agg.TimePerBall.Mean())
+	}
+	if agg.MaxLoad.Max() > 12 {
+		t.Fatalf("max load %v exceeds ceil(m/n)+1", agg.MaxLoad.Max())
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	a, err := Run(context.Background(), adaptiveSpec(16), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), adaptiveSpec(16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time.Mean() != b.Time.Mean() || a.Psi.Mean() != b.Psi.Mean() {
+		t.Fatal("aggregation depends on worker count")
+	}
+	if a.Time.Variance() != b.Time.Variance() {
+		t.Fatal("variance depends on worker count")
+	}
+}
+
+func TestRunReplicatesDiffer(t *testing.T) {
+	agg, err := Run(context.Background(), adaptiveSpec(10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Time.Variance() == 0 {
+		t.Fatal("replicates produced identical times; seeding is broken")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := adaptiveSpec(1000)
+	if _, err := Run(ctx, spec, 2); err == nil {
+		t.Fatal("cancelled context did not error")
+	}
+}
+
+func TestRunPanicsOnBadSpec(t *testing.T) {
+	bad := []Spec{
+		{N: 1, M: 1, Reps: 1},                             // nil factory
+		{Factory: adaptiveSpec(1).Factory, M: 1, Reps: 1}, // N=0
+		{Factory: adaptiveSpec(1).Factory, N: 1, M: -1, Reps: 1},
+		{Factory: adaptiveSpec(1).Factory, N: 1, M: 1, Reps: 0},
+	}
+	for i, s := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("spec %d did not panic", i)
+				}
+			}()
+			Run(context.Background(), s, 1)
+		}()
+	}
+}
+
+func TestReplicatePanicIsCaptured(t *testing.T) {
+	spec := Spec{
+		Name: "boom",
+		Factory: func() protocol.Protocol {
+			// left[4] with n=2 panics at Reset: n < d.
+			return protocol.NewLeft(4)
+		},
+		N: 2, M: 2, Reps: 3, Seed: 1,
+	}
+	_, err := Run(context.Background(), spec, 2)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("expected captured panic error, got %v", err)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	specs := []Spec{adaptiveSpec(3), adaptiveSpec(3)}
+	aggs, err := RunAll(context.Background(), specs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Fatalf("got %d aggregates", len(aggs))
+	}
+	// Identical specs (same seed) must agree exactly.
+	if aggs[0].Time.Mean() != aggs[1].Time.Mean() {
+		t.Fatal("identical specs disagreed")
+	}
+}
+
+func TestSweepM(t *testing.T) {
+	f := adaptiveSpec(1).Factory
+	specs := SweepM("adaptive", f, 64, []int64{64, 128, 256}, 5, 3)
+	if len(specs) != 3 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	seen := map[uint64]bool{}
+	for i, s := range specs {
+		if s.M != int64(64<<i) {
+			t.Errorf("spec %d has m=%d", i, s.M)
+		}
+		if s.Reps != 5 || s.N != 64 {
+			t.Errorf("spec %d lost shared params", i)
+		}
+		if seen[s.Seed] {
+			t.Error("duplicate seed across sweep points")
+		}
+		seen[s.Seed] = true
+		if !strings.Contains(s.Label(), "m=") {
+			t.Errorf("label %q missing m", s.Label())
+		}
+	}
+}
+
+func TestLabelDefaultsToProtocolName(t *testing.T) {
+	s := adaptiveSpec(1)
+	if s.Label() != "adaptive" {
+		t.Fatalf("label = %q", s.Label())
+	}
+}

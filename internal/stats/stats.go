@@ -1,0 +1,272 @@
+// Package stats provides the streaming and batch statistics used to
+// aggregate simulation replicates: Welford mean/variance accumulators
+// (mergeable, for parallel reduction), exact quantiles, normal-theory
+// confidence intervals, and integer histograms.
+//
+// The paper reports averages over 100 simulations per configuration
+// (Section 5); this package is the reduction step of that methodology.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford accumulates count, mean and variance in a single pass using
+// Welford's numerically stable recurrence. The zero value is ready to
+// use. Welford values can be merged, enabling parallel aggregation.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Merge folds other into w, as if all of other's observations had been
+// added to w (Chan et al. parallel variance update).
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += delta * float64(other.n) / float64(n)
+	w.n = n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// StdErr returns the standard error of the mean, Std/√n.
+func (w *Welford) StdErr() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.Std() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of a ~95% confidence interval for the
+// mean using the normal approximation with a small-sample t correction.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return tCritical95(w.n-1) * w.StdErr()
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t
+// with df degrees of freedom, from a table for small df and the normal
+// limit 1.96 for large df.
+func tCritical95(df int64) float64 {
+	table := []float64{
+		0, // df 0 unused
+		12.706, 4.303, 3.182, 2.776, 2.571,
+		2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131,
+		2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060,
+		2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if int(df) < len(table) {
+		return table[df]
+	}
+	switch {
+	case df < 40:
+		return 2.03
+	case df < 60:
+		return 2.01
+	case df < 120:
+		return 1.99
+	default:
+		return 1.96
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of data using linear
+// interpolation between order statistics. It sorts a copy and does not
+// modify data. It panics on empty data or q outside [0, 1].
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		panic("stats: Quantile of empty data")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: Quantile with q outside [0,1]")
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted computes the q-quantile of already-sorted data.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary holds batch statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P10    float64
+	P90    float64
+	CI95   float64 // half-width of the 95% CI of the mean
+}
+
+// Summarize computes a Summary of data. It panics on empty data.
+func Summarize(data []float64) Summary {
+	if len(data) == 0 {
+		panic("stats: Summarize of empty data")
+	}
+	var w Welford
+	for _, x := range data {
+		w.Add(x)
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return Summary{
+		Count:  len(data),
+		Mean:   w.Mean(),
+		Std:    w.Std(),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: quantileSorted(sorted, 0.5),
+		P10:    quantileSorted(sorted, 0.1),
+		P90:    quantileSorted(sorted, 0.9),
+		CI95:   w.CI95(),
+	}
+}
+
+// IntHistogram counts occurrences of small non-negative integers,
+// growing its backing store as needed. The zero value is ready to use.
+type IntHistogram struct {
+	counts []int64
+	total  int64
+}
+
+// Add records one occurrence of value v. It panics if v < 0.
+func (h *IntHistogram) Add(v int) {
+	if v < 0 {
+		panic("stats: IntHistogram.Add with negative value")
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns how many times v has been added.
+func (h *IntHistogram) Count(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// MaxValue returns the largest value with a non-zero count, or -1 when
+// the histogram is empty.
+func (h *IntHistogram) MaxValue() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Mean returns the mean of the recorded values (0 when empty).
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Merge folds other's counts into h.
+func (h *IntHistogram) Merge(other *IntHistogram) {
+	for v, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		for v >= len(h.counts) {
+			h.counts = append(h.counts, 0)
+		}
+		h.counts[v] += c
+		h.total += c
+	}
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("zero Welford not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if !almost(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if !almost(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Variance() != 0 || w.Std() != 0 || w.StdErr() != 0 || w.CI95() != 0 {
+		t.Error("single observation should have zero spread statistics")
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Error("min/max of single observation wrong")
+	}
+}
+
+func TestWelfordMergeEquivalence(t *testing.T) {
+	f := func(rawA, rawB []uint8) bool {
+		if len(rawA) == 0 && len(rawB) == 0 {
+			return true
+		}
+		var whole, a, b Welford
+		for _, v := range rawA {
+			whole.Add(float64(v))
+			a.Add(float64(v))
+		}
+		for _, v := range rawB {
+			whole.Add(float64(v))
+			b.Add(float64(v))
+		}
+		a.Merge(b)
+		return a.Count() == whole.Count() &&
+			almost(a.Mean(), whole.Mean(), 1e-9) &&
+			almost(a.Variance(), whole.Variance(), 1e-6) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 2 || !almost(b.Mean(), 2, 1e-12) {
+		t.Error("merge into empty incorrect")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	mkW := func(n int) Welford {
+		var w Welford
+		for i := 0; i < n; i++ {
+			w.Add(float64(i % 10))
+		}
+		return w
+	}
+	small := mkW(10)
+	big := mkW(1000)
+	if small.CI95() <= big.CI95() {
+		t.Errorf("CI95 did not shrink: n=10 %v vs n=1000 %v", small.CI95(), big.CI95())
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if !almost(tCritical95(1), 12.706, 1e-9) {
+		t.Error("t(1) wrong")
+	}
+	if !almost(tCritical95(10), 2.228, 1e-9) {
+		t.Error("t(10) wrong")
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Error("t(large) should be 1.96")
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("t(0) should be NaN")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(data, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); !almost(got, 3, 1e-12) {
+		t.Errorf("interpolated quantile = %v want 3", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Quantile(data, 0.5)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty": func() { Quantile(nil, 0.5) },
+		"q<0":   func() { Quantile([]float64{1}, -0.1) },
+		"q>1":   func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8, q1Raw, q2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			data[i] = float64(v)
+		}
+		q1 := float64(q1Raw) / 255
+		q2 := float64(q2Raw) / 255
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(data, q1) <= Quantile(data, q2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	data := []float64{5, 1, 4, 2, 3}
+	s := Summarize(data)
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary basics wrong: %+v", s)
+	}
+	if !almost(s.Mean, 3, 1e-12) || !almost(s.Median, 3, 1e-12) {
+		t.Errorf("mean/median wrong: %+v", s)
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	if !almost(s.P10, quantileSorted(sorted, 0.1), 1e-12) {
+		t.Errorf("P10 wrong: %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestIntHistogram(t *testing.T) {
+	var h IntHistogram
+	if h.MaxValue() != -1 {
+		t.Error("empty histogram MaxValue should be -1")
+	}
+	for _, v := range []int{0, 1, 1, 2, 2, 2, 7} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(2) != 3 || h.Count(7) != 1 || h.Count(5) != 0 || h.Count(-1) != 0 {
+		t.Error("counts wrong")
+	}
+	if h.MaxValue() != 7 {
+		t.Errorf("MaxValue = %d", h.MaxValue())
+	}
+	want := (0.0 + 1 + 1 + 2 + 2 + 2 + 7) / 7
+	if !almost(h.Mean(), want, 1e-12) {
+		t.Errorf("Mean = %v want %v", h.Mean(), want)
+	}
+}
+
+func TestIntHistogramMerge(t *testing.T) {
+	var a, b IntHistogram
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(9)
+	a.Merge(&b)
+	if a.Total() != 4 || a.Count(2) != 2 || a.Count(9) != 1 {
+		t.Errorf("merge wrong: total=%d", a.Total())
+	}
+}
+
+func TestIntHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var h IntHistogram
+	h.Add(-1)
+}

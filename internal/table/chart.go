@@ -1,0 +1,133 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points in a Chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune
+}
+
+// Chart renders one or more series as an ASCII scatter/line chart, in
+// the spirit of the paper's Figure 3 plots.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns; default 64
+	Height int // plot area rows; default 20
+
+	series []Series
+}
+
+// Add appends a series. It panics if X and Y lengths differ, the
+// series is empty, or the marker is zero.
+func (c *Chart) Add(s Series) {
+	if len(s.X) != len(s.Y) {
+		panic("table: series X and Y lengths differ")
+	}
+	if len(s.X) == 0 {
+		panic("table: empty series")
+	}
+	if s.Marker == 0 {
+		panic("table: series needs a marker rune")
+	}
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart. It panics if no series were added.
+func (c *Chart) Render() string {
+	if len(c.series) == 0 {
+		panic("table: Render with no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			grid[height-1-row][col] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title + "\n")
+	}
+	yLo, yHi := formatTick(ymin), formatTick(ymax)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		b.WriteString(label + " |" + string(grid[r]) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", labelW) + " +" + strings.Repeat("-", width) + "\n")
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	gap := width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	b.WriteString(strings.Repeat(" ", labelW+2) + xLo + strings.Repeat(" ", gap) + xHi + "\n")
+	if c.XLabel != "" || c.YLabel != "" {
+		b.WriteString(fmt.Sprintf("x: %s    y: %s\n", c.XLabel, c.YLabel))
+	}
+	for _, s := range c.series {
+		b.WriteString(fmt.Sprintf("  %c %s\n", s.Marker, s.Name))
+	}
+	return b.String()
+}
+
+// formatTick renders an axis endpoint compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,156 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("proto", "time", "max")
+	tb.AddRow("adaptive", "1.2m", "3")
+	tb.AddRow("threshold", "1.0m", "3")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "proto") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator missing:\n%s", out)
+	}
+	// Columns align: every line has the same prefix width up to col 2.
+	idx0 := strings.Index(lines[0], "time")
+	idx2 := strings.Index(lines[2], "1.2m")
+	if idx0 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx0, idx2, out)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRowf(42, 3.14159)
+	out := tb.Render()
+	if !strings.Contains(out, "42") || !strings.Contains(out, "3.142") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+	if tb.NumRows() != 1 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no headers": func() { New() },
+		"bad arity":  func() { New("a", "b").AddRow("only-one") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("x", "y")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	want := "| x | y |\n|---|---|\n| 1 | 2 |\n"
+	if md != want {
+		t.Fatalf("markdown = %q want %q", md, want)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("x", "y")
+	tb.AddRow("1", "hello, world")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, `"hello, world"`) {
+		t.Fatalf("csv quoting wrong: %q", got)
+	}
+	if !strings.HasPrefix(got, "x,y\n") {
+		t.Fatalf("csv header wrong: %q", got)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var c Chart
+	c.Title = "runtime vs m"
+	c.XLabel = "m"
+	c.YLabel = "time"
+	c.Add(Series{Name: "adaptive", X: []float64{1, 2, 3}, Y: []float64{1.3, 2.5, 3.6}, Marker: 'a'})
+	c.Add(Series{Name: "threshold", X: []float64{1, 2, 3}, Y: []float64{1, 2, 3}, Marker: 't'})
+	out := c.Render()
+	if !strings.Contains(out, "runtime vs m") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a adaptive") || !strings.Contains(out, "t threshold") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.ContainsRune(out, 'a') || !strings.ContainsRune(out, 't') {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	var c Chart
+	c.Add(Series{Name: "flat", X: []float64{5}, Y: []float64{7}, Marker: '*'})
+	out := c.Render() // must not divide by zero
+	if !strings.ContainsRune(out, '*') {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatched": func() {
+			var c Chart
+			c.Add(Series{X: []float64{1}, Y: []float64{1, 2}, Marker: '*'})
+		},
+		"empty series": func() {
+			var c Chart
+			c.Add(Series{Marker: '*'})
+		},
+		"no marker": func() {
+			var c Chart
+			c.Add(Series{X: []float64{1}, Y: []float64{1}})
+		},
+		"render empty": func() {
+			var c Chart
+			c.Render()
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1500000: "1.50e+06",
+		250:     "250",
+		3.14159: "3.14",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package trace records time series of allocation runs: snapshots of
+// the load distribution's summary statistics taken every fixed number
+// of balls. The smoothness example uses it to show how the paper's
+// potential functions evolve per stage (every n balls) for adaptive
+// versus threshold.
+package trace
+
+import (
+	"repro/internal/loadvec"
+	"repro/internal/protocol"
+)
+
+// Event is one snapshot of a run in progress.
+type Event struct {
+	Ball    int64 // 1-based index of the ball just placed
+	Samples int64 // cumulative random choices so far
+	MaxLoad int
+	MinLoad int
+	Gap     int
+	Psi     float64
+	Phi     float64
+}
+
+// Recorder collects events, optionally bounded to the most recent
+// Capacity entries (0 = unbounded).
+type Recorder struct {
+	Capacity int
+	events   []Event
+	dropped  int64
+}
+
+// Add appends an event, evicting the oldest when over capacity.
+func (r *Recorder) Add(e Event) {
+	if r.Capacity > 0 && len(r.events) >= r.Capacity {
+		copy(r.events, r.events[1:])
+		r.events[len(r.events)-1] = e
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events, oldest first. The returned slice
+// is owned by the recorder; callers must not modify it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events were evicted due to the capacity
+// bound.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Sampler returns a protocol.Observer that snapshots the run every
+// `every` balls (and always at the first ball). It panics if every <= 0.
+func Sampler(every int64, rec *Recorder) protocol.Observer {
+	if every <= 0 {
+		panic("trace: Sampler with every <= 0")
+	}
+	var cumSamples int64
+	return func(ball, samples int64, v *loadvec.Vector) {
+		cumSamples += samples
+		if ball%every != 0 && ball != 1 {
+			return
+		}
+		rec.Add(Event{
+			Ball:    ball,
+			Samples: cumSamples,
+			MaxLoad: v.MaxLoad(),
+			MinLoad: v.MinLoad(),
+			Gap:     v.Gap(),
+			Psi:     v.QuadraticPotential(),
+			Phi:     v.ExponentialPotential(loadvec.DefaultEpsilon),
+		})
+	}
+}
+
+// Columns converts the recorded events to parallel slices, convenient
+// for charting: balls, psi, gap.
+func (r *Recorder) Columns() (balls, psi, gap []float64) {
+	balls = make([]float64, len(r.events))
+	psi = make([]float64, len(r.events))
+	gap = make([]float64, len(r.events))
+	for i, e := range r.events {
+		balls[i] = float64(e.Ball)
+		psi[i] = e.Psi
+		gap[i] = float64(e.Gap)
+	}
+	return balls, psi, gap
+}

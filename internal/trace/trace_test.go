@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestSamplerRecordsEveryStage(t *testing.T) {
+	const n, m = 32, 320
+	var rec Recorder
+	protocol.RunWithObserver(protocol.NewAdaptive(), n, m, rng.New(1),
+		Sampler(n, &rec))
+	// Records at ball 1 plus every n-th ball: 1 + m/n events.
+	want := 1 + m/n
+	if rec.Len() != want {
+		t.Fatalf("recorded %d events, want %d", rec.Len(), want)
+	}
+	events := rec.Events()
+	if events[0].Ball != 1 {
+		t.Fatalf("first event at ball %d", events[0].Ball)
+	}
+	prevSamples := int64(0)
+	for _, e := range events {
+		if e.Samples < prevSamples {
+			t.Fatalf("cumulative samples decreased at ball %d", e.Ball)
+		}
+		prevSamples = e.Samples
+		if e.Gap != e.MaxLoad-e.MinLoad {
+			t.Fatalf("gap inconsistent at ball %d", e.Ball)
+		}
+		if e.Psi < 0 {
+			t.Fatalf("negative Psi at ball %d", e.Ball)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Ball != m {
+		t.Fatalf("last event at ball %d want %d", last.Ball, m)
+	}
+}
+
+func TestRecorderCapacity(t *testing.T) {
+	rec := Recorder{Capacity: 3}
+	for i := int64(1); i <= 5; i++ {
+		rec.Add(Event{Ball: i})
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("len = %d want 3", rec.Len())
+	}
+	if rec.Dropped() != 2 {
+		t.Fatalf("dropped = %d want 2", rec.Dropped())
+	}
+	events := rec.Events()
+	if events[0].Ball != 3 || events[2].Ball != 5 {
+		t.Fatalf("wrong retained window: %+v", events)
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sampler(0) did not panic")
+		}
+	}()
+	Sampler(0, &Recorder{})
+}
+
+func TestColumns(t *testing.T) {
+	var rec Recorder
+	rec.Add(Event{Ball: 1, Psi: 2.5, Gap: 1})
+	rec.Add(Event{Ball: 2, Psi: 3.5, Gap: 2})
+	balls, psi, gap := rec.Columns()
+	if len(balls) != 2 || balls[1] != 2 || psi[0] != 2.5 || gap[1] != 2 {
+		t.Fatalf("columns wrong: %v %v %v", balls, psi, gap)
+	}
+}
+
+func TestPsiGrowsForThresholdShrinksForAdaptiveLate(t *testing.T) {
+	// Sanity for the smoothness example: threshold's Psi at the end of
+	// a heavily loaded run exceeds adaptive's.
+	const n, m = 64, 64 * 64
+	run := func(p protocol.Protocol) float64 {
+		var rec Recorder
+		protocol.RunWithObserver(p, n, m, rng.New(2), Sampler(n, &rec))
+		ev := rec.Events()
+		return ev[len(ev)-1].Psi
+	}
+	psiA := run(protocol.NewAdaptive())
+	psiT := run(protocol.NewThreshold())
+	if psiA >= psiT {
+		t.Fatalf("expected adaptive Psi (%.1f) < threshold Psi (%.1f)", psiA, psiT)
+	}
+}

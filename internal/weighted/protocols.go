@@ -1,0 +1,218 @@
+package weighted
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Protocol places weighted balls one at a time. Implementations carry
+// per-run state and must be Reset before each run; they are not safe
+// for concurrent use.
+type Protocol interface {
+	// Name returns a short identifier.
+	Name() string
+	// Reset prepares for a run into n bins with the given total and
+	// maximum ball weight (known up front because the weight sequence
+	// is generated before the run; the adaptive protocol ignores
+	// totalWeight, preserving its online character).
+	Reset(n int, totalWeight, maxWeight float64)
+	// Place allocates one ball of weight w and returns the number of
+	// random bin choices consumed.
+	Place(v *Vector, r *rng.Rand, w float64) int64
+}
+
+// Outcome summarizes a weighted run.
+type Outcome struct {
+	Vector      *Vector
+	Samples     int64
+	TotalWeight float64
+	MaxWeight   float64
+}
+
+// Run places the given weight sequence into n bins using p.
+// It panics if n <= 0.
+func Run(p Protocol, n int, weights []float64, r *rng.Rand) Outcome {
+	if n <= 0 {
+		panic("weighted: Run with n <= 0")
+	}
+	var total, maxW float64
+	for _, w := range weights {
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	p.Reset(n, total, maxW)
+	v := New(n)
+	var samples int64
+	for _, w := range weights {
+		samples += p.Place(v, r, w)
+	}
+	return Outcome{Vector: v, Samples: samples, TotalWeight: total, MaxWeight: maxW}
+}
+
+// MaxLoadBound returns the deterministic weighted guarantee
+// W/n + slack + wmax satisfied by the threshold and adaptive
+// protocols.
+func MaxLoadBound(n int, totalWeight, slack, maxWeight float64) float64 {
+	return totalWeight/float64(n) + slack + maxWeight
+}
+
+// SingleChoice places each ball into one uniform bin.
+type SingleChoice struct{}
+
+// NewSingleChoice returns the weighted single-choice process.
+func NewSingleChoice() *SingleChoice { return &SingleChoice{} }
+
+// Name implements Protocol.
+func (*SingleChoice) Name() string { return "wsingle" }
+
+// Reset implements Protocol.
+func (*SingleChoice) Reset(int, float64, float64) {}
+
+// Place implements Protocol.
+func (*SingleChoice) Place(v *Vector, r *rng.Rand, w float64) int64 {
+	v.Add(r.Intn(v.N()), w)
+	return 1
+}
+
+// Greedy places each ball into the lightest of d uniform bins.
+type Greedy struct{ d int }
+
+// NewGreedy returns weighted greedy[d]. It panics if d < 1.
+func NewGreedy(d int) *Greedy {
+	if d < 1 {
+		panic("weighted: NewGreedy with d < 1")
+	}
+	return &Greedy{d: d}
+}
+
+// Name implements Protocol.
+func (g *Greedy) Name() string { return fmt.Sprintf("wgreedy[%d]", g.d) }
+
+// Reset implements Protocol.
+func (g *Greedy) Reset(int, float64, float64) {}
+
+// Place implements Protocol.
+func (g *Greedy) Place(v *Vector, r *rng.Rand, w float64) int64 {
+	n := v.N()
+	best := r.Intn(n)
+	bestLoad := v.Load(best)
+	for j := 1; j < g.d; j++ {
+		c := r.Intn(n)
+		if l := v.Load(c); l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	v.Add(best, w)
+	return int64(g.d)
+}
+
+// Adaptive is the weighted generalization of the paper's protocol:
+// accept bin j iff load(j) < Wᵢ/n + slack, where Wᵢ is the weight
+// placed so far. Slack = 0 (the default in NewAdaptive) means "use the
+// maximum ball weight", the weighted analogue of the +1.
+type Adaptive struct {
+	slack    float64 // 0 = use maxWeight from Reset
+	effSlack float64
+	n        float64
+}
+
+// NewAdaptive returns the weighted adaptive protocol with the default
+// slack (the maximum ball weight).
+func NewAdaptive() *Adaptive { return &Adaptive{} }
+
+// NewAdaptiveSlack returns the weighted adaptive protocol with an
+// explicit slack. It panics if slack <= 0.
+func NewAdaptiveSlack(slack float64) *Adaptive {
+	if slack <= 0 {
+		panic("weighted: NewAdaptiveSlack with slack <= 0")
+	}
+	return &Adaptive{slack: slack}
+}
+
+// Name implements Protocol.
+func (a *Adaptive) Name() string { return "wadaptive" }
+
+// Reset implements Protocol.
+func (a *Adaptive) Reset(n int, _, maxWeight float64) {
+	a.n = float64(n)
+	a.effSlack = a.slack
+	if a.effSlack == 0 {
+		a.effSlack = maxWeight
+	}
+	if a.effSlack == 0 {
+		a.effSlack = 1 // empty run; value irrelevant
+	}
+}
+
+// Slack returns the effective slack of the current run.
+func (a *Adaptive) Slack() float64 { return a.effSlack }
+
+// Place implements Protocol. Any bin at or below the running average
+// is acceptable, so the loop terminates.
+func (a *Adaptive) Place(v *Vector, r *rng.Rand, w float64) int64 {
+	n := v.N()
+	bound := v.Total()/a.n + a.effSlack
+	var samples int64
+	for {
+		j := r.Intn(n)
+		samples++
+		if v.Load(j) < bound {
+			v.Add(j, w)
+			return samples
+		}
+	}
+}
+
+// Threshold is the weighted Czumaj–Stemann rule: accept bin j iff
+// load(j) < W/n + slack with the final total weight W fixed up front.
+type Threshold struct {
+	slack    float64 // 0 = use maxWeight from Reset
+	bound    float64
+	effSlack float64
+}
+
+// NewThreshold returns the weighted threshold protocol with the
+// default slack (the maximum ball weight).
+func NewThreshold() *Threshold { return &Threshold{} }
+
+// NewThresholdSlack returns the weighted threshold protocol with an
+// explicit slack. It panics if slack <= 0.
+func NewThresholdSlack(slack float64) *Threshold {
+	if slack <= 0 {
+		panic("weighted: NewThresholdSlack with slack <= 0")
+	}
+	return &Threshold{slack: slack}
+}
+
+// Name implements Protocol.
+func (t *Threshold) Name() string { return "wthreshold" }
+
+// Reset implements Protocol.
+func (t *Threshold) Reset(n int, totalWeight, maxWeight float64) {
+	t.effSlack = t.slack
+	if t.effSlack == 0 {
+		t.effSlack = maxWeight
+	}
+	if t.effSlack == 0 {
+		t.effSlack = 1
+	}
+	t.bound = totalWeight/float64(n) + t.effSlack
+}
+
+// Place implements Protocol. Some bin is always at or below the final
+// average, so the loop terminates.
+func (t *Threshold) Place(v *Vector, r *rng.Rand, w float64) int64 {
+	n := v.N()
+	var samples int64
+	for {
+		j := r.Intn(n)
+		samples++
+		if v.Load(j) < t.bound {
+			v.Add(j, w)
+			return samples
+		}
+	}
+}

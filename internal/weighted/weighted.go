@@ -1,0 +1,175 @@
+// Package weighted extends the paper's allocation protocols to
+// weighted balls: ball i carries a weight wᵢ > 0 and a bin's load is
+// the sum of the weights it holds. This is the natural next model
+// after the paper (cf. Talwar–Wieder, "Balanced allocations: the
+// weighted case"), and the adaptive/threshold acceptance rules
+// generalize directly:
+//
+//	threshold: accept bin j iff load(j) < W/n + slack   (W = total weight)
+//	adaptive:  accept bin j iff load(j) < Wᵢ/n + slack  (Wᵢ = weight placed so far)
+//
+// With slack at least the maximum ball weight both rules always admit
+// some bin (any bin at or below average qualifies), so the protocols
+// terminate, and the final maximum load is below W/n + slack + wmax —
+// the weighted analogue of ⌈m/n⌉+1.
+package weighted
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Vector tracks weighted bin loads. Construct with New.
+type Vector struct {
+	loads []float64
+	total float64
+	sumSq float64
+	max   float64
+}
+
+// New returns a Vector for n empty bins. It panics if n <= 0.
+func New(n int) *Vector {
+	if n <= 0 {
+		panic("weighted: New with n <= 0")
+	}
+	return &Vector{loads: make([]float64, n)}
+}
+
+// N returns the number of bins.
+func (v *Vector) N() int { return len(v.loads) }
+
+// Load returns the weight in bin i.
+func (v *Vector) Load(i int) float64 { return v.loads[i] }
+
+// Total returns the total placed weight.
+func (v *Vector) Total() float64 { return v.total }
+
+// MaxLoad returns the heaviest bin's load.
+func (v *Vector) MaxLoad() float64 { return v.max }
+
+// MinLoad returns the lightest bin's load (O(n)).
+func (v *Vector) MinLoad() float64 {
+	min := math.Inf(1)
+	for _, l := range v.loads {
+		if l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// Gap returns MaxLoad − MinLoad.
+func (v *Vector) Gap() float64 { return v.max - v.MinLoad() }
+
+// Add places weight w into bin i. It panics if w < 0 or w is not
+// finite.
+func (v *Vector) Add(i int, w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("weighted: Add with negative or non-finite weight")
+	}
+	l := v.loads[i]
+	v.loads[i] = l + w
+	v.total += w
+	v.sumSq += 2*l*w + w*w
+	if l+w > v.max {
+		v.max = l + w
+	}
+}
+
+// QuadraticPotential returns Σ(loadᵢ − W/n)² = Σload² − W²/n.
+func (v *Vector) QuadraticPotential() float64 {
+	return v.sumSq - v.total*v.total/float64(len(v.loads))
+}
+
+// Loads returns a copy of the per-bin loads.
+func (v *Vector) Loads() []float64 {
+	return append([]float64(nil), v.loads...)
+}
+
+// Validate recomputes every maintained quantity from the raw loads and
+// returns an error on the first mismatch (within floating point
+// tolerance). Intended for tests.
+func (v *Vector) Validate() error {
+	var total, sumSq, max float64
+	for i, l := range v.loads {
+		if l < 0 {
+			return fmt.Errorf("bin %d has negative load %v", i, l)
+		}
+		total += l
+		sumSq += l * l
+		if l > max {
+			max = l
+		}
+	}
+	tol := 1e-9 * (1 + total)
+	if math.Abs(total-v.total) > tol {
+		return fmt.Errorf("total: have %v want %v", v.total, total)
+	}
+	if math.Abs(sumSq-v.sumSq) > 1e-9*(1+sumSq) {
+		return fmt.Errorf("sumSq: have %v want %v", v.sumSq, sumSq)
+	}
+	if math.Abs(max-v.max) > tol {
+		return fmt.Errorf("max: have %v want %v", v.max, max)
+	}
+	return nil
+}
+
+// Sampler draws ball weights. Implementations must return positive,
+// finite values.
+type Sampler func(r *rng.Rand) float64
+
+// ConstWeights returns a sampler that always yields w. It panics if
+// w <= 0.
+func ConstWeights(w float64) Sampler {
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("weighted: ConstWeights with non-positive weight")
+	}
+	return func(*rng.Rand) float64 { return w }
+}
+
+// ExpWeights returns exponentially distributed weights with the given
+// mean. It panics if mean <= 0.
+func ExpWeights(mean float64) Sampler {
+	if mean <= 0 || math.IsNaN(mean) {
+		panic("weighted: ExpWeights with non-positive mean")
+	}
+	return func(r *rng.Rand) float64 { return r.Exponential(1 / mean) }
+}
+
+// UniformWeights returns weights uniform on [lo, hi]. It panics unless
+// 0 < lo <= hi.
+func UniformWeights(lo, hi float64) Sampler {
+	if lo <= 0 || hi < lo || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic("weighted: UniformWeights with invalid range")
+	}
+	return func(r *rng.Rand) float64 { return lo + (hi-lo)*r.Float64() }
+}
+
+// ParetoWeights returns bounded-Pareto weights with shape alpha on
+// [lo, hi] — the heavy-tailed (but bounded, so wmax exists) workload.
+func ParetoWeights(alpha, lo, hi float64) Sampler {
+	// Parameter validation is delegated to rng.BoundedPareto; probe
+	// once so misuse fails at construction time.
+	probe := rng.New(0)
+	_ = probe.BoundedPareto(alpha, lo, hi)
+	return func(r *rng.Rand) float64 { return r.BoundedPareto(alpha, lo, hi) }
+}
+
+// GenWeights draws m weights from s. It panics if m < 0 or if the
+// sampler returns a non-positive or non-finite weight.
+func GenWeights(m int64, s Sampler, r *rng.Rand) []float64 {
+	if m < 0 {
+		panic("weighted: GenWeights with m < 0")
+	}
+	out := make([]float64, m)
+	for i := range out {
+		w := s(r)
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic(fmt.Sprintf("weighted: sampler returned invalid weight %v", w))
+		}
+		out[i] = w
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package weighted
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := New(3)
+	v.Add(0, 2.5)
+	v.Add(1, 1.0)
+	v.Add(0, 0.5)
+	if v.Load(0) != 3.0 || v.Load(1) != 1.0 || v.Load(2) != 0 {
+		t.Fatalf("loads wrong: %v", v.Loads())
+	}
+	if v.Total() != 4.0 {
+		t.Fatalf("total %v", v.Total())
+	}
+	if v.MaxLoad() != 3.0 || v.MinLoad() != 0 || v.Gap() != 3.0 {
+		t.Fatalf("max/min/gap wrong")
+	}
+	// Psi = 9 + 1 + 0 - 16/3
+	want := 10.0 - 16.0/3.0
+	if math.Abs(v.QuadraticPotential()-want) > 1e-12 {
+		t.Fatalf("psi %v want %v", v.QuadraticPotential(), want)
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0":        func() { New(0) },
+		"negative w": func() { New(1).Add(0, -1) },
+		"NaN w":      func() { New(1).Add(0, math.NaN()) },
+		"Inf w":      func() { New(1).Add(0, math.Inf(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVectorInvariantProperty(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%9)
+		v := New(n)
+		for i := 0; i < int(opsRaw%500); i++ {
+			v.Add(r.Intn(n), r.Exponential(1))
+		}
+		return v.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplers(t *testing.T) {
+	r := rng.New(3)
+	const nSamples = 20000
+	cases := []struct {
+		name     string
+		s        Sampler
+		wantMean float64
+		tol      float64
+		lo, hi   float64
+	}{
+		{"const", ConstWeights(2.5), 2.5, 1e-12, 2.5, 2.5},
+		{"exp", ExpWeights(3), 3, 0.15, 0, math.Inf(1)},
+		{"uniform", UniformWeights(1, 3), 2, 0.05, 1, 3},
+		{"pareto", ParetoWeights(2, 1, 10), 0, -1, 1, 10}, // mean unchecked
+	}
+	for _, c := range cases {
+		var sum float64
+		for i := 0; i < nSamples; i++ {
+			w := c.s(r)
+			if w < c.lo-1e-12 || w > c.hi+1e-12 {
+				t.Fatalf("%s: sample %v outside [%v,%v]", c.name, w, c.lo, c.hi)
+			}
+			sum += w
+		}
+		if c.tol >= 0 {
+			mean := sum / nSamples
+			if math.Abs(mean-c.wantMean) > c.tol {
+				t.Errorf("%s: mean %v want %v", c.name, mean, c.wantMean)
+			}
+		}
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"const w<=0":    func() { ConstWeights(0) },
+		"exp mean<=0":   func() { ExpWeights(0) },
+		"uniform lo<=0": func() { UniformWeights(0, 1) },
+		"uniform hi<lo": func() { UniformWeights(2, 1) },
+		"pareto bad":    func() { ParetoWeights(0, 1, 2) },
+		"genweights<0":  func() { GenWeights(-1, ConstWeights(1), rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func allProtocols() []Protocol {
+	return []Protocol{
+		NewSingleChoice(), NewGreedy(2), NewAdaptive(), NewThreshold(),
+	}
+}
+
+func TestAllProtocolsPlaceAllWeight(t *testing.T) {
+	const n = 64
+	weights := GenWeights(640, ExpWeights(1), rng.New(5))
+	var wantTotal float64
+	for _, w := range weights {
+		wantTotal += w
+	}
+	for _, p := range allProtocols() {
+		out := Run(p, n, weights, rng.New(6))
+		if math.Abs(out.Vector.Total()-wantTotal) > 1e-9*wantTotal {
+			t.Errorf("%s: total %v want %v", p.Name(), out.Vector.Total(), wantTotal)
+		}
+		if out.Samples < int64(len(weights)) {
+			t.Errorf("%s: %d samples < m", p.Name(), out.Samples)
+		}
+		if err := out.Vector.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestWeightedMaxLoadBound(t *testing.T) {
+	// threshold/adaptive: final max < W/n + slack + wmax for arbitrary
+	// weight sequences.
+	f := func(seed uint64, mRaw uint16) bool {
+		r := rng.New(seed)
+		n := 2 + int(seed%31)
+		m := int64(mRaw % 1500)
+		weights := GenWeights(m, ParetoWeights(1.5, 0.5, 8), r)
+		for _, p := range []Protocol{NewAdaptive(), NewThreshold()} {
+			out := Run(p, n, weights, rng.New(seed+1))
+			bound := MaxLoadBound(n, out.TotalWeight, out.MaxWeight, out.MaxWeight)
+			if out.Vector.MaxLoad() >= bound+1e-9 {
+				t.Logf("%s n=%d m=%d: max %v >= bound %v",
+					p.Name(), n, m, out.Vector.MaxLoad(), bound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedAdaptiveLinearTime(t *testing.T) {
+	// The O(m) character survives weights: samples/ball stays small.
+	const n = 1000
+	const m = 32 * n
+	for _, s := range []Sampler{ConstWeights(1), ExpWeights(1), ParetoWeights(2, 0.5, 5)} {
+		weights := GenWeights(m, s, rng.New(7))
+		out := Run(NewAdaptive(), n, weights, rng.New(8))
+		perBall := float64(out.Samples) / float64(m)
+		if perBall > 3 {
+			t.Errorf("samples/ball %v too large", perBall)
+		}
+	}
+}
+
+func TestWeightedGreedyBeatsSingle(t *testing.T) {
+	const n = 1024
+	const m = 16 * n
+	weights := GenWeights(m, ExpWeights(1), rng.New(9))
+	g := Run(NewGreedy(2), n, weights, rng.New(10))
+	s := Run(NewSingleChoice(), n, weights, rng.New(10))
+	if g.Vector.Gap() >= s.Vector.Gap() {
+		t.Fatalf("greedy gap %v not below single %v", g.Vector.Gap(), s.Vector.Gap())
+	}
+}
+
+func TestWeightedAdaptiveSmootherThanThreshold(t *testing.T) {
+	// The paper's smoothness contrast carries over to weights.
+	const n = 256
+	const m = 128 * n
+	const reps = 3
+	var psiA, psiT float64
+	for rep := 0; rep < reps; rep++ {
+		weights := GenWeights(m, ExpWeights(1), rng.New(uint64(20+rep)))
+		psiA += Run(NewAdaptive(), n, weights, rng.New(uint64(30+rep))).Vector.QuadraticPotential()
+		psiT += Run(NewThreshold(), n, weights, rng.New(uint64(30+rep))).Vector.QuadraticPotential()
+	}
+	if psiA >= psiT {
+		t.Fatalf("weighted adaptive Psi %v not below threshold %v", psiA/reps, psiT/reps)
+	}
+}
+
+func TestHeavyTailRoughensDistribution(t *testing.T) {
+	// Same mean, heavier tail: the gap grows for every protocol.
+	const n = 512
+	const m = 32 * n
+	constW := GenWeights(m, ConstWeights(1), rng.New(40))
+	// Bounded Pareto alpha=1.2 on [0.3, 30] has mean ~1; heavy tail.
+	heavyW := GenWeights(m, ParetoWeights(1.2, 0.3, 30), rng.New(40))
+	gapConst := Run(NewAdaptive(), n, constW, rng.New(41)).Vector.Gap()
+	gapHeavy := Run(NewAdaptive(), n, heavyW, rng.New(41)).Vector.Gap()
+	if gapHeavy <= gapConst {
+		t.Fatalf("heavy tail did not roughen: const gap %v, heavy gap %v",
+			gapConst, gapHeavy)
+	}
+}
+
+func TestExplicitSlack(t *testing.T) {
+	const n = 64
+	weights := GenWeights(640, ConstWeights(1), rng.New(50))
+	// Large slack means fewer rejections than tight slack.
+	loose := Run(NewAdaptiveSlack(8), n, weights, rng.New(51))
+	tight := Run(NewAdaptiveSlack(1), n, weights, rng.New(51))
+	if loose.Samples > tight.Samples {
+		t.Fatalf("loose slack used more samples: %d vs %d", loose.Samples, tight.Samples)
+	}
+	if a := NewAdaptiveSlack(2.5); a.Slack() != 2.5 {
+		a.Reset(4, 10, 1)
+		if a.Slack() != 2.5 {
+			t.Fatal("explicit slack not preserved")
+		}
+	}
+}
+
+func TestDefaultSlackIsMaxWeight(t *testing.T) {
+	a := NewAdaptive()
+	a.Reset(4, 100, 7.5)
+	if a.Slack() != 7.5 {
+		t.Fatalf("default slack %v want maxWeight", a.Slack())
+	}
+	a.Reset(4, 0, 0) // empty run
+	if a.Slack() <= 0 {
+		t.Fatal("empty-run slack must still be positive")
+	}
+}
+
+func TestProtocolPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"greedy d<1":         func() { NewGreedy(0) },
+		"adaptive slack<=0":  func() { NewAdaptiveSlack(0) },
+		"threshold slack<=0": func() { NewThresholdSlack(-1) },
+		"run n=0":            func() { Run(NewAdaptive(), 0, nil, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	out := Run(NewAdaptive(), 8, nil, rng.New(1))
+	if out.Samples != 0 || out.Vector.Total() != 0 {
+		t.Fatal("empty run not empty")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := map[string]Protocol{
+		"wsingle":    NewSingleChoice(),
+		"wgreedy[3]": NewGreedy(3),
+		"wadaptive":  NewAdaptive(),
+		"wthreshold": NewThreshold(),
+	}
+	for name, p := range want {
+		if p.Name() != name {
+			t.Errorf("Name = %q want %q", p.Name(), name)
+		}
+	}
+}
+
+func BenchmarkWeightedAdaptive(b *testing.B) {
+	const n = 4096
+	weights := GenWeights(int64(16*n), ExpWeights(1), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(NewAdaptive(), n, weights, rng.New(uint64(i)))
+	}
+}

@@ -1,0 +1,149 @@
+package ballsbins
+
+import (
+	"repro/internal/batched"
+	"repro/internal/rng"
+	"repro/internal/weighted"
+)
+
+// WeightSampler draws ball weights for RunWeighted. Construct with
+// ConstWeights, ExpWeights, UniformWeights or ParetoWeights.
+type WeightSampler = weighted.Sampler
+
+// ConstWeights yields the constant weight w (> 0).
+func ConstWeights(w float64) WeightSampler { return weighted.ConstWeights(w) }
+
+// ExpWeights yields exponential weights with the given mean (> 0).
+func ExpWeights(mean float64) WeightSampler { return weighted.ExpWeights(mean) }
+
+// UniformWeights yields weights uniform on [lo, hi], 0 < lo <= hi.
+func UniformWeights(lo, hi float64) WeightSampler { return weighted.UniformWeights(lo, hi) }
+
+// ParetoWeights yields bounded-Pareto (heavy-tailed) weights with
+// shape alpha on [lo, hi].
+func ParetoWeights(alpha, lo, hi float64) WeightSampler {
+	return weighted.ParetoWeights(alpha, lo, hi)
+}
+
+// WeightedSpec selects a weighted allocation protocol.
+type WeightedSpec struct {
+	factory func() weighted.Protocol
+}
+
+// Name returns the protocol identifier.
+func (s WeightedSpec) Name() string {
+	if s.factory == nil {
+		panic("ballsbins: zero WeightedSpec; use a constructor")
+	}
+	return s.factory().Name()
+}
+
+// WeightedAdaptive returns the weighted generalization of the paper's
+// adaptive protocol: accept bin j iff load(j) < Wᵢ/n + wmax, where Wᵢ
+// is the weight placed so far.
+func WeightedAdaptive() WeightedSpec {
+	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewAdaptive() }}
+}
+
+// WeightedThreshold returns the weighted Czumaj–Stemann rule:
+// accept bin j iff load(j) < W/n + wmax, with the final total weight W
+// known up front.
+func WeightedThreshold() WeightedSpec {
+	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewThreshold() }}
+}
+
+// WeightedGreedy returns weighted greedy[d]. It panics if d < 1.
+func WeightedGreedy(d int) WeightedSpec {
+	weighted.NewGreedy(d)
+	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewGreedy(d) }}
+}
+
+// WeightedSingleChoice returns the weighted one-random-bin process.
+func WeightedSingleChoice() WeightedSpec {
+	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewSingleChoice() }}
+}
+
+// WeightedResult summarizes one weighted allocation run.
+type WeightedResult struct {
+	// Samples is the allocation time (random bin choices).
+	Samples        int64
+	SamplesPerBall float64
+	// TotalWeight and MaxWeight describe the drawn weight sequence.
+	TotalWeight, MaxWeight float64
+	// MaxLoad, MinLoad, Gap and Psi describe the final weighted loads.
+	MaxLoad, MinLoad, Gap float64
+	Psi                   float64
+}
+
+// RunWeighted draws m ball weights from the sampler and places them
+// into n bins with the chosen protocol. The weight stream and the
+// placement stream derive independently from the seed, so different
+// protocols see identical weight sequences under the same seed.
+func RunWeighted(s WeightedSpec, n int, m int64, ws WeightSampler, opts ...Option) WeightedResult {
+	if s.factory == nil {
+		panic("ballsbins: zero WeightedSpec; use a constructor")
+	}
+	if ws == nil {
+		panic("ballsbins: RunWeighted with nil sampler")
+	}
+	o := buildOptions(opts)
+	base := rng.New(o.seed)
+	weightsRand := base.Stream(1)
+	placeRand := base.Stream(2)
+	weights := weighted.GenWeights(m, ws, weightsRand)
+	out := weighted.Run(s.factory(), n, weights, placeRand)
+	res := WeightedResult{
+		Samples:     out.Samples,
+		TotalWeight: out.TotalWeight,
+		MaxWeight:   out.MaxWeight,
+		MaxLoad:     out.Vector.MaxLoad(),
+		MinLoad:     out.Vector.MinLoad(),
+		Gap:         out.Vector.Gap(),
+		Psi:         out.Vector.QuadraticPotential(),
+	}
+	if m > 0 {
+		res.SamplesPerBall = float64(out.Samples) / float64(m)
+	}
+	return res
+}
+
+// BatchedResult summarizes a batched-arrival run (see RunBatchedGreedy
+// and RunBatchedAdaptive).
+type BatchedResult struct {
+	Samples int64
+	Batches int
+	MaxLoad int
+	Gap     int
+	Psi     float64
+}
+
+// RunBatchedGreedy places m balls in batches of size batch; every ball
+// picks the least loaded of d bins according to the load vector as of
+// the batch start (stale within a batch). batch = 1 is exactly
+// Greedy(d).
+func RunBatchedGreedy(n int, m, batch int64, d int, opts ...Option) BatchedResult {
+	o := buildOptions(opts)
+	out := batched.RunGreedy(n, m, batch, d, rng.New(o.seed))
+	return BatchedResult{
+		Samples: out.Samples,
+		Batches: out.Batches,
+		MaxLoad: out.Vector.MaxLoad(),
+		Gap:     out.Vector.Gap(),
+		Psi:     out.Vector.QuadraticPotential(),
+	}
+}
+
+// RunBatchedAdaptive places m balls in batches of size batch with the
+// adaptive acceptance rule frozen at each batch start. batch must be
+// at most n; batch = 1 is exactly Adaptive().
+func RunBatchedAdaptive(n int, m, batch int64, opts ...Option) BatchedResult {
+	o := buildOptions(opts)
+	out := batched.RunAdaptive(n, m, batch, rng.New(o.seed))
+	return BatchedResult{
+		Samples: out.Samples,
+		Batches: out.Batches,
+		MaxLoad: out.Vector.MaxLoad(),
+		Gap:     out.Vector.Gap(),
+		Psi:     out.Vector.QuadraticPotential(),
+	}
+}

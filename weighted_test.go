@@ -1,0 +1,116 @@
+package ballsbins
+
+import "testing"
+
+func TestRunWeightedFacade(t *testing.T) {
+	res := RunWeighted(WeightedAdaptive(), 128, 4096, ExpWeights(1), WithSeed(3))
+	if res.TotalWeight <= 0 || res.MaxWeight <= 0 {
+		t.Fatalf("weight bookkeeping wrong: %+v", res)
+	}
+	bound := res.TotalWeight/128 + 2*res.MaxWeight
+	if res.MaxLoad >= bound {
+		t.Fatalf("max load %v violates W/n + 2wmax = %v", res.MaxLoad, bound)
+	}
+	if res.SamplesPerBall < 1 || res.SamplesPerBall > 4 {
+		t.Fatalf("samples per ball %v", res.SamplesPerBall)
+	}
+	if res.Gap != res.MaxLoad-res.MinLoad {
+		t.Fatal("gap inconsistent")
+	}
+}
+
+func TestRunWeightedSameWeightsAcrossProtocols(t *testing.T) {
+	// Same seed means the same weight sequence for every protocol, so
+	// TotalWeight must agree exactly.
+	a := RunWeighted(WeightedAdaptive(), 64, 640, UniformWeights(1, 2), WithSeed(9))
+	g := RunWeighted(WeightedGreedy(2), 64, 640, UniformWeights(1, 2), WithSeed(9))
+	if a.TotalWeight != g.TotalWeight || a.MaxWeight != g.MaxWeight {
+		t.Fatalf("weight streams differ: %v/%v vs %v/%v",
+			a.TotalWeight, a.MaxWeight, g.TotalWeight, g.MaxWeight)
+	}
+}
+
+func TestRunWeightedPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero spec":   func() { RunWeighted(WeightedSpec{}, 1, 1, ConstWeights(1)) },
+		"nil sampler": func() { RunWeighted(WeightedAdaptive(), 1, 1, nil) },
+		"bad greedy":  func() { WeightedGreedy(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWeightedSpecNames(t *testing.T) {
+	cases := map[string]WeightedSpec{
+		"wadaptive":  WeightedAdaptive(),
+		"wthreshold": WeightedThreshold(),
+		"wgreedy[2]": WeightedGreedy(2),
+		"wsingle":    WeightedSingleChoice(),
+	}
+	for want, spec := range cases {
+		if got := spec.Name(); got != want {
+			t.Errorf("Name = %q want %q", got, want)
+		}
+	}
+}
+
+func TestBatchedFacade(t *testing.T) {
+	// batch=1 equals the sequential protocols exactly.
+	seqG := Run(Greedy(2), 64, 640, WithSeed(5))
+	batG := RunBatchedGreedy(64, 640, 1, 2, WithSeed(5))
+	if seqG.Samples != batG.Samples || seqG.MaxLoad != batG.MaxLoad {
+		t.Fatalf("batched greedy b=1 differs: %+v vs %+v", batG, seqG)
+	}
+	seqA := Run(Adaptive(), 64, 640, WithSeed(5))
+	batA := RunBatchedAdaptive(64, 640, 1, WithSeed(5))
+	if seqA.Samples != batA.Samples || seqA.MaxLoad != batA.MaxLoad {
+		t.Fatalf("batched adaptive b=1 differs: %+v vs %+v", batA, seqA)
+	}
+	if batG.Batches != 640 {
+		t.Fatalf("batches = %d", batG.Batches)
+	}
+}
+
+func TestExtensionSpecs(t *testing.T) {
+	const n, m = 100, 1000
+	for _, spec := range []Spec{
+		OnePlusBeta(0.5), StaleAdaptive(50), LaggedAdaptive(50),
+	} {
+		res := Run(spec, n, m, WithSeed(1))
+		if res.Samples < m {
+			t.Errorf("%s: samples %d < m", spec.Name(), res.Samples)
+		}
+	}
+	// Counter-relaxed variants keep the guarantee.
+	for _, spec := range []Spec{StaleAdaptive(50), LaggedAdaptive(50)} {
+		res := Run(spec, n, m, WithSeed(2))
+		if res.MaxLoad > int(MaxLoadGuarantee(n, m)) {
+			t.Errorf("%s: max %d over guarantee", spec.Name(), res.MaxLoad)
+		}
+	}
+}
+
+func TestExtensionSpecPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"beta>1":  func() { OnePlusBeta(1.5) },
+		"sync<1":  func() { StaleAdaptive(0) },
+		"lag<0":   func() { LaggedAdaptive(-1) },
+		"batch<1": func() { RunBatchedGreedy(4, 4, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
