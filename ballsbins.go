@@ -30,57 +30,84 @@ func (s Spec) mustBeValid() {
 	}
 }
 
+// newSpec wraps a factory in a Spec, invoking it once eagerly so that
+// invalid parameters panic at construction time (in the constructor
+// the user called) rather than at first use inside a worker.
+func newSpec(f protocol.Factory) Spec {
+	f()
+	return Spec{factory: f}
+}
+
+// Engine selects the placement implementation.
+//
+// EngineFast (the default) makes each ball's placement O(1) amortized:
+// the number of rejected samples is drawn from the Geometric
+// distribution implied by the load histogram (bit-exact Bernoulli
+// counting when acceptance is likely, float64 inversion — error
+// O(2⁻⁵³) — when it is rare) and the accepted bin from the bucket of
+// acceptable bins, so every reported statistic keeps the same
+// distribution as the literal rejection loop.
+// EngineNaive runs that literal loop — one RNG draw and one load probe
+// per sample — and serves as the reference oracle.
+//
+// The engines consume randomness differently, so the same seed gives
+// different (identically distributed) runs on each engine.
+type Engine = protocol.Engine
+
+const (
+	// EngineFast is the histogram-mode O(1) placement path (default).
+	EngineFast = protocol.EngineFast
+	// EngineNaive is the literal rejection-sampling loop.
+	EngineNaive = protocol.EngineNaive
+)
+
 // Adaptive returns the paper's adaptive protocol: ball i accepts a bin
 // with load < i/n + 1. Max load ⌈m/n⌉+1, O(m) expected time, smooth
 // final distribution; m need not be known in advance.
 func Adaptive() Spec {
-	return Spec{factory: func() protocol.Protocol { return protocol.NewAdaptive() }}
+	return newSpec(func() protocol.Protocol { return protocol.NewAdaptive() })
 }
 
 // Threshold returns the Czumaj–Stemann protocol: every ball accepts a
 // bin with load < m/n + 1. Max load ⌈m/n⌉+1 and allocation time
 // m + O(m^{3/4}·n^{1/4}), but a rough final distribution.
 func Threshold() Spec {
-	return Spec{factory: func() protocol.Protocol { return protocol.NewThreshold() }}
+	return newSpec(func() protocol.Protocol { return protocol.NewThreshold() })
 }
 
 // AdaptiveNoSlack returns the ablation with acceptance bound i/n
 // (without the +1): Θ(m·log n) allocation time.
 func AdaptiveNoSlack() Spec {
-	return Spec{factory: func() protocol.Protocol { return protocol.NewAdaptiveNoSlack() }}
+	return newSpec(func() protocol.Protocol { return protocol.NewAdaptiveNoSlack() })
 }
 
 // SingleChoice returns the classical one-random-bin process.
 func SingleChoice() Spec {
-	return Spec{factory: func() protocol.Protocol { return protocol.NewSingleChoice() }}
+	return newSpec(func() protocol.Protocol { return protocol.NewSingleChoice() })
 }
 
 // Greedy returns greedy[d]: best of d random bins (Azar et al.).
 // It panics if d < 1.
 func Greedy(d int) Spec {
-	protocol.NewGreedy(d) // validate eagerly
-	return Spec{factory: func() protocol.Protocol { return protocol.NewGreedy(d) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewGreedy(d) })
 }
 
 // Left returns left[d]: one bin from each of d groups with
 // Always-Go-Left tie breaking (Vöcking). It panics if d < 2.
 func Left(d int) Spec {
-	protocol.NewLeft(d)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewLeft(d) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewLeft(d) })
 }
 
 // Memory returns the (d,k)-memory protocol of Mitzenmacher, Prabhakar
 // and Shah. It panics if d < 1 or k < 0.
 func Memory(d, k int) Spec {
-	protocol.NewMemory(d, k)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewMemory(d, k) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewMemory(d, k) })
 }
 
 // FixedThreshold returns the protocol accepting bins with load
 // strictly below bound. It panics if bound < 1.
 func FixedThreshold(bound int) Spec {
-	protocol.NewFixedThreshold(bound)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewFixedThreshold(bound) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewFixedThreshold(bound) })
 }
 
 // OnePlusBeta returns the (1+β)-choice process of Peres, Talwar and
@@ -88,8 +115,7 @@ func FixedThreshold(bound int) Spec {
 // otherwise. Gap Θ(log n/β) independent of m. It panics unless
 // 0 <= beta <= 1.
 func OnePlusBeta(beta float64) Spec {
-	protocol.NewOnePlusBeta(beta)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewOnePlusBeta(beta) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewOnePlusBeta(beta) })
 }
 
 // StaleAdaptive returns the adaptive protocol with a ball counter that
@@ -98,8 +124,7 @@ func OnePlusBeta(beta float64) Spec {
 // Adaptive exactly; see the protocol documentation. It panics if
 // syncEvery < 1.
 func StaleAdaptive(syncEvery int64) Spec {
-	protocol.NewStaleAdaptive(syncEvery)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewStaleAdaptive(syncEvery) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewStaleAdaptive(syncEvery) })
 }
 
 // LaggedAdaptive returns the adaptive protocol with a counter running
@@ -107,8 +132,7 @@ func StaleAdaptive(syncEvery int64) Spec {
 // exactly the AdaptiveNoSlack ablation from ball n+1 onward. It panics
 // if lag < 0.
 func LaggedAdaptive(lag int64) Spec {
-	protocol.NewLaggedAdaptive(lag)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewLaggedAdaptive(lag) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewLaggedAdaptive(lag) })
 }
 
 // BoundedRetry returns the threshold protocol with at most `retries`
@@ -117,8 +141,7 @@ func LaggedAdaptive(lag int64) Spec {
 // retries = 1 is single-choice; retries → ∞ recovers Threshold. It
 // panics if retries < 1.
 func BoundedRetry(retries int) Spec {
-	protocol.NewBoundedRetry(retries)
-	return Spec{factory: func() protocol.Protocol { return protocol.NewBoundedRetry(retries) }}
+	return newSpec(func() protocol.Protocol { return protocol.NewBoundedRetry(retries) })
 }
 
 // Result summarizes one allocation run.
@@ -147,6 +170,7 @@ type Snapshot struct {
 
 type options struct {
 	seed     uint64
+	engine   Engine
 	snapEach int64
 	snapFn   func(Snapshot)
 }
@@ -158,6 +182,13 @@ type Option func(*options)
 // reproduce runs exactly.
 func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
+}
+
+// WithEngine selects the placement engine (default EngineFast). Use
+// EngineNaive to run the literal rejection-sampling loop, e.g. as the
+// reference when validating the fast path.
+func WithEngine(e Engine) Option {
+	return func(o *options) { o.engine = e }
 }
 
 // WithSnapshots invokes fn after every `every` balls (and after the
@@ -182,7 +213,8 @@ func buildOptions(opts []Option) options {
 }
 
 // Run places m balls into n bins with the chosen protocol and returns
-// the measured result. It panics if n <= 0, m < 0, or s is the zero
+// the measured result. The fast engine is used unless WithEngine
+// selects the naive loop. It panics if n <= 0, m < 0, or s is the zero
 // Spec.
 func Run(s Spec, n int, m int64, opts ...Option) Result {
 	s.mustBeValid()
@@ -204,7 +236,7 @@ func Run(s Spec, n int, m int64, opts ...Option) Result {
 			})
 		}
 	}
-	out := protocol.RunWithObserver(s.factory(), n, m, rng.New(o.seed), obs)
+	out := protocol.RunWithObserverEngine(s.factory(), n, m, rng.New(o.seed), o.engine, obs)
 	return toResult(core.Measure(out))
 }
 
@@ -260,6 +292,7 @@ func Replicates(ctx context.Context, s Spec, n int, m int64, reps int, opts ...O
 		M:       m,
 		Reps:    reps,
 		Seed:    o.seed,
+		Engine:  o.engine,
 	}, 0)
 	if err != nil {
 		return Summary{}, err

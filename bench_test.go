@@ -270,6 +270,80 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	ballsbins.Run(spec, n, int64(b.N), ballsbins.WithSeed(1))
 }
 
+// BenchmarkFastEngine compares the naive rejection loop against the
+// histogram-mode fast engine on Figure-3(a)-class workloads (adaptive
+// and threshold, m = 100n) across n. The fast engine's advantage grows
+// with n because the naive loop's working set (per-bin loads plus the
+// bucket index) falls out of cache while the histogram stays
+// L1-resident; see BENCH_*.json for a recorded grid. Cases at n >= 10^6
+// are skipped in -short mode; per-op time divided by m gives ns/ball.
+func BenchmarkFastEngine(b *testing.B) {
+	protos := []struct {
+		name string
+		spec ballsbins.Spec
+	}{
+		{"adaptive", ballsbins.Adaptive()},
+		{"threshold", ballsbins.Threshold()},
+	}
+	engines := []struct {
+		name string
+		e    ballsbins.Engine
+	}{
+		{"naive", ballsbins.EngineNaive},
+		{"fast", ballsbins.EngineFast},
+	}
+	for _, n := range []int{100000, 1000000, 10000000} {
+		m := 100 * int64(n)
+		if n >= 10000000 {
+			m = 20 * int64(n) // keep one naive op under a minute
+		}
+		for _, p := range protos {
+			for _, eng := range engines {
+				if n >= 1000000 && testing.Short() {
+					continue
+				}
+				b.Run(fmt.Sprintf("%s/n=%d/%s", p.name, n, eng.name), func(b *testing.B) {
+					b.ReportAllocs()
+					var samples float64
+					for i := 0; i < b.N; i++ {
+						res := ballsbins.Run(p.spec, n, m, ballsbins.WithSeed(uint64(i)+1),
+							ballsbins.WithEngine(eng.e))
+						samples += float64(res.Samples)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(m), "ns/ball")
+					b.ReportMetric(samples/float64(b.N)/float64(m), "choices/ball")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFastEngineLowAcceptance measures the regime the geometric
+// rejection count was built for: a fixed threshold exactly at
+// capacity, where the naive loop needs Θ(n) samples for the last balls
+// while the fast engine stays O(1) per ball.
+func BenchmarkFastEngineLowAcceptance(b *testing.B) {
+	const n = 100000
+	const bound = 8
+	m := int64(n) * bound
+	for _, eng := range []struct {
+		name string
+		e    ballsbins.Engine
+	}{
+		{"naive", ballsbins.EngineNaive},
+		{"fast", ballsbins.EngineFast},
+	} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ballsbins.Run(ballsbins.FixedThreshold(bound), n, m,
+					ballsbins.WithSeed(uint64(i)+1), ballsbins.WithEngine(eng.e))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(m), "ns/ball")
+		})
+	}
+}
+
 // --- Extension ablations (beyond the paper's evaluation) -------------
 
 // BenchmarkExtensionOnePlusBeta sweeps the (1+β)-choice process: the

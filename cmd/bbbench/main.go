@@ -1,0 +1,163 @@
+// Command bbbench runs the engine comparison grid — naive rejection
+// loop vs histogram-mode fast engine — and writes a JSON record
+// (BENCH_<date>.json by default) so the performance trajectory can be
+// compared across changes. The grid covers the Figure-3(a)-class
+// workloads at n = 10⁵ … 10⁷ plus the low-acceptance fixed-threshold
+// regime.
+//
+// Usage:
+//
+//	bbbench                  # full grid, writes BENCH_<today>.json
+//	bbbench -quick           # n = 10^5 cases only
+//	bbbench -out bench.json -reps 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	ballsbins "repro"
+	"repro/internal/cli"
+)
+
+type benchCase struct {
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	M        int64  `json:"m"`
+	Engine   string `json:"engine"`
+	Reps     int    `json:"reps"`
+	// NsPerBall is wall-clock nanoseconds per placed ball, averaged
+	// over the replicates.
+	NsPerBall float64 `json:"ns_per_ball"`
+	// ChoicesPerBall is the paper's allocation-time metric; it must
+	// agree between the engines (same distribution).
+	ChoicesPerBall float64 `json:"choices_per_ball"`
+	MaxLoad        int     `json:"max_load"`
+}
+
+type speedup struct {
+	Protocol string  `json:"protocol"`
+	N        int     `json:"n"`
+	M        int64   `json:"m"`
+	NaiveNs  float64 `json:"naive_ns_per_ball"`
+	FastNs   float64 `json:"fast_ns_per_ball"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type report struct {
+	Generated string      `json:"generated"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Cases     []benchCase `json:"cases"`
+	Speedups  []speedup   `json:"speedups"`
+}
+
+type workload struct {
+	protocol string
+	spec     ballsbins.Spec
+	n        int
+	m        int64
+	reps     int
+}
+
+func grid(quick bool, reps int) []workload {
+	var ws []workload
+	add := func(protocol string, spec ballsbins.Spec, n int, m int64, r int) {
+		ws = append(ws, workload{protocol, spec, n, m, r})
+	}
+	// Figure-3(a)-class: adaptive and threshold at m = 100n.
+	add("adaptive", ballsbins.Adaptive(), 100000, 10000000, reps)
+	add("threshold", ballsbins.Threshold(), 100000, 10000000, reps)
+	// Low-acceptance regime: fixed threshold exactly at capacity.
+	add("fixed[<8]", ballsbins.FixedThreshold(8), 100000, 800000, reps)
+	if quick {
+		return ws
+	}
+	// The scales the fast engine unlocks; single replicate keeps the
+	// naive reference affordable.
+	add("adaptive", ballsbins.Adaptive(), 1000000, 100000000, 1)
+	add("threshold", ballsbins.Threshold(), 1000000, 100000000, 1)
+	add("adaptive", ballsbins.Adaptive(), 10000000, 100000000, 1)
+	add("threshold", ballsbins.Threshold(), 10000000, 100000000, 1)
+	return ws
+}
+
+func run(w workload, eng ballsbins.Engine) benchCase {
+	var elapsed time.Duration
+	var samples float64
+	maxLoad := 0
+	for rep := 0; rep < w.reps; rep++ {
+		start := time.Now()
+		res := ballsbins.Run(w.spec, w.n, w.m,
+			ballsbins.WithSeed(uint64(rep)+1), ballsbins.WithEngine(eng))
+		elapsed += time.Since(start)
+		samples += float64(res.Samples)
+		maxLoad = res.MaxLoad
+	}
+	return benchCase{
+		Protocol:       w.protocol,
+		N:              w.n,
+		M:              w.m,
+		Engine:         eng.String(),
+		Reps:           w.reps,
+		NsPerBall:      float64(elapsed.Nanoseconds()) / float64(int64(w.reps)*w.m),
+		ChoicesPerBall: samples / float64(int64(w.reps)*w.m),
+		MaxLoad:        maxLoad,
+	}
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		quick = flag.Bool("quick", false, "n = 10^5 cases only")
+		reps  = flag.Int("reps", 2, "replicates per small case")
+	)
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+
+	rep := report{
+		Generated: time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, w := range grid(*quick, *reps) {
+		fmt.Fprintf(os.Stderr, "bbbench: %s n=%s m=%s ... ",
+			w.protocol, cli.FmtCount(int64(w.n)), cli.FmtCount(w.m))
+		naive := run(w, ballsbins.EngineNaive)
+		fast := run(w, ballsbins.EngineFast)
+		rep.Cases = append(rep.Cases, naive, fast)
+		rep.Speedups = append(rep.Speedups, speedup{
+			Protocol: w.protocol,
+			N:        w.n,
+			M:        w.m,
+			NaiveNs:  naive.NsPerBall,
+			FastNs:   fast.NsPerBall,
+			Speedup:  naive.NsPerBall / fast.NsPerBall,
+		})
+		fmt.Fprintf(os.Stderr, "naive %.1f ns/ball, fast %.1f ns/ball (%.2fx)\n",
+			naive.NsPerBall, fast.NsPerBall, naive.NsPerBall/fast.NsPerBall)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bbbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -36,6 +36,7 @@ func main() {
 		reps   = flag.Int("reps", 20, "replicates per point (paper: 100)")
 		seed   = flag.Uint64("seed", 1, "master random seed")
 		csvOut = flag.String("csv", "", "optional CSV output path")
+		engine = flag.String("engine", "fast", "placement engine: "+fmt.Sprint(cli.KnownEngines()))
 	)
 	flag.Parse()
 	if *fig != "3a" && *fig != "3b" && *fig != "both" {
@@ -46,8 +47,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbfigures: need points >= 2 and mmax > mmin >= 1")
 		os.Exit(2)
 	}
+	eng, err := cli.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbfigures:", err)
+		os.Exit(2)
+	}
 
-	res := sweep(*n, *mmin, *mmax, *points, *reps, *seed)
+	res := sweep(*n, *mmin, *mmax, *points, *reps, *seed, eng)
 
 	if *fig == "3a" || *fig == "both" {
 		renderFig3a(res, *n, *reps)
@@ -64,7 +70,7 @@ func main() {
 	}
 }
 
-func sweep(n int, mmin, mmax int64, points, reps int, seed uint64) sweepResult {
+func sweep(n int, mmin, mmax int64, points, reps int, seed uint64, eng ballsbins.Engine) sweepResult {
 	ctx := context.Background()
 	var res sweepResult
 	step := (mmax - mmin) / int64(points-1)
@@ -75,13 +81,13 @@ func sweep(n int, mmin, mmax int64, points, reps int, seed uint64) sweepResult {
 		}
 		res.ms = append(res.ms, m)
 		a, err := ballsbins.Replicates(ctx, ballsbins.Adaptive(), n, m, reps,
-			ballsbins.WithSeed(seed))
+			ballsbins.WithSeed(seed), ballsbins.WithEngine(eng))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bbfigures:", err)
 			os.Exit(1)
 		}
 		t, err := ballsbins.Replicates(ctx, ballsbins.Threshold(), n, m, reps,
-			ballsbins.WithSeed(seed))
+			ballsbins.WithSeed(seed), ballsbins.WithEngine(eng))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bbfigures:", err)
 			os.Exit(1)

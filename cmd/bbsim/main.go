@@ -21,14 +21,15 @@ import (
 
 func main() {
 	var (
-		proto = flag.String("proto", "adaptive", "protocol: "+fmt.Sprint(cli.KnownProtocols()))
-		d     = flag.Int("d", 2, "choices per ball (greedy/left/memory)")
-		k     = flag.Int("k", 1, "memory slots (memory)")
-		bound = flag.Int("bound", 2, "acceptance bound (fixed)")
-		n     = flag.Int("n", 10000, "number of bins")
-		m     = flag.Int64("m", 100000, "number of balls")
-		reps  = flag.Int("reps", 10, "replicates to average over")
-		seed  = flag.Uint64("seed", 1, "master random seed")
+		proto  = flag.String("proto", "adaptive", "protocol: "+fmt.Sprint(cli.KnownProtocols()))
+		d      = flag.Int("d", 2, "choices per ball (greedy/left/memory)")
+		k      = flag.Int("k", 1, "memory slots (memory)")
+		bound  = flag.Int("bound", 2, "acceptance bound (fixed)")
+		n      = flag.Int("n", 10000, "number of bins")
+		m      = flag.Int64("m", 100000, "number of balls")
+		reps   = flag.Int("reps", 10, "replicates to average over")
+		seed   = flag.Uint64("seed", 1, "master random seed")
+		engine = flag.String("engine", "fast", "placement engine: "+fmt.Sprint(cli.KnownEngines()))
 	)
 	flag.Parse()
 
@@ -37,16 +38,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbsim:", err)
 		os.Exit(2)
 	}
+	eng, err := cli.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbsim:", err)
+		os.Exit(2)
+	}
 
 	sum, err := ballsbins.Replicates(context.Background(), spec, *n, *m, *reps,
-		ballsbins.WithSeed(*seed))
+		ballsbins.WithSeed(*seed), ballsbins.WithEngine(eng))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbsim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("protocol=%s n=%s m=%s reps=%d seed=%d\n",
-		sum.Protocol, cli.FmtCount(int64(*n)), cli.FmtCount(*m), *reps, *seed)
+	fmt.Printf("protocol=%s n=%s m=%s reps=%d seed=%d engine=%s\n",
+		sum.Protocol, cli.FmtCount(int64(*n)), cli.FmtCount(*m), *reps, *seed, eng)
 	fmt.Printf("max-load guarantee (threshold/adaptive): %d\n\n",
 		ballsbins.MaxLoadGuarantee(*n, *m))
 

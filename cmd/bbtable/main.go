@@ -23,12 +23,18 @@ import (
 
 func main() {
 	var (
-		n    = flag.Int("n", 10000, "number of bins")
-		phis = flag.String("phis", "1,10,100", "comma-separated m/n load levels")
-		reps = flag.Int("reps", 5, "replicates per configuration")
-		seed = flag.Uint64("seed", 1, "master random seed")
+		n      = flag.Int("n", 10000, "number of bins")
+		phis   = flag.String("phis", "1,10,100", "comma-separated m/n load levels")
+		reps   = flag.Int("reps", 5, "replicates per configuration")
+		seed   = flag.Uint64("seed", 1, "master random seed")
+		engine = flag.String("engine", "fast", "placement engine: "+fmt.Sprint(cli.KnownEngines()))
 	)
 	flag.Parse()
+	eng, err := cli.EngineByName(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbtable:", err)
+		os.Exit(2)
+	}
 
 	var levels []int64
 	for _, tok := range strings.Split(*phis, ",") {
@@ -73,7 +79,7 @@ func main() {
 		}
 		for _, row := range rows {
 			sum, err := ballsbins.Replicates(ctx, row.spec, *n, m, *reps,
-				ballsbins.WithSeed(*seed))
+				ballsbins.WithSeed(*seed), ballsbins.WithEngine(eng))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bbtable:", err)
 				os.Exit(1)

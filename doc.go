@@ -30,6 +30,28 @@
 // Allocation time follows the paper's accounting — the number of
 // random bin choices, not wall-clock time.
 //
+// # The two engines
+//
+// Every run executes on one of two placement engines (see Engine,
+// WithEngine). EngineNaive simulates the rejection loops literally:
+// one RNG draw and one load probe per sampled bin, over per-bin state.
+// EngineFast — the default — simulates the same processes in O(1)
+// amortized per ball: the number of rejected samples for a ball is
+// drawn from the exact Geometric distribution implied by the current
+// load histogram, and the accepted bin from a single bounded draw over
+// the acceptable set, so the joint law of every observable (chosen
+// bins, Samples, MaxLoad, Gap, Ψ, Φ) is exactly that of the naive
+// loop; only the way the seed's random stream is consumed differs.
+// When no per-ball snapshot observer is attached, the fast engine
+// additionally runs histogram-only (O(#levels) working set instead of
+// O(n)) and materializes the final per-bin loads once at the end — the
+// protocols are symmetric under bin relabeling, so that materialized
+// vector again has exactly the naive distribution. See README.md for
+// the per-protocol complexity table and measured speedups; the naive
+// engine remains selectable as the reference oracle, and the
+// equivalence of the two is enforced by chi-square tests in
+// internal/protocol.
+//
 // # Quick start
 //
 //	res := ballsbins.Run(ballsbins.Adaptive(), 1000, 100_000,

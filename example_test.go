@@ -17,7 +17,7 @@ func ExampleRun() {
 	fmt.Printf("gap: %d\n", res.Gap)
 	// Output:
 	// max load: 101 (guarantee 101)
-	// gap: 11
+	// gap: 9
 }
 
 // The paper's headline comparison: at the same (n, m, seed), adaptive

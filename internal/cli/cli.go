@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	ballsbins "repro"
+	"repro/internal/protocol"
 )
 
 // SpecByName resolves a protocol name (as printed by Spec.Name, but
@@ -47,6 +48,15 @@ func KnownProtocols() []string {
 	sort.Strings(names)
 	return names
 }
+
+// EngineByName resolves an -engine flag value ("fast" or "naive",
+// case-insensitive) into an Engine.
+func EngineByName(name string) (ballsbins.Engine, error) {
+	return protocol.ParseEngine(name)
+}
+
+// KnownEngines lists the names EngineByName accepts.
+func KnownEngines() []string { return []string{"fast", "naive"} }
 
 // FmtStat renders a Stat as "mean ± ci95".
 func FmtStat(s ballsbins.Stat) string {

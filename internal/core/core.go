@@ -50,7 +50,13 @@ func Measure(out protocol.Outcome) Metrics {
 }
 
 // RunOne builds a fresh protocol from f, runs m balls into n bins with
-// the given seed, and returns the measured metrics.
+// the given seed via the naive reference engine, and returns the
+// measured metrics. Use RunOneEngine to select the engine.
 func RunOne(f protocol.Factory, n int, m int64, seed uint64) Metrics {
-	return Measure(protocol.Run(f(), n, m, rng.New(seed)))
+	return RunOneEngine(f, n, m, seed, protocol.EngineNaive)
+}
+
+// RunOneEngine is RunOne with an explicit engine selection.
+func RunOneEngine(f protocol.Factory, n int, m int64, seed uint64, e protocol.Engine) Metrics {
+	return Measure(protocol.RunEngine(f(), n, m, rng.New(seed), e))
 }

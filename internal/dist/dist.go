@@ -1,0 +1,273 @@
+// Package dist provides the exact discrete distributions and
+// chi-square goodness-of-fit machinery the test suites use to validate
+// samplers and protocol outputs quantitatively (explicit p-values
+// instead of ad hoc tolerances).
+//
+// All PMFs are computed in log space via math.Lgamma, so they are
+// accurate far into the tails; the chi-square p-values come from the
+// regularized incomplete gamma function (series expansion for small
+// arguments, continued fraction otherwise — the classical gammp/gammq
+// split).
+package dist
+
+import "math"
+
+// PoissonPMF returns P(X = k) for X ~ Poisson(lambda). It panics if
+// lambda < 0; k < 0 returns 0.
+func PoissonPMF(lambda float64, k int) float64 {
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic("dist: PoissonPMF with lambda < 0")
+	}
+	if k < 0 {
+		return 0
+	}
+	if lambda == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(lambda) - lambda - lg)
+}
+
+// PoissonTailGE returns P(X >= k) for X ~ Poisson(lambda), via the
+// identity P(X >= k) = P(Gamma(k, 1) <= lambda) = gammp(k, lambda).
+func PoissonTailGE(lambda float64, k int) float64 {
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic("dist: PoissonTailGE with lambda < 0")
+	}
+	if k <= 0 {
+		return 1
+	}
+	if lambda == 0 {
+		return 0
+	}
+	return gammaP(float64(k), lambda)
+}
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p). It panics if
+// n < 0 or p is outside [0, 1]; k outside [0, n] returns 0.
+func BinomialPMF(n int, p float64, k int) float64 {
+	if n < 0 {
+		panic("dist: BinomialPMF with n < 0")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("dist: BinomialPMF with p outside [0,1]")
+	}
+	if k < 0 || k > n {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lgN, _ := math.Lgamma(float64(n) + 1)
+	lgK, _ := math.Lgamma(float64(k) + 1)
+	lgNK, _ := math.Lgamma(float64(n-k) + 1)
+	return math.Exp(lgN - lgK - lgNK +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}
+
+// GeometricPMF returns P(X = k) for X ~ Geometric(p) with support
+// {1, 2, ...} (number of trials up to and including the first
+// success), matching rng.Geometric. It panics unless 0 < p <= 1.
+func GeometricPMF(p float64, k int) float64 {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic("dist: GeometricPMF with p outside (0,1]")
+	}
+	if k < 1 {
+		return 0
+	}
+	return math.Exp(float64(k-1)*math.Log1p(-p)) * p
+}
+
+// UniformChiSquare tests the null hypothesis that counts are uniform
+// draws over len(counts) equiprobable buckets. It returns the
+// chi-square statistic and its p-value (len(counts)-1 degrees of
+// freedom). It panics on fewer than 2 buckets.
+func UniformChiSquare(counts []int64) (stat, p float64) {
+	k := len(counts)
+	if k < 2 {
+		panic("dist: UniformChiSquare needs >= 2 buckets")
+	}
+	probs := make([]float64, k)
+	for i := range probs {
+		probs[i] = 1 / float64(k)
+	}
+	return GoodnessOfFit(counts, probs)
+}
+
+// GoodnessOfFit tests observed bucket counts against the expected
+// probabilities probs (which must sum to ~1). It returns Pearson's
+// chi-square statistic and the p-value with len(counts)-1 degrees of
+// freedom. Buckets with zero expected probability must have zero
+// counts (they contribute nothing); it panics on length mismatch or
+// fewer than 2 buckets.
+func GoodnessOfFit(counts []int64, probs []float64) (stat, p float64) {
+	if len(counts) != len(probs) {
+		panic("dist: GoodnessOfFit length mismatch")
+	}
+	if len(counts) < 2 {
+		panic("dist: GoodnessOfFit needs >= 2 buckets")
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	for i, c := range counts {
+		exp := probs[i] * float64(total)
+		if exp == 0 {
+			if c != 0 {
+				return math.Inf(1), 0
+			}
+			continue
+		}
+		d := float64(c) - exp
+		stat += d * d / exp
+	}
+	return stat, ChiSquareSurvival(stat, len(counts)-1)
+}
+
+// TwoSampleChiSquare tests the null hypothesis that two observed
+// bucket-count vectors are drawn from the same (unknown) distribution,
+// via the 2×k contingency-table chi-square with expected counts from
+// the pooled margins. Buckets empty in both samples contribute nothing
+// and are excluded from the degrees of freedom. It returns the
+// statistic and its p-value; it panics on length mismatch, fewer than
+// 2 buckets, or an empty sample.
+func TwoSampleChiSquare(a, b []int64) (stat, p float64) {
+	if len(a) != len(b) {
+		panic("dist: TwoSampleChiSquare length mismatch")
+	}
+	if len(a) < 2 {
+		panic("dist: TwoSampleChiSquare needs >= 2 buckets")
+	}
+	var na, nb int64
+	for i := range a {
+		na += a[i]
+		nb += b[i]
+	}
+	if na == 0 || nb == 0 {
+		panic("dist: TwoSampleChiSquare with an empty sample")
+	}
+	total := float64(na + nb)
+	fa, fb := float64(na)/total, float64(nb)/total
+	occupied := 0
+	for i := range a {
+		ti := a[i] + b[i]
+		if ti == 0 {
+			continue
+		}
+		occupied++
+		expA := float64(ti) * fa
+		expB := float64(ti) * fb
+		da := float64(a[i]) - expA
+		db := float64(b[i]) - expB
+		stat += da*da/expA + db*db/expB
+	}
+	if occupied < 2 {
+		return 0, 1
+	}
+	return stat, ChiSquareSurvival(stat, occupied-1)
+}
+
+// ChiSquareSurvival returns P(X >= x) for X ~ ChiSquare(df).
+func ChiSquareSurvival(x float64, df int) float64 {
+	if df <= 0 {
+		panic("dist: ChiSquareSurvival with df <= 0")
+	}
+	if x <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, x/2)
+}
+
+// gammaP is the regularized lower incomplete gamma function P(a, x).
+func gammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		panic("dist: gammaP domain error")
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+// gammaQ is the regularized upper incomplete gamma function Q(a, x).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		panic("dist: gammaQ domain error")
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x)
+	}
+	return gammaCF(a, x)
+}
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 1000
+)
+
+// gammaSeries evaluates P(a, x) by its power series, accurate for
+// x < a+1.
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaCF evaluates Q(a, x) by its continued fraction (modified
+// Lentz's method), accurate for x >= a+1.
+func gammaCF(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPoissonPMF(t *testing.T) {
+	// Poisson(2): P(0)=e^-2, P(1)=2e^-2, P(2)=2e^-2, P(3)=4/3 e^-2.
+	e2 := math.Exp(-2)
+	cases := []struct {
+		k    int
+		want float64
+	}{{0, e2}, {1, 2 * e2}, {2, 2 * e2}, {3, 4.0 / 3 * e2}, {-1, 0}}
+	for _, c := range cases {
+		if got := PoissonPMF(2, c.k); !close(got, c.want, 1e-12) {
+			t.Errorf("PoissonPMF(2,%d) = %v want %v", c.k, got, c.want)
+		}
+	}
+	var sum float64
+	for k := 0; k < 200; k++ {
+		sum += PoissonPMF(7.5, k)
+	}
+	if !close(sum, 1, 1e-10) {
+		t.Errorf("Poisson(7.5) pmf sums to %v", sum)
+	}
+}
+
+func TestPoissonTailGE(t *testing.T) {
+	if got := PoissonTailGE(3, 0); got != 1 {
+		t.Errorf("tail at k=0 should be 1, got %v", got)
+	}
+	// P(X >= 1) = 1 - e^-lambda.
+	if got := PoissonTailGE(3, 1); !close(got, 1-math.Exp(-3), 1e-12) {
+		t.Errorf("PoissonTailGE(3,1) = %v", got)
+	}
+	// Tail must equal the summed pmf.
+	for _, k := range []int{1, 2, 5, 10} {
+		var sum float64
+		for j := k; j < 300; j++ {
+			sum += PoissonPMF(4.2, j)
+		}
+		if got := PoissonTailGE(4.2, k); !close(got, sum, 1e-10) {
+			t.Errorf("PoissonTailGE(4.2,%d) = %v want %v", k, got, sum)
+		}
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Binomial(4, 1/2): 1,4,6,4,1 over 16.
+	for k, want := range []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16} {
+		if got := BinomialPMF(4, 0.5, k); !close(got, want, 1e-12) {
+			t.Errorf("BinomialPMF(4,0.5,%d) = %v want %v", k, got, want)
+		}
+	}
+	if BinomialPMF(4, 0.5, 5) != 0 || BinomialPMF(4, 0.5, -1) != 0 {
+		t.Error("out-of-support pmf not zero")
+	}
+	if BinomialPMF(3, 0, 0) != 1 || BinomialPMF(3, 1, 3) != 1 {
+		t.Error("degenerate p not handled")
+	}
+}
+
+func TestGeometricPMF(t *testing.T) {
+	p := 0.3
+	var sum float64
+	for k := 1; k < 300; k++ {
+		want := math.Pow(1-p, float64(k-1)) * p
+		if got := GeometricPMF(p, k); !close(got, want, 1e-12) {
+			t.Fatalf("GeometricPMF(%v,%d) = %v want %v", p, k, got, want)
+		}
+		sum += GeometricPMF(p, k)
+	}
+	if !close(sum, 1, 1e-10) {
+		t.Errorf("geometric pmf sums to %v", sum)
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Known critical values: P(X >= 3.841) ~ 0.05 for df=1,
+	// P(X >= 18.307) ~ 0.05 for df=10.
+	if got := ChiSquareSurvival(3.841, 1); !close(got, 0.05, 2e-4) {
+		t.Errorf("df=1 survival at 3.841 = %v", got)
+	}
+	if got := ChiSquareSurvival(18.307, 10); !close(got, 0.05, 2e-4) {
+		t.Errorf("df=10 survival at 18.307 = %v", got)
+	}
+	if got := ChiSquareSurvival(0, 5); got != 1 {
+		t.Errorf("survival at 0 = %v", got)
+	}
+	// df=2 is Exponential(1/2): P(X >= x) = e^{-x/2}.
+	for _, x := range []float64{0.5, 2, 8} {
+		if got := ChiSquareSurvival(x, 2); !close(got, math.Exp(-x/2), 1e-10) {
+			t.Errorf("df=2 survival at %v = %v", x, got)
+		}
+	}
+}
+
+func TestUniformChiSquareDetectsBias(t *testing.T) {
+	uniform := []int64{100, 104, 96, 100, 98, 102, 101, 99}
+	if _, p := UniformChiSquare(uniform); p < 0.1 {
+		t.Errorf("near-uniform counts rejected: p = %v", p)
+	}
+	biased := []int64{400, 50, 50, 50, 50, 50, 50, 100}
+	if _, p := UniformChiSquare(biased); p > 1e-6 {
+		t.Errorf("biased counts accepted: p = %v", p)
+	}
+}
+
+func TestGoodnessOfFitZeroProbBucket(t *testing.T) {
+	counts := []int64{10, 0, 10}
+	probs := []float64{0.5, 0, 0.5}
+	if stat, p := GoodnessOfFit(counts, probs); p < 0.5 || stat != 0 {
+		t.Errorf("perfect fit rejected: stat=%v p=%v", stat, p)
+	}
+	counts[1] = 3
+	if _, p := GoodnessOfFit(counts, probs); p != 0 {
+		t.Errorf("mass on zero-probability bucket accepted: p = %v", p)
+	}
+}
+
+func TestTwoSampleChiSquare(t *testing.T) {
+	a := []int64{120, 240, 120, 20}
+	b := []int64{118, 239, 125, 18}
+	if _, p := TwoSampleChiSquare(a, b); p < 0.1 {
+		t.Errorf("matching samples rejected: p = %v", p)
+	}
+	c := []int64{240, 120, 120, 20}
+	if _, p := TwoSampleChiSquare(a, c); p > 1e-6 {
+		t.Errorf("mismatched samples accepted: p = %v", p)
+	}
+	// Shared empty buckets are ignored.
+	if _, p := TwoSampleChiSquare([]int64{50, 0, 50}, []int64{47, 0, 53}); p < 0.1 {
+		t.Errorf("empty bucket distorted test: p = %v", p)
+	}
+	// Different sample sizes are fine.
+	if _, p := TwoSampleChiSquare([]int64{100, 100}, []int64{1000, 1010}); p < 0.1 {
+		t.Errorf("unequal sizes rejected: p = %v", p)
+	}
+}

@@ -37,3 +37,53 @@ func FuzzVectorOps(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBucketIndex drives a Vector with the same operation tape as
+// FuzzVectorOps and checks the bucket-index query contract directly:
+// for every threshold T, the ranks [0, CountBelow(T)) enumerate
+// exactly the bins with load < T, and the remaining ranks exactly
+// those with load >= T — the partition the fast allocation engine's
+// uniform draws rely on.
+func FuzzBucketIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0x80})
+	f.Add([]byte{5, 5, 5, 5, 5, 0x85, 0x85})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		const n = 13
+		v := New(n)
+		for _, op := range tape {
+			bin := int(op&0x3F) % n
+			if op&0x80 != 0 {
+				if v.Load(bin) > 0 {
+					v.Decrement(bin)
+				}
+				continue
+			}
+			v.Increment(bin)
+		}
+		for T := 0; T <= v.MaxLoad()+2; T++ {
+			cb := v.CountBelow(T)
+			var want int64
+			for i := 0; i < n; i++ {
+				if v.Load(i) < T {
+					want++
+				}
+			}
+			if cb != want {
+				t.Fatalf("CountBelow(%d) = %d want %d", T, cb, want)
+			}
+			seen := make(map[int]bool, n)
+			for k := int64(0); k < int64(n); k++ {
+				bin := v.BinAtRank(k)
+				if seen[bin] {
+					t.Fatalf("rank %d repeats bin %d", k, bin)
+				}
+				seen[bin] = true
+				if below := k < cb; below != (v.Load(bin) < T) {
+					t.Fatalf("rank %d bin %d load %d on wrong side of T=%d (CountBelow=%d)",
+						k, bin, v.Load(bin), T, cb)
+				}
+			}
+		}
+	})
+}

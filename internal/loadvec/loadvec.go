@@ -11,6 +11,17 @@
 // Increment O(1) amortized, Ψ exact in O(1) via Σℓ² − t²/n, and Φ an
 // O(#levels) evaluation in the shifted domain t/n − ℓ (which stays
 // bounded, avoiding under/overflow even for very long runs).
+//
+// The vector additionally maintains a bins-by-level bucket index: a
+// permutation of the bins ordered by non-decreasing load, with one
+// contiguous bucket of positions per load level. Moving a bin between
+// adjacent levels is a single swap with a bucket boundary, so the
+// index costs O(1) per Increment/Decrement, and it turns two queries
+// into O(1) operations that the histogram alone cannot support:
+// CountBelow (a bucket-boundary lookup) and BinAtRank (position →
+// bin). Together they let a caller draw a uniformly random bin among
+// exactly the bins with load < T in a single bounded RNG draw — the
+// primitive behind the fast allocation engine in internal/protocol.
 package loadvec
 
 import (
@@ -31,6 +42,17 @@ type Vector struct {
 	sumSq  int64   // Σ loads[i]²
 	min    int32   // current minimum load
 	max    int32   // current maximum load
+
+	// Bucket index: perm is a permutation of the bins ordered by
+	// non-decreasing load, pos is its inverse (pos[perm[p]] == p), and
+	// starts[ℓ] is the number of bins with load < ℓ, so level ℓ's bins
+	// occupy positions [starts[ℓ], starts[ℓ+1]). The order of bins
+	// within one level bucket is arbitrary (it depends on the operation
+	// history), but the partition of ranks by level is exact.
+	// Invariant: len(starts) == len(levels)+1 and starts ends with n.
+	perm   []int32
+	pos    []int32
+	starts []int32
 }
 
 // New returns a Vector for n empty bins. It panics if n <= 0.
@@ -38,11 +60,22 @@ func New(n int) *Vector {
 	if n <= 0 {
 		panic("loadvec: New with n <= 0")
 	}
+	if int64(n) > math.MaxInt32 {
+		panic("loadvec: New with n > MaxInt32")
+	}
 	v := &Vector{
 		loads:  make([]int32, n),
 		levels: make([]int64, 1, 16),
+		perm:   make([]int32, n),
+		pos:    make([]int32, n),
+		starts: make([]int32, 2, 17),
 	}
 	v.levels[0] = int64(n)
+	for i := range v.perm {
+		v.perm[i] = int32(i)
+		v.pos[i] = int32(i)
+	}
+	v.starts[1] = int32(n)
 	return v
 }
 
@@ -83,8 +116,15 @@ func (v *Vector) Increment(i int) {
 	v.levels[l]--
 	if int(l+1) >= len(v.levels) {
 		v.levels = append(v.levels, 0)
+		v.starts = append(v.starts, int32(len(v.loads)))
 	}
 	v.levels[l+1]++
+
+	// Bucket index: swap bin i to the last position of level ℓ's
+	// bucket, then shift the ℓ/ℓ+1 boundary left over it.
+	last := v.starts[l+1] - 1
+	v.swapPositions(v.pos[i], last)
+	v.starts[l+1] = last
 
 	if l+1 > v.max {
 		v.max = l + 1
@@ -97,6 +137,16 @@ func (v *Vector) Increment(i int) {
 		}
 		v.min = m
 	}
+}
+
+// swapPositions exchanges the bins at permutation positions p and q.
+func (v *Vector) swapPositions(p, q int32) {
+	if p == q {
+		return
+	}
+	bp, bq := v.perm[p], v.perm[q]
+	v.perm[p], v.perm[q] = bq, bp
+	v.pos[bp], v.pos[bq] = q, p
 }
 
 // Decrement removes one ball from bin i (used by reallocation
@@ -112,6 +162,12 @@ func (v *Vector) Decrement(i int) {
 
 	v.levels[l]--
 	v.levels[l-1]++
+
+	// Bucket index: swap bin i to the first position of level ℓ's
+	// bucket, then shift the ℓ−1/ℓ boundary right over it.
+	first := v.starts[l]
+	v.swapPositions(v.pos[i], first)
+	v.starts[l] = first + 1
 
 	if l-1 < v.min {
 		v.min = l - 1
@@ -167,13 +223,26 @@ func (v *Vector) Holes(capacity int) int64 {
 	return holes
 }
 
-// CountBelow returns the number of bins with load strictly less than x.
+// CountBelow returns the number of bins with load strictly less than
+// x, in O(1) via the bucket index.
 func (v *Vector) CountBelow(x int) int64 {
-	var c int64
-	for l := int(v.min); l < x && l < len(v.levels); l++ {
-		c += v.levels[l]
+	if x <= 0 {
+		return 0
 	}
-	return c
+	if x >= len(v.starts) {
+		return int64(len(v.loads))
+	}
+	return int64(v.starts[x])
+}
+
+// BinAtRank returns the bin at position k of the by-level permutation
+// (0 ≤ k < n): bins appear in non-decreasing load order, so the first
+// CountBelow(T) ranks are exactly the bins with load < T and the
+// remaining ranks exactly those with load ≥ T. The order within one
+// load level is arbitrary, which is immaterial for uniform sampling
+// over either set. It panics if k is out of range.
+func (v *Vector) BinAtRank(k int64) int {
+	return int(v.perm[k])
 }
 
 // Loads returns a copy of the per-bin loads.
@@ -194,6 +263,9 @@ func (v *Vector) Clone() *Vector {
 		sumSq:  v.sumSq,
 		min:    v.min,
 		max:    v.max,
+		perm:   append([]int32(nil), v.perm...),
+		pos:    append([]int32(nil), v.pos...),
+		starts: append([]int32(nil), v.starts...),
 	}
 	return out
 }
@@ -239,6 +311,41 @@ func (v *Vector) Validate() error {
 		if v.levels[l] != c {
 			return fmt.Errorf("level %d: have %d want %d", l, v.levels[l], c)
 		}
+	}
+
+	// Bucket index: perm/pos are inverse permutations, perm is sorted
+	// by non-decreasing load, and starts[ℓ] counts bins with load < ℓ.
+	if len(v.perm) != len(v.loads) || len(v.pos) != len(v.loads) {
+		return fmt.Errorf("index sizes: perm %d pos %d want %d",
+			len(v.perm), len(v.pos), len(v.loads))
+	}
+	if len(v.starts) != len(v.levels)+1 {
+		return fmt.Errorf("starts length %d want %d", len(v.starts), len(v.levels)+1)
+	}
+	for p, bin := range v.perm {
+		if bin < 0 || int(bin) >= len(v.loads) {
+			return fmt.Errorf("perm[%d] = %d out of range", p, bin)
+		}
+		if v.pos[bin] != int32(p) {
+			return fmt.Errorf("pos[%d] = %d, perm[%d] = %d not inverse",
+				bin, v.pos[bin], p, bin)
+		}
+		if p > 0 && v.loads[bin] < v.loads[v.perm[p-1]] {
+			return fmt.Errorf("perm not sorted by load at position %d", p)
+		}
+	}
+	if v.starts[0] != 0 {
+		return fmt.Errorf("starts[0] = %d want 0", v.starts[0])
+	}
+	if last := v.starts[len(v.starts)-1]; int(last) != len(v.loads) {
+		return fmt.Errorf("starts[last] = %d want %d", last, len(v.loads))
+	}
+	var below int64
+	for l, c := range levels {
+		if int64(v.starts[l]) != below {
+			return fmt.Errorf("starts[%d] = %d want %d", l, v.starts[l], below)
+		}
+		below += c
 	}
 	return nil
 }

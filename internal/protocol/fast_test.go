@@ -1,0 +1,303 @@
+package protocol
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/loadvec"
+	"repro/internal/rng"
+)
+
+// The fast engine's contract is distributional: for every protocol
+// with a fast path, every observable of a run — Samples, MaxLoad, Gap,
+// Σℓ² (hence Ψ) — must have exactly the same law as under the naive
+// rejection loop. These tests drive both engines over a seed/shape
+// grid and compare the observed distributions with the two-sample
+// chi-square machinery in internal/dist. The engines consume their RNG
+// streams differently, so values are compared in distribution, never
+// run by run.
+
+// fastProtocols enumerates every protocol with a fast path, with
+// shapes chosen so all code paths (stage boundaries, high and low
+// acceptance fractions, the bounded-retry fallback) are exercised.
+func fastProtocols() []struct {
+	name string
+	mk   Factory
+} {
+	return []struct {
+		name string
+		mk   Factory
+	}{
+		{"adaptive", func() Protocol { return NewAdaptive() }},
+		{"adaptive-noslack", func() Protocol { return NewAdaptiveNoSlack() }},
+		{"threshold", func() Protocol { return NewThreshold() }},
+		{"fixed", func() Protocol { return NewFixedThreshold(8) }},
+		{"single", func() Protocol { return NewSingleChoice() }},
+		{"retry3", func() Protocol { return NewBoundedRetry(3) }},
+	}
+}
+
+func TestFastPathsImplementInterfaces(t *testing.T) {
+	for _, tc := range fastProtocols() {
+		p := tc.mk()
+		if _, ok := p.(FastPlacer); !ok {
+			t.Errorf("%s does not implement FastPlacer", tc.name)
+		}
+		if _, ok := p.(HistPlacer); !ok {
+			t.Errorf("%s does not implement HistPlacer", tc.name)
+		}
+	}
+}
+
+// engineFlavors runs one replicate under each placement implementation:
+// the naive loop, the histogram mode (fast engine, no observer), and
+// the per-ball bucket-index mode (fast engine with an observer).
+func engineFlavors() map[string]func(f Factory, n int, m int64, seed uint64) Outcome {
+	return map[string]func(f Factory, n int, m int64, seed uint64) Outcome{
+		"naive": func(f Factory, n int, m int64, seed uint64) Outcome {
+			return RunEngine(f(), n, m, rng.New(seed), EngineNaive)
+		},
+		"fast-hist": func(f Factory, n int, m int64, seed uint64) Outcome {
+			return RunEngine(f(), n, m, rng.New(seed), EngineFast)
+		},
+		"fast-bucket": func(f Factory, n int, m int64, seed uint64) Outcome {
+			obs := func(int64, int64, *loadvec.Vector) {}
+			return RunWithObserverEngine(f(), n, m, rng.New(seed), EngineFast, obs)
+		},
+	}
+}
+
+// TestFastEnginesInvariants checks, across a shape grid, that every
+// engine flavor produces structurally valid outcomes: the right ball
+// count, a consistent load vector, and — for the protocols that carry
+// the paper's deterministic guarantee — max load at most ⌈m/n⌉+1.
+func TestFastEnginesInvariants(t *testing.T) {
+	guaranteed := map[string]bool{"adaptive": true, "adaptive-noslack": true, "threshold": true}
+	for _, tc := range fastProtocols() {
+		for _, n := range []int{1, 7, 64} {
+			for _, ratio := range []int64{1, 5, 33} {
+				m := ratio * int64(n)
+				if tc.name == "fixed" && int64(n)*8 < m {
+					continue // infeasible bound: Reset panics by design
+				}
+				for flavor, run := range engineFlavors() {
+					out := run(tc.mk, n, m, 42)
+					if out.Vector.Balls() != m {
+						t.Fatalf("%s/%s n=%d m=%d: placed %d balls",
+							tc.name, flavor, n, m, out.Vector.Balls())
+					}
+					if err := out.Vector.Validate(); err != nil {
+						t.Fatalf("%s/%s n=%d m=%d: invalid vector: %v",
+							tc.name, flavor, n, m, err)
+					}
+					if out.Samples < m {
+						t.Fatalf("%s/%s n=%d m=%d: samples %d < m",
+							tc.name, flavor, n, m, out.Samples)
+					}
+					if guaranteed[tc.name] {
+						if bound := MaxLoadBound(n, m); int64(out.Vector.MaxLoad()) > bound {
+							t.Fatalf("%s/%s n=%d m=%d: max load %d exceeds guarantee %d",
+								tc.name, flavor, n, m, out.Vector.MaxLoad(), bound)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// chiCompare histograms two integer samples and runs the two-sample
+// chi-square, merging adjacent sparse buckets (pooled count < 16) so
+// the chi-square approximation holds. The p-value floor of 1e-6
+// matches the rng crosscheck suite: tight enough to catch any real
+// distributional drift over thousands of replicates, loose enough to
+// be deterministic-seed stable.
+func chiCompare(t *testing.T, label string, a, b []int64) {
+	t.Helper()
+	lo, hi := a[0], a[0]
+	for _, v := range append(append([]int64(nil), a...), b...) {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	width := hi - lo + 1
+	ca := make([]int64, width)
+	cb := make([]int64, width)
+	for _, v := range a {
+		ca[v-lo]++
+	}
+	for _, v := range b {
+		cb[v-lo]++
+	}
+	// Merge adjacent sparse buckets.
+	var ma, mb []int64
+	var accA, accB int64
+	for i := int64(0); i < width; i++ {
+		accA += ca[i]
+		accB += cb[i]
+		if accA+accB >= 16 {
+			ma = append(ma, accA)
+			mb = append(mb, accB)
+			accA, accB = 0, 0
+		}
+	}
+	if accA+accB > 0 && len(ma) > 0 {
+		ma[len(ma)-1] += accA
+		mb[len(mb)-1] += accB
+	}
+	if len(ma) < 2 {
+		// Degenerate support: both engines must then agree exactly.
+		if accA != accB {
+			t.Errorf("%s: degenerate support with unequal masses %d vs %d", label, accA, accB)
+		}
+		return
+	}
+	stat, p := dist.TwoSampleChiSquare(ma, mb)
+	if p < 1e-6 {
+		t.Errorf("%s: distributions differ: chi2=%.1f p=%g (df=%d)", label, stat, p, len(ma)-1)
+	}
+}
+
+// TestFastMatchesNaiveDistributions is the core equivalence suite:
+// thousands of small replicates per engine, compared metric by metric.
+func TestFastMatchesNaiveDistributions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence suite needs thousands of replicates")
+	}
+	const (
+		n    = 24
+		m    = int64(3 * n)
+		reps = 4000
+	)
+	flavors := engineFlavors()
+	for _, tc := range fastProtocols() {
+		metrics := map[string]map[string][]int64{}
+		for flavor, run := range flavors {
+			samples := make([]int64, reps)
+			maxload := make([]int64, reps)
+			gap := make([]int64, reps)
+			sumsq := make([]int64, reps)
+			for rep := 0; rep < reps; rep++ {
+				out := run(tc.mk, n, m, rng.Mix(uint64(rep), 77))
+				samples[rep] = out.Samples
+				maxload[rep] = int64(out.Vector.MaxLoad())
+				gap[rep] = int64(out.Vector.Gap())
+				sumsq[rep] = out.Vector.SumSquares()
+			}
+			metrics[flavor] = map[string][]int64{
+				"samples": samples, "maxload": maxload, "gap": gap, "sumsq": sumsq,
+			}
+		}
+		for _, flavor := range []string{"fast-hist", "fast-bucket"} {
+			for metric := range metrics["naive"] {
+				chiCompare(t, fmt.Sprintf("%s/%s/%s", tc.name, flavor, metric),
+					metrics["naive"][metric], metrics[flavor][metric])
+			}
+		}
+	}
+}
+
+// TestFastHistLowAcceptanceRegime drives the Geometric branch of the
+// fast path hard: a fixed threshold exactly at capacity makes the
+// acceptable fraction collapse toward 1/n at the end of the run, where
+// the naive loop needs Θ(n) samples per ball.
+func TestFastHistLowAcceptanceRegime(t *testing.T) {
+	const n = 16
+	m := int64(n) * 4 // fills bound=4 exactly: last ball sees one open slot
+	mk := func() Protocol { return NewFixedThreshold(4) }
+	var naive, fast []int64
+	for rep := 0; rep < 3000; rep++ {
+		naive = append(naive, RunEngine(mk(), n, m, rng.New(uint64(rep+1)), EngineNaive).Samples)
+		fast = append(fast, RunEngine(mk(), n, m, rng.New(uint64(rep+1)), EngineFast).Samples)
+	}
+	chiCompare(t, "fixed-at-capacity/samples", naive, fast)
+}
+
+// TestFastEngineObserverSeesExactVectors confirms the observer-mode
+// fast path maintains a per-ball-consistent vector: every callback
+// sees i balls placed and a vector that validates.
+func TestFastEngineObserverSeesExactVectors(t *testing.T) {
+	var calls int64
+	obs := func(ball, samples int64, v *loadvec.Vector) {
+		calls++
+		if v.Balls() != ball {
+			t.Fatalf("observer at ball %d sees %d balls", ball, v.Balls())
+		}
+		if ball%17 == 0 {
+			if err := v.Validate(); err != nil {
+				t.Fatalf("observer at ball %d: %v", ball, err)
+			}
+		}
+	}
+	out := RunWithObserverEngine(NewAdaptive(), 32, 320, rng.New(9), EngineFast, obs)
+	if calls != 320 || out.Vector.Balls() != 320 {
+		t.Fatalf("observer called %d times, vector has %d balls", calls, out.Vector.Balls())
+	}
+}
+
+// TestEngineParsing covers the CLI-facing engine name round trip.
+func TestEngineParsing(t *testing.T) {
+	for _, e := range []Engine{EngineFast, EngineNaive} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("round trip of %v failed: %v %v", e, got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if Engine(7).String() == "" {
+		t.Error("unknown engine String empty")
+	}
+}
+
+// TestFastDefaultUsedByRunEngine ensures the engine selector actually
+// switches implementations: with a stub protocol that implements
+// HistPlacer, EngineFast must take the histogram path and EngineNaive
+// must not.
+func TestFastDefaultUsedByRunEngine(t *testing.T) {
+	p := &pathProbe{}
+	RunEngine(p, 4, 4, rng.New(1), EngineNaive)
+	if p.histCalls != 0 || p.naiveCalls != 4 {
+		t.Fatalf("naive engine used hist path: %+v", p)
+	}
+	p = &pathProbe{}
+	RunEngine(p, 4, 4, rng.New(1), EngineFast)
+	if p.histCalls != 4 || p.naiveCalls != 0 {
+		t.Fatalf("fast engine skipped hist path: %+v", p)
+	}
+	// An observer forces the per-ball fast path (PlaceFast here).
+	p = &pathProbe{}
+	RunWithObserverEngine(p, 4, 4, rng.New(1), EngineFast,
+		func(int64, int64, *loadvec.Vector) {})
+	if p.fastCalls != 4 || p.histCalls != 0 {
+		t.Fatalf("observer run did not use bucket fast path: %+v", p)
+	}
+}
+
+// pathProbe counts which placement implementation the engine invoked.
+type pathProbe struct {
+	naiveCalls, fastCalls, histCalls int
+}
+
+func (p *pathProbe) Name() string     { return "probe" }
+func (p *pathProbe) Reset(int, int64) {}
+func (p *pathProbe) Place(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	p.naiveCalls++
+	v.Increment(r.Intn(v.N()))
+	return 1
+}
+func (p *pathProbe) PlaceFast(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	p.fastCalls++
+	v.Increment(r.Intn(v.N()))
+	return 1
+}
+func (p *pathProbe) PlaceHist(h *loadvec.Hist, r *rng.Rand, _ int64) int64 {
+	p.histCalls++
+	h.IncrementLevel(h.LevelOfRank(int64(r.Intn(h.N()))))
+	return 1
+}

@@ -22,6 +22,11 @@
 // Allocation time follows the paper's accounting: the number of random
 // bin choices, not wall-clock time. Every Place reports exactly how
 // many choices it consumed.
+//
+// Each rejection-sampling protocol additionally implements FastPlacer,
+// an O(1)-per-ball placement path that draws the rejection count from
+// the exact Geometric sampler instead of looping (see fast.go). Run
+// always uses the naive loop; RunEngine selects between the two.
 package protocol
 
 import (
@@ -60,8 +65,10 @@ type Outcome struct {
 	Samples int64
 }
 
-// Run places m balls into n bins using p and the random stream r.
-// It panics if n <= 0 or m < 0.
+// Run places m balls into n bins using p and the random stream r,
+// always via the naive Place loop — it is the reference oracle the
+// fast engine is validated against. Use RunEngine to select the
+// engine. It panics if n <= 0 or m < 0.
 func Run(p Protocol, n int, m int64, r *rng.Rand) Outcome {
 	return RunWithObserver(p, n, m, r, nil)
 }
@@ -73,23 +80,7 @@ type Observer func(ball int64, samples int64, v *loadvec.Vector)
 
 // RunWithObserver is Run with a per-ball callback (nil behaves as Run).
 func RunWithObserver(p Protocol, n int, m int64, r *rng.Rand, obs Observer) Outcome {
-	if n <= 0 {
-		panic("protocol: Run with n <= 0")
-	}
-	if m < 0 {
-		panic("protocol: Run with m < 0")
-	}
-	p.Reset(n, m)
-	v := loadvec.New(n)
-	var total int64
-	for i := int64(1); i <= m; i++ {
-		s := p.Place(v, r, i)
-		total += s
-		if obs != nil {
-			obs(i, s, v)
-		}
-	}
-	return Outcome{Vector: v, Samples: total}
+	return RunWithObserverEngine(p, n, m, r, EngineNaive, obs)
 }
 
 // CeilDiv returns ⌈a/b⌉ for positive b.

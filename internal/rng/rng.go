@@ -86,13 +86,26 @@ func NewWith(src Source, seed uint64) *Rand {
 // Seed reports the seed this Rand was constructed from.
 func (r *Rand) Seed() uint64 { return r.seed }
 
+// Source returns the backing generator. Engine hot loops use it to
+// devirtualize known generator families (see Uint64nXoshiro); the
+// returned Source shares state with r, so interleaving draws through
+// both views is well-defined and deterministic.
+func (r *Rand) Source() Source { return r.src }
+
 // Stream returns a new Rand whose sequence is statistically independent
 // of r's and of every other stream index. It is deterministic: the same
 // (seed, i) always yields the same stream. The returned Rand uses the
 // same generator family as New.
 func (r *Rand) Stream(i uint64) *Rand {
-	derived := mix64(r.seed + goldenGamma*(i+1))
-	return New(derived)
+	return New(StreamSeed(r.seed, i))
+}
+
+// StreamSeed returns the seed that Stream(i) of a Rand constructed
+// from master derives, without building any generator state. It lets
+// callers that only need the derived seed (for example the replicate
+// fan-out in internal/sim) skip the intermediate allocation.
+func StreamSeed(master, i uint64) uint64 {
+	return mix64(master + goldenGamma*(i+1))
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
@@ -123,6 +136,39 @@ func Uint64nFrom(src Source, n uint64) uint64 {
 		for lo < thresh {
 			hi, lo = bits.Mul64(src.Uint64(), n)
 		}
+	}
+	return hi
+}
+
+// Uint64nXoshiro draws a bias-free uniform value in [0, n) directly
+// from a concrete Xoshiro256 — exactly Lemire's multiply-shift with
+// rejection, the same algorithm and distribution as Uint64nFrom, with
+// the generator call devirtualized so the common path inlines into
+// tight simulation loops. It panics if n == 0.
+func Uint64nXoshiro(x *Xoshiro256, n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64nXoshiro with n == 0")
+	}
+	hi, lo := bits.Mul64(x.Uint64(), n)
+	if lo < n {
+		return Uint64nXoshiroFinish(x, n, hi, lo)
+	}
+	return hi
+}
+
+// Uint64nXoshiroFinish completes a Lemire attempt whose low word fell
+// below n: the pending (hi, lo) is accepted iff lo clears the exact
+// threshold (2⁶⁴−n) mod n, otherwise fresh draws are taken until one
+// does — identical to Uint64nFrom's rejection rule, so the output is
+// exactly uniform. (A draw with lo < n must NOT be unconditionally
+// discarded: every hi bucket contains exactly one such value, so
+// over-rejecting would reproduce plain multiply-shift bias.) It is
+// exported for hot loops that inline the fast attempt themselves and
+// only call out on this rare branch.
+func Uint64nXoshiroFinish(x *Xoshiro256, n, hi, lo uint64) uint64 {
+	thresh := -n % n
+	for lo < thresh {
+		hi, lo = bits.Mul64(x.Uint64(), n)
 	}
 	return hi
 }

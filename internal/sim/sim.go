@@ -31,6 +31,10 @@ type Spec struct {
 	// Seed is the master seed; replicate r uses stream r, so results
 	// are reproducible and independent of scheduling.
 	Seed uint64
+	// Engine selects the placement implementation. The zero value is
+	// protocol.EngineFast; use protocol.EngineNaive for the reference
+	// rejection loop.
+	Engine protocol.Engine
 }
 
 // Aggregate holds per-metric statistics over the replicates of one
@@ -100,8 +104,8 @@ func Run(ctx context.Context, spec Spec, workers int) (Aggregate, error) {
 							errs[rep] = fmt.Errorf("replicate %d panicked: %v", rep, r)
 						}
 					}()
-					seed := rng.New(spec.Seed).Stream(uint64(rep)).Seed()
-					metrics[rep] = core.RunOne(spec.Factory, spec.N, spec.M, seed)
+					seed := rng.StreamSeed(spec.Seed, uint64(rep))
+					metrics[rep] = core.RunOneEngine(spec.Factory, spec.N, spec.M, seed, spec.Engine)
 				}()
 			}
 		}()
