@@ -1,0 +1,84 @@
+package ballsbins_test
+
+// Benchmarks for the online Allocator API: steady-state single-ball
+// placement and place+remove churn. cmd/bbbench runs the same
+// workloads standalone and records ns/op to BENCH_<date>.json next to
+// the engine speedups.
+
+import (
+	"testing"
+
+	ballsbins "repro"
+)
+
+func allocatorBenchSpecs() []struct {
+	name string
+	spec ballsbins.Spec
+} {
+	return []struct {
+		name string
+		spec ballsbins.Spec
+	}{
+		{"adaptive", ballsbins.Adaptive()},
+		{"greedy2", ballsbins.Greedy(2)},
+		{"single", ballsbins.SingleChoice()},
+	}
+}
+
+// BenchmarkAllocatorPlace measures steady-state Place on a warm
+// allocator: the per-arrival cost a live dispatcher pays, including
+// the bucket-index maintenance and the O(1) fast path where the
+// protocol supports it.
+func BenchmarkAllocatorPlace(b *testing.B) {
+	const n = 100_000
+	for _, tc := range allocatorBenchSpecs() {
+		b.Run(tc.name, func(b *testing.B) {
+			a := ballsbins.New(tc.spec, n, ballsbins.WithSeed(1))
+			a.PlaceBatch(8 * n) // warm to ~8 balls/bin
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Place()
+			}
+		})
+	}
+}
+
+// BenchmarkAllocatorChurn measures a steady-state place+remove cycle:
+// every iteration admits one ball and retires the oldest live one, so
+// the load level stays at ~8 balls/bin while the allocator keeps
+// serving — the live-traffic regime.
+func BenchmarkAllocatorChurn(b *testing.B) {
+	const n = 100_000
+	for _, tc := range allocatorBenchSpecs() {
+		b.Run(tc.name, func(b *testing.B) {
+			a := ballsbins.New(tc.spec, n, ballsbins.WithSeed(1))
+			fifo := make([]int, 0, 8*n+b.N)
+			for i := 0; i < 8*n; i++ {
+				bin, _ := a.Place()
+				fifo = append(fifo, bin)
+			}
+			head := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bin, _ := a.Place()
+				fifo = append(fifo, bin)
+				a.Remove(fifo[head])
+				head++
+			}
+		})
+	}
+}
+
+// BenchmarkShardedAllocatorPlace measures the concurrent scale-out
+// path: parallel Place traffic over a sharded allocator.
+func BenchmarkShardedAllocatorPlace(b *testing.B) {
+	const n, shards = 100_000, 8
+	sa := ballsbins.NewSharded(ballsbins.Adaptive(), n, shards, ballsbins.WithSeed(1))
+	sa.PlaceBatch(8 * n)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sa.Place()
+		}
+	})
+}

@@ -171,11 +171,12 @@ type Snapshot struct {
 type options struct {
 	seed     uint64
 	engine   Engine
+	horizon  int64
 	snapEach int64
 	snapFn   func(Snapshot)
 }
 
-// Option configures Run and Replicates.
+// Option configures Run, Replicates and New.
 type Option func(*options)
 
 // WithSeed fixes the master random seed (default 1). Identical seeds
@@ -191,9 +192,26 @@ func WithEngine(e Engine) Option {
 	return func(o *options) { o.engine = e }
 }
 
+// WithHorizon declares the expected total number of balls to an
+// Allocator constructed with New. Protocols whose acceptance rule
+// depends on m — Threshold and BoundedRetry, whose bound is m/n + 1 —
+// require it; the online protocols ignore it. Placing more than the
+// horizon with such a bounded rule eventually leaves no acceptable
+// bin: the fast engine panics at that point, while the naive engine's
+// literal rejection loop never returns — stay within the declared
+// horizon. Run and Replicates ignore this option (they know m). It
+// panics if m < 0.
+func WithHorizon(m int64) Option {
+	if m < 0 {
+		panic("ballsbins: WithHorizon with m < 0")
+	}
+	return func(o *options) { o.horizon = m }
+}
+
 // WithSnapshots invokes fn after every `every` balls (and after the
 // first ball) with a summary of the run so far. It panics if every <=
-// 0 or fn is nil. Replicates ignores snapshots.
+// 0 or fn is nil. Replicates ignores snapshots; New rejects this
+// option (poll the Allocator's Snapshot method instead).
 func WithSnapshots(every int64, fn func(Snapshot)) Option {
 	if every <= 0 {
 		panic("ballsbins: WithSnapshots with every <= 0")

@@ -48,14 +48,27 @@ type speedup struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// allocatorCase records one steady-state Allocator workload: Mode
+// "place" is pure arrivals on a warm allocator, "churn" is one
+// place+remove cycle per op (constant live load), matching
+// BenchmarkAllocatorPlace / BenchmarkAllocatorChurn.
+type allocatorCase struct {
+	Protocol string  `json:"protocol"`
+	N        int     `json:"n"`
+	Mode     string  `json:"mode"`
+	Ops      int64   `json:"ops"`
+	NsPerOp  float64 `json:"ns_per_op"`
+}
+
 type report struct {
-	Generated string      `json:"generated"`
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	CPUs      int         `json:"cpus"`
-	Cases     []benchCase `json:"cases"`
-	Speedups  []speedup   `json:"speedups"`
+	Generated string          `json:"generated"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	CPUs      int             `json:"cpus"`
+	Cases     []benchCase     `json:"cases"`
+	Speedups  []speedup       `json:"speedups"`
+	Allocator []allocatorCase `json:"allocator,omitempty"`
 }
 
 type workload struct {
@@ -112,11 +125,56 @@ func run(w workload, eng ballsbins.Engine) benchCase {
 	}
 }
 
+// runAllocator measures the steady-state Allocator workloads at a warm
+// ~8 balls/bin: pure placement and place+remove churn.
+func runAllocator(protocol string, spec ballsbins.Spec, n int, ops int64) []allocatorCase {
+	warm := func(trackFifo bool) (*ballsbins.Allocator, []int) {
+		a := ballsbins.New(spec, n, ballsbins.WithSeed(1))
+		var fifo []int
+		if trackFifo {
+			fifo = make([]int, 0, 8*n+int(ops))
+		}
+		for i := 0; i < 8*n; i++ {
+			bin, _ := a.Place()
+			if trackFifo {
+				fifo = append(fifo, bin)
+			}
+		}
+		return a, fifo
+	}
+
+	a, _ := warm(false)
+	start := time.Now()
+	for i := int64(0); i < ops; i++ {
+		a.Place()
+	}
+	placeNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+	a, fifo := warm(true)
+	head := 0
+	start = time.Now()
+	for i := int64(0); i < ops; i++ {
+		bin, _ := a.Place()
+		fifo = append(fifo, bin)
+		a.Remove(fifo[head])
+		head++
+	}
+	churnNs := float64(time.Since(start).Nanoseconds()) / float64(ops)
+
+	fmt.Fprintf(os.Stderr, "bbbench: allocator %s n=%s ... place %.1f ns/op, churn %.1f ns/op\n",
+		protocol, cli.FmtCount(int64(n)), placeNs, churnNs)
+	return []allocatorCase{
+		{Protocol: protocol, N: n, Mode: "place", Ops: ops, NsPerOp: placeNs},
+		{Protocol: protocol, N: n, Mode: "churn", Ops: ops, NsPerOp: churnNs},
+	}
+}
+
 func main() {
 	var (
-		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
-		quick = flag.Bool("quick", false, "n = 10^5 cases only")
-		reps  = flag.Int("reps", 2, "replicates per small case")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		quick     = flag.Bool("quick", false, "n = 10^5 cases only")
+		reps      = flag.Int("reps", 2, "replicates per small case")
+		allocator = flag.Bool("allocator", true, "include steady-state Allocator place/churn cases")
 	)
 	flag.Parse()
 	path := *out
@@ -147,6 +205,18 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "naive %.1f ns/ball, fast %.1f ns/ball (%.2fx)\n",
 			naive.NsPerBall, fast.NsPerBall, naive.NsPerBall/fast.NsPerBall)
+	}
+	if *allocator {
+		for _, tc := range []struct {
+			name string
+			spec ballsbins.Spec
+		}{
+			{"adaptive", ballsbins.Adaptive()},
+			{"greedy2", ballsbins.Greedy(2)},
+			{"single", ballsbins.SingleChoice()},
+		} {
+			rep.Allocator = append(rep.Allocator, runAllocator(tc.name, tc.spec, 100000, 2_000_000)...)
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

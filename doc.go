@@ -30,6 +30,31 @@
 // Allocation time follows the paper's accounting — the number of
 // random bin choices, not wall-clock time.
 //
+// # The Allocator — the core abstraction
+//
+// The heart of the package is the stateful Allocator (New): a
+// long-lived allocator that accepts arrivals one ball at a time
+// (Place), in bulk (PlaceBatch), and departures (Remove), exposing
+// the live load state — Loads, MaxLoad, Gap, Psi, Metrics, Snapshot —
+// after every operation. This is the online setting the adaptive
+// protocol was designed for: its acceptance bound reads the live ball
+// count, so the total number of balls need never be known, and
+// departures lower the bound automatically.
+//
+//	lb := ballsbins.New(ballsbins.Adaptive(), 500)
+//	bin, probes := lb.Place() // dispatch a task
+//	lb.Remove(bin)            // ... and its completion
+//
+// Every batch entry point — Run, Replicates, RunBatchedGreedy,
+// RunBatchedAdaptive, and the dynamic simulator's arrival step — is a
+// thin driver over the same incremental core, so an Allocator stepped
+// ball-by-ball reproduces Run's Result exactly under the same seed
+// and engine. Specs whose acceptance rule needs the total ball count
+// (Threshold, BoundedRetry) require WithHorizon at construction; all
+// others are fully online. For concurrent callers, NewSharded
+// partitions the bins into independently locked shards with
+// deterministic per-shard RNG streams.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

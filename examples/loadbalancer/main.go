@@ -1,19 +1,21 @@
 // Load balancer: dispatching tasks to servers when the total number of
-// tasks is NOT known in advance.
+// tasks is NOT known in advance — driven through the online Allocator
+// API, the way a real dispatcher would run it.
 //
 // This is the scenario that motivates the paper's adaptive protocol: a
 // dispatcher assigns incoming tasks (balls) to servers (bins) by
 // probing servers for their current queue length. threshold-style
 // dispatching needs to know the total task count m up front to set its
-// acceptance bound; adaptive only needs a running counter of tasks
-// dispatched so far, yet achieves the same near-optimal worst queue
-// and uses O(1) probes per task.
+// acceptance bound; adaptive only needs the number of tasks currently
+// in flight, yet achieves the same near-optimal worst queue and uses
+// O(1) probes per task.
 //
-// The example replays the same task stream against four dispatch
-// policies and reports probes (messages to servers), worst queue
-// length, and queue imbalance. Snapshots show adaptive keeping the
-// distribution smooth while the stream keeps growing — there is no
-// point at which it needed to know how many tasks were coming.
+// Each policy is a long-lived ballsbins.Allocator. The dispatcher
+// feeds it one task at a time (Place), reads the live queue state
+// whenever it wants (Snapshot), and — in the second part — retires
+// finished tasks (Remove) while new ones keep arriving. There is no
+// point at which the allocator needed to know how many tasks were
+// coming.
 //
 // Run with:
 //
@@ -35,38 +37,71 @@ func main() {
 		tasks, servers)
 
 	policies := []struct {
-		spec     ballsbins.Spec
-		needsM   string
-		perProbe string
+		spec   ballsbins.Spec
+		needsM string
+		opts   []ballsbins.Option
 	}{
-		{ballsbins.SingleChoice(), "no", "1 probe/task, no feedback"},
-		{ballsbins.Greedy(2), "no", "2 probes/task"},
-		{ballsbins.Threshold(), "YES (m in bound)", "resample until below m/n+1"},
-		{ballsbins.Adaptive(), "no (online)", "resample until below i/n+1"},
+		{ballsbins.SingleChoice(), "no", nil},
+		{ballsbins.Greedy(2), "no", nil},
+		// Threshold's bound is m/n + 1: it cannot even be constructed
+		// without declaring the horizon.
+		{ballsbins.Threshold(), "YES (m in bound)", []ballsbins.Option{ballsbins.WithHorizon(tasks)}},
+		{ballsbins.Adaptive(), "no (online)", nil},
 	}
 
 	tb := table.New("policy", "needs m?", "probes", "probes/task",
 		"worst queue", "imbalance (max-min)")
 	for _, p := range policies {
-		res := ballsbins.Run(p.spec, servers, tasks, ballsbins.WithSeed(7))
-		tb.AddRow(p.spec.Name(), p.needsM,
+		opts := append([]ballsbins.Option{ballsbins.WithSeed(7)}, p.opts...)
+		lb := ballsbins.New(p.spec, servers, opts...)
+		for task := 0; task < tasks; task++ {
+			lb.Place()
+		}
+		res := lb.Metrics()
+		tb.AddRow(lb.Name(), p.needsM,
 			fmt.Sprint(res.Samples), fmt.Sprintf("%.3f", res.SamplesPerBall),
 			fmt.Sprint(res.MaxLoad), fmt.Sprint(res.Gap))
-		_ = p.perProbe
 	}
 	fmt.Print(tb.Render())
 
-	// Watch adaptive in flight: the max queue tracks ceil(i/n)+1 — the
-	// dispatcher is always within one task of perfectly balanced, no
-	// matter when the stream stops.
-	fmt.Println("\nadaptive mid-stream (snapshot every 10k tasks):")
+	// Watch adaptive in flight: the worst queue tracks ceil(i/n)+1 —
+	// the dispatcher is always within one task of perfectly balanced,
+	// no matter when the stream stops.
+	fmt.Println("\nadaptive mid-stream (Snapshot every 10k tasks):")
 	prog := table.New("tasks so far", "worst queue", "bound ceil(i/n)+1", "imbalance")
-	ballsbins.Run(ballsbins.Adaptive(), servers, tasks,
-		ballsbins.WithSeed(7),
-		ballsbins.WithSnapshots(10_000, func(s ballsbins.Snapshot) {
+	lb := ballsbins.New(ballsbins.Adaptive(), servers, ballsbins.WithSeed(7))
+	for task := 1; task <= tasks; task++ {
+		lb.Place()
+		if task%10_000 == 0 || task == 1 {
+			s := lb.Snapshot()
 			bound := (s.Ball+servers-1)/servers + 1
 			prog.AddRow(fmt.Sprint(s.Ball), fmt.Sprint(s.MaxLoad),
 				fmt.Sprint(bound), fmt.Sprint(s.Gap))
-		}))
+		}
+	}
 	fmt.Print(prog.Render())
+
+	// Live traffic: tasks also FINISH. Keep ~4 tasks/server in flight
+	// with a FIFO of live tasks; the adaptive rule reads the live
+	// count, so the worst queue stays pinned near the running average
+	// through 100k arrivals and 98k completions.
+	fmt.Println("\nadaptive under churn (arrivals + completions, ~4 tasks/server live):")
+	churn := table.New("arrived", "live", "worst queue", "imbalance", "probes/task")
+	live := make([]int, 0, 8*servers)
+	lb = ballsbins.New(ballsbins.Adaptive(), servers, ballsbins.WithSeed(11))
+	const arrivals = 100_000
+	for task := 1; task <= arrivals; task++ {
+		bin, _ := lb.Place()
+		live = append(live, bin)
+		if len(live) > 4*servers { // oldest task completes
+			lb.Remove(live[0])
+			live = live[1:]
+		}
+		if task%20_000 == 0 {
+			churn.AddRow(fmt.Sprint(task), fmt.Sprint(lb.Balls()),
+				fmt.Sprint(lb.MaxLoad()), fmt.Sprint(lb.Gap()),
+				fmt.Sprintf("%.3f", float64(lb.Samples())/float64(lb.Placed())))
+		}
+	}
+	fmt.Print(churn.Render())
 }

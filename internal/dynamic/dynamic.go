@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"repro/internal/loadvec"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 )
 
@@ -112,7 +113,15 @@ func Run(cfg Config) Result {
 	}
 
 	r := rng.New(cfg.Seed)
-	v := loadvec.New(cfg.N)
+	// Arrivals run through the incremental allocation primitive —
+	// protocol.Session, the same code path behind the batch runners
+	// and the public Allocator. The session's ball index is the live
+	// task count plus one, so the adaptive acceptance rule tracks the
+	// number of tasks currently in the system, and departures are
+	// session removals. The naive engine keeps the probe accounting
+	// literal: ArrivalSamples counts actual bin contacts.
+	sess := protocol.NewSession(arrivalProtocol(cfg.Arrival), cfg.N, 0, r, protocol.EngineNaive)
+	v := sess.Vector()
 	var res Result
 	samples := 0
 
@@ -120,7 +129,8 @@ func Run(cfg Config) Result {
 		// 1. Arrivals.
 		arrivals := r.Poisson(cfg.ArrivalRate * float64(cfg.N))
 		for a := int64(0); a < arrivals; a++ {
-			res.ArrivalSamples += place(v, r, cfg.Arrival)
+			_, probes := sess.Step()
+			res.ArrivalSamples += probes
 		}
 		res.Arrivals += arrivals
 
@@ -129,7 +139,7 @@ func Run(cfg Config) Result {
 		for bin := 0; bin < cfg.N; bin++ {
 			leaving := r.Binomial(int64(v.Load(bin)), cfg.DepartureProb)
 			for d := int64(0); d < leaving; d++ {
-				v.Decrement(bin)
+				sess.Remove(bin)
 			}
 			res.Departures += leaving
 		}
@@ -167,32 +177,18 @@ func Run(cfg Config) Result {
 	return res
 }
 
-// place inserts one task by the chosen rule and returns probes used.
-func place(v *loadvec.Vector, r *rng.Rand, rule Arrival) int64 {
-	n := v.N()
+// arrivalProtocol maps an arrival rule to the sequential protocol that
+// implements it. ArriveAdaptive is protocol.Adaptive driven with the
+// live task count: accept a bin iff its load is below (live tasks)/n
+// + 1 — some bin is always at or below the average, so it terminates.
+func arrivalProtocol(rule Arrival) protocol.Protocol {
 	switch rule {
 	case ArriveGreedy2:
-		a, b := r.Intn(n), r.Intn(n)
-		if v.Load(b) < v.Load(a) {
-			a = b
-		}
-		v.Increment(a)
-		return 2
+		return protocol.NewGreedy(2)
 	case ArriveAdaptive:
-		var probes int64
-		// Accept below ceil(avg)+1; some bin is always at or below the
-		// average, so this terminates.
-		for {
-			j := r.Intn(n)
-			probes++
-			if int64(v.Load(j)-1)*int64(n) < v.Balls() {
-				v.Increment(j)
-				return probes
-			}
-		}
+		return protocol.NewAdaptive()
 	default:
-		v.Increment(r.Intn(n))
-		return 1
+		return protocol.NewSingleChoice()
 	}
 }
 

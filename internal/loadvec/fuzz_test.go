@@ -1,6 +1,10 @@
 package loadvec
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
 
 // FuzzVectorOps drives a Vector with an arbitrary operation tape and
 // checks every maintained invariant against recomputation. Byte
@@ -83,6 +87,63 @@ func FuzzBucketIndex(f *testing.F) {
 					t.Fatalf("rank %d bin %d load %d on wrong side of T=%d (CountBelow=%d)",
 						k, bin, v.Load(bin), T, cb)
 				}
+			}
+		}
+	})
+}
+
+// FuzzChurnHistMirrorsVector is the removal counterpart of the
+// increment-only mirror fuzzer: it drives a Vector (Increment /
+// Decrement, exercising the bucket-index maintenance) and a Hist
+// (IncrementLevel / DecrementLevel) with the same tape, checks every
+// shared aggregate after the churn, and then runs a PlaceBelowBatch
+// burst — removals break the "below entries only decrease" monotonic
+// assumption behind the rank-hint cache, and the batch must stay
+// correct because it rebuilds the cache per chunk. Byte semantics as
+// FuzzVectorOps: low 6 bits select the bin, top bit removes.
+func FuzzChurnHistMirrorsVector(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x80, 0x81, 2, 2, 0x82})
+	f.Add([]byte{5, 5, 5, 0x85, 0x85, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		const n = 11
+		v := New(n)
+		h := NewHist(n)
+		for _, op := range tape {
+			bin := int(op&0x3F) % n
+			l := v.Load(bin)
+			if op&0x80 != 0 {
+				if l == 0 {
+					continue
+				}
+				v.Decrement(bin)
+				h.DecrementLevel(l)
+			} else {
+				v.Increment(bin)
+				h.IncrementLevel(l)
+			}
+			if err := v.Validate(); err != nil {
+				t.Fatalf("vector invalid: %v", err)
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("hist invalid: %v", err)
+			}
+		}
+		checkHistMirrorsVector(t, h, v)
+
+		// Post-churn batch: the fused hot loop must keep exact counts
+		// on a histogram whose below array has moved both ways.
+		r := rng.New(7)
+		T := h.MaxLoad() + 1
+		before := h.Balls()
+		count := min(int64(3*n), h.Holes(T)) // balls that fit below T
+		if count > 0 {
+			h.PlaceBelowBatch(r, count, T)
+			if h.Balls() != before+count {
+				t.Fatalf("batch placed %d balls, want %d", h.Balls()-before, count)
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("hist invalid after post-churn batch: %v", err)
 			}
 		}
 	})

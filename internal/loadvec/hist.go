@@ -147,6 +147,39 @@ func (h *Hist) IncrementLevel(l int) {
 	}
 }
 
+// DecrementLevel moves one bin from level ℓ to level ℓ−1 — the
+// histogram image of removing a ball from a bin with load ℓ. It is the
+// removal half of the Hist API (IncrementLevel's inverse) for
+// level-addressed consumers; the bin-addressed Session.Remove instead
+// materializes a Vector, since a bin identity has no meaning in a
+// histogram. It panics
+// if ℓ < 1 or no bin currently holds load ℓ. Removals invalidate the
+// monotonicity assumption behind the rank-hint cache (below entries no
+// longer only decrease), which is safe because PlaceBelowBatch rebuilds
+// the cache before every chunk it processes.
+func (h *Hist) DecrementLevel(l int) {
+	if l < 1 || l >= len(h.levels) || h.levels[l] == 0 {
+		panic(fmt.Sprintf("loadvec: DecrementLevel(%d) with no bin at that level", l))
+	}
+	h.balls--
+	h.sumSq -= int64(2*l) - 1
+
+	h.levels[l]--
+	h.levels[l-1]++
+	h.below[l]++
+
+	if int32(l-1) < h.min {
+		h.min = int32(l - 1)
+	}
+	if int32(l) == h.max && h.levels[l] == 0 {
+		m := h.max
+		for m > 0 && h.levels[m] == 0 {
+			m--
+		}
+		h.max = m
+	}
+}
+
 // PlaceBelowBatch places count balls one at a time, each by the
 // "sample bins u.a.r. until one has load < T" rejection process with a
 // constant threshold T, and returns the total number of samples the

@@ -53,6 +53,13 @@ type Vector struct {
 	perm   []int32
 	pos    []int32
 	starts []int32
+
+	// last is the bin targeted by the most recent Increment (-1 before
+	// the first one). Protocols report their placement through
+	// Increment alone, so this is how the incremental stepping layer
+	// (internal/protocol.Session) learns which bin a Place chose
+	// without changing the Protocol interface.
+	last int32
 }
 
 // New returns a Vector for n empty bins. It panics if n <= 0.
@@ -69,6 +76,7 @@ func New(n int) *Vector {
 		perm:   make([]int32, n),
 		pos:    make([]int32, n),
 		starts: make([]int32, 2, 17),
+		last:   -1,
 	}
 	v.levels[0] = int64(n)
 	for i := range v.perm {
@@ -106,12 +114,17 @@ func (v *Vector) LevelCount(l int) int64 {
 	return v.levels[l]
 }
 
+// LastPlaced returns the bin targeted by the most recent Increment, or
+// -1 if no ball has been placed yet.
+func (v *Vector) LastPlaced() int { return int(v.last) }
+
 // Increment places one ball into bin i.
 func (v *Vector) Increment(i int) {
 	l := v.loads[i]
 	v.loads[i] = l + 1
 	v.balls++
 	v.sumSq += int64(2*l) + 1
+	v.last = int32(i)
 
 	v.levels[l]--
 	if int(l+1) >= len(v.levels) {
@@ -266,6 +279,7 @@ func (v *Vector) Clone() *Vector {
 		perm:   append([]int32(nil), v.perm...),
 		pos:    append([]int32(nil), v.pos...),
 		starts: append([]int32(nil), v.starts...),
+		last:   v.last,
 	}
 	return out
 }

@@ -106,13 +106,14 @@ func RunEngine(p Protocol, n int, m int64, r *rng.Rand, e Engine) Outcome {
 }
 
 // RunWithObserverEngine is RunWithObserver with an explicit engine
-// selection (nil observer behaves as RunEngine).
+// selection (nil observer behaves as RunEngine). It is a thin driver
+// over Session — the incremental single-ball primitive.
 //
-// With EngineFast the loop runs histogram-only (PlaceHist) when no
-// observer is attached; an observer forces the per-ball bucket-index
-// path (PlaceFast) so it can watch an exact Vector after every ball.
-// Protocols implementing neither interface fall back to the naive
-// loop under either engine.
+// With EngineFast the session runs histogram-only when no observer is
+// attached (the batched StepBatch path); an observer forces the
+// per-ball bucket-index path (PlaceFast) so it can watch an exact
+// Vector after every ball. Protocols implementing neither fast
+// interface fall back to the naive loop under either engine.
 func RunWithObserverEngine(p Protocol, n int, m int64, r *rng.Rand, e Engine, obs Observer) Outcome {
 	if n <= 0 {
 		panic("protocol: Run with n <= 0")
@@ -120,71 +121,19 @@ func RunWithObserverEngine(p Protocol, n int, m int64, r *rng.Rand, e Engine, ob
 	if m < 0 {
 		panic("protocol: Run with m < 0")
 	}
-	if e == EngineFast && obs == nil {
-		if hp, ok := p.(HistPlacer); ok {
-			return runHist(hp, n, m, r)
-		}
+	s := NewSession(p, n, m, r, e)
+	if obs == nil {
+		s.StepBatch(m)
+		return Outcome{Vector: s.Vector(), Samples: s.Samples()}
 	}
-	place := p.Place
-	if e == EngineFast {
-		if fp, ok := p.(FastPlacer); ok {
-			place = fp.PlaceFast
-		}
-	}
-	p.Reset(n, m)
-	v := loadvec.New(n)
-	var total int64
+	// Materialize before the first ball (free on an empty session) so
+	// the observer sees an exact per-bin vector after every placement.
+	v := s.Vector()
 	for i := int64(1); i <= m; i++ {
-		s := place(v, r, i)
-		total += s
-		if obs != nil {
-			obs(i, s, v)
-		}
+		_, samples := s.Step()
+		obs(i, samples, v)
 	}
-	return Outcome{Vector: v, Samples: total}
-}
-
-// runHist is the histogram-mode placement loop. The uniform
-// rejection-sampling protocols keep their acceptance threshold
-// constant across long spans of balls (a whole run for Threshold /
-// FixedThreshold / SingleChoice, one n-ball stage for the adaptive
-// variants), so they execute as a few calls into the fused
-// Hist.PlaceBelowBatch hot loop instead of one dynamic dispatch per
-// ball. Other HistPlacer implementations fall back to per-ball
-// PlaceHist calls.
-func runHist(p HistPlacer, n int, m int64, r *rng.Rand) Outcome {
-	p.Reset(n, m)
-	h := loadvec.NewHist(n)
-	var total int64
-	switch q := p.(type) {
-	case *Adaptive:
-		// Balls (s−1)·n+1 … s·n share the threshold ⌈i/n⌉+1 = s+1.
-		for placed := int64(0); placed < m; {
-			stage := placed/q.n + 1
-			count := min(stage*q.n, m) - placed
-			total += h.PlaceBelowBatch(r, count, int(stage)+1)
-			placed += count
-		}
-	case *AdaptiveNoSlack:
-		// Balls k·n+1 … (k+1)·n share the threshold ⌊(i−1)/n⌋+1 = k+1.
-		for placed := int64(0); placed < m; {
-			k := placed / q.n
-			count := min((k+1)*q.n, m) - placed
-			total += h.PlaceBelowBatch(r, count, int(k)+1)
-			placed += count
-		}
-	case *Threshold:
-		total = h.PlaceBelowBatch(r, m, int(CeilDiv(q.m, q.n))+1)
-	case *FixedThreshold:
-		total = h.PlaceBelowBatch(r, m, f32cap(q.Bound))
-	case *SingleChoice:
-		total = h.PlaceBelowBatch(r, m, math.MaxInt32)
-	default:
-		for i := int64(1); i <= m; i++ {
-			total += p.PlaceHist(h, r, i)
-		}
-	}
-	return Outcome{Vector: h.ToVector(r), Samples: total}
+	return Outcome{Vector: v, Samples: s.Samples()}
 }
 
 // f32cap clamps a bound to the int32 load domain.
@@ -286,10 +235,19 @@ func (f *FixedThreshold) PlaceHist(h *loadvec.Hist, r *rng.Rand, _ int64) int64 
 }
 
 // PlaceFast implements FastPlacer. Single choice is already O(1); the
-// method exists so the protocol participates in the fast engine
-// uniformly.
-func (s *SingleChoice) PlaceFast(v *loadvec.Vector, r *rng.Rand, i int64) int64 {
-	return s.Place(v, r, i)
+// draw selects a uniform RANK of the by-level permutation rather than
+// a uniform bin identity — the two are the same distribution (a
+// permutation of a uniform variable is uniform), but the rank
+// formulation makes PlaceFast consume the RNG identically to PlaceHist
+// and hit the same load level, so a ball-by-ball session reproduces
+// the histogram-mode batch run value for value. (This deliberately
+// changed the fast-engine observer path's stream for single-choice
+// relative to the pre-Session code, which reused the draw as a bin
+// identity: same seed, different — identically distributed — run. The
+// no-observer fast path and the naive engine are unaffected.)
+func (s *SingleChoice) PlaceFast(v *loadvec.Vector, r *rng.Rand, _ int64) int64 {
+	v.Increment(v.BinAtRank(int64(r.Uint64n(uint64(v.N())))))
+	return 1
 }
 
 // PlaceHist implements HistPlacer: a uniform rank is a uniform bin.

@@ -1,0 +1,353 @@
+package ballsbins
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/loadvec"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// ShardedAllocator partitions n bins into P contiguous shards, each an
+// independent Allocator with its own deterministic RNG stream, and
+// serves concurrent callers: every shard is guarded by its own mutex,
+// so P placements can proceed in parallel as long as they land on
+// different shards. Arrivals are spread round-robin over the shards
+// (an atomic ticket), which keeps the per-shard ball counts within one
+// of each other — each shard then runs the protocol's placement rule
+// among its own bins.
+//
+// This is the paper's protocol family composed with the standard
+// scale-out move: the adaptive guarantee ⌈m_s/n_s⌉+1 holds per shard
+// with m_s ≤ ⌈m/P⌉ balls over n_s ≥ ⌊n/P⌋ bins, so the global maximum
+// load is at most ⌈⌈m/P⌉/⌊n/P⌋⌉ + 1 — within a ball or two of the
+// sequential ⌈m/n⌉ + 1 — and that small slack buys cross-shard
+// parallelism with no cross-shard coordination at placement time.
+//
+// Aggregate reads (Loads, MaxLoad, Gap, Psi, Metrics, Snapshot) lock
+// every shard, so they are linearizable snapshots of the whole system.
+type ShardedAllocator struct {
+	shards []*shard
+	n      int
+	next   atomic.Uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	a  *Allocator
+	lo int // global index of the shard's first bin
+}
+
+// NewSharded returns a ShardedAllocator over n bins split into
+// `shards` contiguous groups (sizes differ by at most one). Shard i
+// draws from the deterministic stream i of the master seed, and a
+// WithHorizon value is split as ⌈m/P⌉ per shard — the most balls
+// round-robin can route to any one shard. It panics
+// if n <= 0, shards < 1, shards > n, s is the zero Spec, or a spec
+// that requires a horizon is constructed without one.
+func NewSharded(s Spec, n, shards int, opts ...Option) *ShardedAllocator {
+	s.mustBeValid()
+	if n <= 0 {
+		panic("ballsbins: NewSharded with n <= 0")
+	}
+	if shards < 1 {
+		panic("ballsbins: NewSharded with shards < 1")
+	}
+	if shards > n {
+		panic(fmt.Sprintf("ballsbins: NewSharded needs shards <= n (%d > %d)", shards, n))
+	}
+	o := buildOptions(opts)
+	if o.snapFn != nil {
+		panic("ballsbins: WithSnapshots is a Run option; poll ShardedAllocator.Snapshot instead")
+	}
+	sa := &ShardedAllocator{shards: make([]*shard, shards), n: n}
+	for i := 0; i < shards; i++ {
+		lo := i * n / shards
+		hi := (i + 1) * n / shards
+		size := hi - lo
+		shardOpts := []Option{
+			WithSeed(rng.StreamSeed(o.seed, uint64(i))),
+			WithEngine(o.engine),
+		}
+		if o.horizon > 0 {
+			// Every shard must be able to absorb the balls round-robin
+			// can actually route to it — up to ⌈m/P⌉, independent of
+			// its size — so the horizon splits by shard COUNT, not by
+			// bin share. A threshold-family shard then has capacity
+			// n_s·(⌈h_s/n_s⌉+1) ≥ h_s + n_s, leaving n_s balls of
+			// slack beyond its worst-case arrivals.
+			shardOpts = append(shardOpts,
+				WithHorizon(protocol.CeilDiv(o.horizon, int64(shards))))
+		}
+		sa.shards[i] = &shard{a: New(s, size, shardOpts...), lo: lo}
+	}
+	return sa
+}
+
+// Name returns the protocol's identifier.
+func (sa *ShardedAllocator) Name() string { return sa.shards[0].a.Name() }
+
+// N returns the total number of bins.
+func (sa *ShardedAllocator) N() int { return sa.n }
+
+// Shards returns the number of shards.
+func (sa *ShardedAllocator) Shards() int { return len(sa.shards) }
+
+// shardOf returns the shard holding global bin index b. Shard
+// boundaries are lo_i = ⌊i·n/P⌋, so the candidate ⌊b·P/n⌋ is off by at
+// most one; the fixups settle it.
+func (sa *ShardedAllocator) shardOf(b int) *shard {
+	if b < 0 || b >= sa.n {
+		panic(fmt.Sprintf("ballsbins: bin %d outside [0,%d)", b, sa.n))
+	}
+	p := len(sa.shards)
+	i := b * p / sa.n
+	for i+1 < p && sa.shards[i+1].lo <= b {
+		i++
+	}
+	for i > 0 && sa.shards[i].lo > b {
+		i--
+	}
+	return sa.shards[i]
+}
+
+// Place allocates one ball on the next shard in round-robin order and
+// returns the global bin index and the number of random bin choices
+// consumed. Safe for concurrent use.
+func (sa *ShardedAllocator) Place() (bin int, samples int64) {
+	// Claim ticket t = old cursor value and advance by one — the same
+	// convention PlaceBatch uses, so mixed Place/PlaceBatch traffic
+	// visits the shards in one consistent round-robin order.
+	sh := sa.shards[(sa.next.Add(1)-1)%uint64(len(sa.shards))]
+	sh.mu.Lock()
+	local, samples := sh.a.Place()
+	sh.mu.Unlock()
+	return sh.lo + local, samples
+}
+
+// PlaceBatch allocates k balls, spread as evenly as possible across
+// the shards (each shard receives k/P, the remainder going to the
+// shards after the round-robin cursor), and returns the total number
+// of random bin choices consumed. Safe for concurrent use.
+func (sa *ShardedAllocator) PlaceBatch(k int64) int64 {
+	if k <= 0 {
+		return 0
+	}
+	p := int64(len(sa.shards))
+	base := k / p
+	rem := k % p
+	// Claim rem tickets: the extra balls go to the shards the
+	// round-robin cursor would have visited next (starting at the old
+	// cursor value, the shard the next Place would have used), so
+	// mixed Place/PlaceBatch traffic keeps shard counts within one.
+	start := int64((sa.next.Add(uint64(rem)) - uint64(rem)) % uint64(p))
+	var total int64
+	for i, sh := range sa.shards {
+		count := base
+		if (int64(i)-start+p)%p < rem {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		sh.mu.Lock()
+		total += sh.a.PlaceBatch(count)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Remove takes one ball out of global bin i. It panics if the bin is
+// empty. Safe for concurrent use.
+func (sa *ShardedAllocator) Remove(bin int) {
+	sh := sa.shardOf(bin)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.a.Remove(bin - sh.lo)
+}
+
+// Load returns the current load of global bin i. Safe for concurrent
+// use.
+func (sa *ShardedAllocator) Load(bin int) int {
+	sh := sa.shardOf(bin)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.a.Load(bin - sh.lo)
+}
+
+// lockAll acquires every shard mutex in index order (a fixed order, so
+// concurrent aggregate reads cannot deadlock) and returns the unlock
+// function.
+func (sa *ShardedAllocator) lockAll() func() {
+	for _, sh := range sa.shards {
+		sh.mu.Lock()
+	}
+	return func() {
+		for _, sh := range sa.shards {
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Loads returns a copy of the current global per-bin loads, read as
+// one consistent snapshot.
+func (sa *ShardedAllocator) Loads() []int {
+	defer sa.lockAll()()
+	out := make([]int, 0, sa.n)
+	for _, sh := range sa.shards {
+		out = append(out, sh.a.Loads()...)
+	}
+	return out
+}
+
+// Balls returns the number of balls currently in the system.
+func (sa *ShardedAllocator) Balls() int64 {
+	defer sa.lockAll()()
+	var t int64
+	for _, sh := range sa.shards {
+		t += sh.a.Balls()
+	}
+	return t
+}
+
+// Placed returns the cumulative number of placements.
+func (sa *ShardedAllocator) Placed() int64 {
+	defer sa.lockAll()()
+	var t int64
+	for _, sh := range sa.shards {
+		t += sh.a.Placed()
+	}
+	return t
+}
+
+// Samples returns the cumulative number of random bin choices.
+func (sa *ShardedAllocator) Samples() int64 {
+	defer sa.lockAll()()
+	var t int64
+	for _, sh := range sa.shards {
+		t += sh.a.Samples()
+	}
+	return t
+}
+
+// MaxLoad returns the current global maximum load.
+func (sa *ShardedAllocator) MaxLoad() int {
+	defer sa.lockAll()()
+	return sa.maxLoadLocked()
+}
+
+func (sa *ShardedAllocator) maxLoadLocked() int {
+	max := 0
+	for _, sh := range sa.shards {
+		if l := sh.a.MaxLoad(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// MinLoad returns the current global minimum load.
+func (sa *ShardedAllocator) MinLoad() int {
+	defer sa.lockAll()()
+	return sa.minLoadLocked()
+}
+
+func (sa *ShardedAllocator) minLoadLocked() int {
+	min := math.MaxInt
+	for _, sh := range sa.shards {
+		if l := sh.a.MinLoad(); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// Gap returns global MaxLoad − MinLoad.
+func (sa *ShardedAllocator) Gap() int {
+	defer sa.lockAll()()
+	return sa.maxLoadLocked() - sa.minLoadLocked()
+}
+
+// Psi returns the global quadratic potential Ψ = Σℓ² − t²/n, combined
+// exactly from the shards' integer sums.
+func (sa *ShardedAllocator) Psi() float64 {
+	defer sa.lockAll()()
+	return sa.psiLocked()
+}
+
+func (sa *ShardedAllocator) psiLocked() float64 {
+	var sumSq, balls int64
+	for _, sh := range sa.shards {
+		sumSq += sh.a.sess.SumSquares()
+		balls += sh.a.Balls()
+	}
+	t := float64(balls)
+	return float64(sumSq) - t*t/float64(sa.n)
+}
+
+// Metrics summarizes the whole system as a Result, combining the
+// shards under one consistent snapshot. Phi is evaluated against the
+// global average load.
+func (sa *ShardedAllocator) Metrics() Result {
+	defer sa.lockAll()()
+	var samples, placed, balls int64
+	for _, sh := range sa.shards {
+		samples += sh.a.Samples()
+		placed += sh.a.Placed()
+		balls += sh.a.Balls()
+	}
+	res := Result{
+		Samples: samples,
+		MaxLoad: sa.maxLoadLocked(),
+		MinLoad: sa.minLoadLocked(),
+		Psi:     sa.psiLocked(),
+		Phi:     sa.phiLocked(balls),
+	}
+	res.Gap = res.MaxLoad - res.MinLoad
+	if placed > 0 {
+		res.SamplesPerBall = float64(samples) / float64(placed)
+	}
+	return res
+}
+
+// phiLocked merges the shards' level histograms and evaluates the
+// exponential potential against the global average, exactly as a
+// single Vector over all n bins would.
+func (sa *ShardedAllocator) phiLocked(balls int64) float64 {
+	maxL := sa.maxLoadLocked()
+	avg := float64(balls) / float64(sa.n)
+	log1pe := math.Log1p(loadvec.DefaultEpsilon)
+	var sum float64
+	for l := sa.minLoadLocked(); l <= maxL; l++ {
+		var c int64
+		for _, sh := range sa.shards {
+			c += sh.a.sess.LevelCount(l)
+		}
+		if c == 0 {
+			continue
+		}
+		sum += float64(c) * math.Exp((avg+2-float64(l))*log1pe)
+	}
+	return sum
+}
+
+// Snapshot returns a consistent mid-run observation of the whole
+// system.
+func (sa *ShardedAllocator) Snapshot() Snapshot {
+	defer sa.lockAll()()
+	var samples, placed int64
+	for _, sh := range sa.shards {
+		samples += sh.a.Samples()
+		placed += sh.a.Placed()
+	}
+	return Snapshot{
+		Ball:    placed,
+		Samples: samples,
+		MaxLoad: sa.maxLoadLocked(),
+		Gap:     sa.maxLoadLocked() - sa.minLoadLocked(),
+		Psi:     sa.psiLocked(),
+	}
+}

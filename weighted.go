@@ -2,6 +2,7 @@ package ballsbins
 
 import (
 	"repro/internal/batched"
+	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/weighted"
 )
@@ -38,29 +39,37 @@ func (s WeightedSpec) Name() string {
 	return s.factory().Name()
 }
 
+// newWeightedSpec wraps a factory in a WeightedSpec, invoking it once
+// eagerly so that invalid parameters panic at construction time (in
+// the constructor the user called) rather than at first use inside a
+// worker — the exact mirror of newSpec for the unweighted protocols.
+func newWeightedSpec(f func() weighted.Protocol) WeightedSpec {
+	f()
+	return WeightedSpec{factory: f}
+}
+
 // WeightedAdaptive returns the weighted generalization of the paper's
 // adaptive protocol: accept bin j iff load(j) < Wᵢ/n + wmax, where Wᵢ
 // is the weight placed so far.
 func WeightedAdaptive() WeightedSpec {
-	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewAdaptive() }}
+	return newWeightedSpec(func() weighted.Protocol { return weighted.NewAdaptive() })
 }
 
 // WeightedThreshold returns the weighted Czumaj–Stemann rule:
 // accept bin j iff load(j) < W/n + wmax, with the final total weight W
 // known up front.
 func WeightedThreshold() WeightedSpec {
-	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewThreshold() }}
+	return newWeightedSpec(func() weighted.Protocol { return weighted.NewThreshold() })
 }
 
 // WeightedGreedy returns weighted greedy[d]. It panics if d < 1.
 func WeightedGreedy(d int) WeightedSpec {
-	weighted.NewGreedy(d)
-	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewGreedy(d) }}
+	return newWeightedSpec(func() weighted.Protocol { return weighted.NewGreedy(d) })
 }
 
 // WeightedSingleChoice returns the weighted one-random-bin process.
 func WeightedSingleChoice() WeightedSpec {
-	return WeightedSpec{factory: func() weighted.Protocol { return weighted.NewSingleChoice() }}
+	return newWeightedSpec(func() weighted.Protocol { return weighted.NewSingleChoice() })
 }
 
 // WeightedResult summarizes one weighted allocation run.
@@ -105,6 +114,24 @@ func RunWeighted(s WeightedSpec, n int, m int64, ws WeightSampler, opts ...Optio
 		res.SamplesPerBall = float64(out.Samples) / float64(m)
 	}
 	return res
+}
+
+// BatchedGreedy returns the b-batched greedy[d] protocol as a Spec:
+// every ball picks the least loaded of d bins according to the load
+// vector as of its batch's start (stale within a batch). batch = 1 is
+// exactly Greedy(d). Being a Spec, it runs everywhere the sequential
+// protocols do — Run, Replicates, and the incremental Allocator. It
+// panics if batch < 1 or d < 1.
+func BatchedGreedy(batch int64, d int) Spec {
+	return newSpec(func() protocol.Protocol { return batched.NewGreedy(batch, d) })
+}
+
+// BatchedAdaptive returns the b-batched adaptive protocol as a Spec:
+// the paper's acceptance rule with loads and ball counter frozen at
+// each batch start. batch must be at most n at run time; batch = 1 is
+// exactly Adaptive(). It panics if batch < 1.
+func BatchedAdaptive(batch int64) Spec {
+	return newSpec(func() protocol.Protocol { return batched.NewAdaptive(batch) })
 }
 
 // BatchedResult summarizes a batched-arrival run (see RunBatchedGreedy
