@@ -81,6 +81,9 @@ func (a *Allocator) Balls() int64 { return a.sess.Balls() }
 // Remove).
 func (a *Allocator) Placed() int64 { return a.sess.Placed() }
 
+// Removed returns the cumulative number of departures.
+func (a *Allocator) Removed() int64 { return a.sess.Removed() }
+
 // Samples returns the cumulative allocation time: the total number of
 // random bin choices consumed so far.
 func (a *Allocator) Samples() int64 { return a.sess.Samples() }
@@ -118,6 +121,16 @@ func (a *Allocator) Gap() int { return a.sess.Gap() }
 
 // Psi returns the quadratic potential Ψ of the current load vector.
 func (a *Allocator) Psi() float64 { return a.sess.Psi() }
+
+// SumSquares returns Σℓᵢ², the raw second moment of the load vector.
+// Together with Balls it lets several allocators' quadratic potentials
+// be combined exactly: Ψ_total = Σ SumSquares − t²/n over the union.
+func (a *Allocator) SumSquares() int64 { return a.sess.SumSquares() }
+
+// LevelCount returns the number of bins currently at load l — the load
+// histogram read O(1) at a time, for stats pipelines that want the
+// level distribution without copying all n loads.
+func (a *Allocator) LevelCount(l int) int64 { return a.sess.LevelCount(l) }
 
 // Phi returns the exponential potential Φ with the paper's ε = 1/200.
 func (a *Allocator) Phi() float64 { return a.sess.Phi(loadvec.DefaultEpsilon) }

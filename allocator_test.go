@@ -446,6 +446,46 @@ func TestShardedAllocatorThresholdHorizon(t *testing.T) {
 	}
 }
 
+// TestShardedAllocatorShardMetrics pins the shard-at-a-time monitoring
+// reads: per-shard results must equal the shard allocator's own
+// metrics, and at quiescence ApproxMetrics must agree with the
+// lock-all Metrics exactly (the consistency gap only opens under
+// concurrent writes).
+func TestShardedAllocatorShardMetrics(t *testing.T) {
+	const n, shards, m = 60, 7, 600
+	sa := NewSharded(Adaptive(), n, shards, WithSeed(11))
+	sa.PlaceBatch(m)
+	for i := 0; i < shards; i++ {
+		got := sa.ShardMetrics(i)
+		want := sa.shards[i].a.Metrics()
+		if got != want {
+			t.Errorf("ShardMetrics(%d) = %+v, shard allocator says %+v", i, got, want)
+		}
+	}
+	if got, want := sa.ApproxMetrics(), sa.Metrics(); got != want {
+		t.Errorf("quiescent ApproxMetrics = %+v, Metrics = %+v", got, want)
+	}
+	// Removals keep the agreement.
+	for b := 0; b < n; b++ {
+		if sa.Load(b) > 0 {
+			sa.Remove(b)
+		}
+	}
+	if got, want := sa.ApproxMetrics(), sa.Metrics(); got != want {
+		t.Errorf("post-churn ApproxMetrics = %+v, Metrics = %+v", got, want)
+	}
+	for _, bad := range []int{-1, shards} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardMetrics(%d) did not panic", bad)
+				}
+			}()
+			sa.ShardMetrics(bad)
+		}()
+	}
+}
+
 // TestShardedAllocatorConcurrent hammers one ShardedAllocator from
 // many goroutines doing placements and departures; run under -race it
 // is the concurrency-safety acceptance test, and the final bookkeeping

@@ -13,14 +13,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	ballsbins "repro"
+	"repro/internal/benchio"
 	"repro/internal/cli"
 )
 
@@ -60,12 +59,11 @@ type allocatorCase struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 }
 
+// report is the bbbench/v1 schema: the shared benchio envelope (the
+// same header bbload's bbserve/v1 records carry, so the BENCH_*.json
+// family stays machine-comparable) plus the engine-grid sections.
 type report struct {
-	Generated string          `json:"generated"`
-	GoVersion string          `json:"go_version"`
-	GOOS      string          `json:"goos"`
-	GOARCH    string          `json:"goarch"`
-	CPUs      int             `json:"cpus"`
+	benchio.Env
 	Cases     []benchCase     `json:"cases"`
 	Speedups  []speedup       `json:"speedups"`
 	Allocator []allocatorCase `json:"allocator,omitempty"`
@@ -179,16 +177,10 @@ func main() {
 	flag.Parse()
 	path := *out
 	if path == "" {
-		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		path = benchio.DefaultPath("")
 	}
 
-	rep := report{
-		Generated: time.Now().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-	}
+	rep := report{Env: benchio.NewEnv("bbbench/v1")}
 	for _, w := range grid(*quick, *reps) {
 		fmt.Fprintf(os.Stderr, "bbbench: %s n=%s m=%s ... ",
 			w.protocol, cli.FmtCount(int64(w.n)), cli.FmtCount(w.m))
@@ -219,13 +211,7 @@ func main() {
 		}
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bbbench:", err)
-		os.Exit(1)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	if err := benchio.WriteJSON(path, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "bbbench:", err)
 		os.Exit(1)
 	}

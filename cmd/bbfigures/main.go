@@ -27,6 +27,7 @@ type sweepResult struct {
 }
 
 func main() {
+	cf := cli.RegisterCommon(flag.CommandLine)
 	var (
 		fig    = flag.String("fig", "both", "which figure: 3a, 3b, or both")
 		n      = flag.Int("n", 10000, "number of bins")
@@ -34,9 +35,7 @@ func main() {
 		mmax   = flag.Int64("mmax", 1000000, "largest m")
 		points = flag.Int("points", 9, "sweep points between mmin and mmax")
 		reps   = flag.Int("reps", 20, "replicates per point (paper: 100)")
-		seed   = flag.Uint64("seed", 1, "master random seed")
 		csvOut = flag.String("csv", "", "optional CSV output path")
-		engine = flag.String("engine", "fast", "placement engine: "+fmt.Sprint(cli.KnownEngines()))
 	)
 	flag.Parse()
 	if *fig != "3a" && *fig != "3b" && *fig != "both" {
@@ -47,13 +46,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bbfigures: need points >= 2 and mmax > mmin >= 1")
 		os.Exit(2)
 	}
-	eng, err := cli.EngineByName(*engine)
+	eng, err := cf.Engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbfigures:", err)
 		os.Exit(2)
 	}
 
-	res := sweep(*n, *mmin, *mmax, *points, *reps, *seed, eng)
+	res := sweep(*n, *mmin, *mmax, *points, *reps, cf.Seed, eng)
 
 	if *fig == "3a" || *fig == "both" {
 		renderFig3a(res, *n, *reps)

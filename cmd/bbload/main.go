@@ -1,0 +1,182 @@
+// Command bbload generates serving workloads against a bbserved
+// instance (HTTP) or an in-process dispatch core, and writes the
+// measured throughput and latency quantiles as a bbserve/v1 BENCH
+// JSON record.
+//
+// Modes:
+//
+//   - open: Poisson arrivals at -rate balls/sec, each ball departing
+//     after an exponential or lognormal service time — the supermarket
+//     continuous-arrival regime.
+//   - closed: -workers concurrent place+remove loops, measuring
+//     saturation throughput.
+//
+// Scenarios shape the open-loop arrival rate over the run: steady,
+// ramp, flash (crowd spike), skew (Zipf bulk sizes).
+//
+// Usage:
+//
+//	bbload -target http://127.0.0.1:8080 -mode open -scenarios steady \
+//	        -rate 2000 -duration 30s -service 50ms
+//	bbload -target inproc -mode closed -workers 64 -duration 10s \
+//	        -spec adaptive -n 100000 -shards 8
+//	bbload -scenarios steady,flash -out BENCH_serve_2026-01-01.json
+//
+// With -target inproc the generator builds its own dispatcher from
+// -spec/-n/-shards/-engine/-seed; with an http target those flags are
+// ignored (the server's configuration governs) and the run is labeled
+// from the server's /v1/stats info.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/cli"
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+// report is the bbserve/v1 schema: the shared benchio envelope plus
+// one case per generator run.
+type report struct {
+	benchio.Env
+	Cases []load.Result `json:"cases"`
+}
+
+func main() {
+	sf := cli.RegisterSpec(flag.CommandLine)
+	var (
+		target    = flag.String("target", "inproc", `target: "inproc" or a base URL like http://127.0.0.1:8080`)
+		mode      = flag.String("mode", "open", "load mode: open or closed")
+		scenarios = flag.String("scenarios", "steady", "comma-separated scenario presets: "+strings.Join(load.Scenarios(), ", "))
+		rate      = flag.Float64("rate", 2000, "open-loop offered ball rate per second")
+		workers   = flag.Int("workers", 32, "closed-loop concurrent workers")
+		duration  = flag.Duration("duration", 10*time.Second, "measurement window per scenario")
+		service   = flag.Duration("service", 50*time.Millisecond, "open-loop mean service time")
+		dist      = flag.String("dist", "exp", "service time distribution: exp or lognormal")
+		n         = flag.Int("n", 100000, "bins (inproc target)")
+		shards    = flag.Int("shards", 8, "shards (inproc target)")
+		horizon   = flag.Int64("horizon", 0, "declared total balls (inproc threshold family)")
+		out       = flag.String("out", "", "output path (default BENCH_serve_<date>.json; \"-\" to skip)")
+	)
+	flag.Parse()
+
+	if *dist != "exp" && *dist != "lognormal" {
+		fmt.Fprintln(os.Stderr, "bbload: -dist must be exp or lognormal")
+		os.Exit(2)
+	}
+
+	var names []string
+	for _, tok := range strings.Split(*scenarios, ",") {
+		names = append(names, strings.TrimSpace(tok))
+	}
+
+	rep := report{Env: benchio.NewEnv("bbserve/v1")}
+	ctx := context.Background()
+	for _, name := range names {
+		sc, err := load.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbload:", err)
+			os.Exit(2)
+		}
+		res, err := runOne(ctx, sf, sc, *target, *mode, *rate, *workers, *duration,
+			*service, *dist, *n, *shards, *horizon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr,
+			"bbload: %-6s %-6s %-7s %8.0f ops/s  p50 %s  p99 %s  p999 %s  (placed %d, removed %d, shed %d, errs %d)\n",
+			res.Scenario, res.Mode, res.Target, res.ThroughputPerSec,
+			fmtNs(res.PlaceLatencyNs.P50), fmtNs(res.PlaceLatencyNs.P99),
+			fmtNs(res.PlaceLatencyNs.P999), res.Placed, res.Removed, res.Shed, res.Errors)
+		rep.Cases = append(rep.Cases, res)
+	}
+
+	path := *out
+	if path == "" {
+		path = benchio.DefaultPath("serve_")
+	}
+	if path == "-" {
+		return
+	}
+	if err := benchio.WriteJSON(path, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bbload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
+	target, mode string, rate float64, workers int, duration, service time.Duration,
+	dist string, n, shards int, horizon int64) (load.Result, error) {
+
+	cfg := load.Config{
+		Scenario:    sc,
+		Mode:        mode,
+		Rate:        rate,
+		Workers:     workers,
+		Duration:    duration,
+		ServiceMean: service,
+		ServiceDist: dist,
+		Seed:        int64(sf.Seed),
+	}
+
+	var tgt load.Target
+	label := "http"
+	protocol := ""
+	if target == "inproc" {
+		spec, err := sf.Spec()
+		if err != nil {
+			return load.Result{}, err
+		}
+		eng, err := sf.Engine()
+		if err != nil {
+			return load.Result{}, err
+		}
+		d := serve.NewDispatcher(serve.Config{
+			Spec: spec, N: n, Shards: shards, Seed: sf.Seed, Engine: eng, Horizon: horizon,
+		})
+		defer d.Close()
+		tgt = load.InProc{D: d}
+		label = "inproc"
+		protocol = d.Name()
+	} else {
+		ht := load.NewHTTPTarget(strings.TrimSuffix(target, "/"))
+		if info, err := ht.ReadInfo(ctx); err == nil {
+			protocol = info.Protocol
+			n, shards = info.N, info.Shards
+		} else {
+			return load.Result{}, fmt.Errorf("probe %s: %w", target, err)
+		}
+		tgt = ht
+	}
+
+	res, err := load.Run(ctx, cfg, tgt)
+	if err != nil {
+		return res, err
+	}
+	res.Target = label
+	res.Protocol = protocol
+	res.N = n
+	res.Shards = shards
+	return res, nil
+}

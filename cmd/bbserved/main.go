@@ -1,0 +1,110 @@
+// Command bbserved serves a balls-into-bins allocator over HTTP: the
+// arrival-combining dispatch core of internal/serve fronting a
+// ShardedAllocator, with live stats and Prometheus metrics.
+//
+// Usage:
+//
+//	bbserved -addr :8080 -spec adaptive -n 100000 -shards 8
+//	bbserved -spec threshold -horizon 10000000 -n 100000
+//
+// API:
+//
+//	POST /v1/place[?count=k]  allocate 1 (default) or k balls
+//	POST /v1/remove?bin=i     remove one ball from bin i
+//	GET  /v1/stats            lock-free monitoring view
+//	GET  /v1/snapshot         lock-all consistent snapshot
+//	GET  /healthz             200 ok, 503 once draining
+//	GET  /metrics             Prometheus text format
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener stops taking
+// new connections, in-flight requests finish against the draining
+// dispatcher, and the process exits once both are done.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	sf := cli.RegisterSpec(flag.CommandLine)
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		n          = flag.Int("n", 100000, "number of bins")
+		shards     = flag.Int("shards", 8, "allocator shards (parallel dispatch lanes)")
+		horizon    = flag.Int64("horizon", 0, "declared total balls (threshold family)")
+		queueDepth = flag.Int("queue-depth", serve.DefaultQueueDepth, "per-shard arrival queue depth")
+		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max requests combined per lock acquisition")
+	)
+	flag.Parse()
+
+	spec, err := sf.Spec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbserved:", err)
+		os.Exit(2)
+	}
+	eng, err := sf.Engine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbserved:", err)
+		os.Exit(2)
+	}
+
+	d := serve.NewDispatcher(serve.Config{
+		Spec:       spec,
+		N:          *n,
+		Shards:     *shards,
+		Seed:       sf.Seed,
+		Engine:     eng,
+		Horizon:    *horizon,
+		QueueDepth: *queueDepth,
+		MaxBatch:   *maxBatch,
+	})
+	info := serve.Info{
+		Protocol: d.Name(),
+		N:        *n,
+		Shards:   *shards,
+		Engine:   eng.String(),
+		Seed:     sf.Seed,
+	}
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(d, info)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		fmt.Fprintf(os.Stderr, "bbserved: %v, draining\n", sig)
+		// Drain the dispatcher first, while the listener still
+		// accepts: from this point /healthz answers 503 and place/
+		// remove answer 503, so load balancers can observe the drain
+		// window and stop routing before the listener disappears.
+		// Everything already enqueued completes. Then stop the
+		// listener, letting in-flight HTTP requests finish.
+		d.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "bbserved: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "bbserved: %s n=%d shards=%d engine=%s listening on %s\n",
+		info.Protocol, *n, *shards, info.Engine, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bbserved:", err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "bbserved: drained, bye")
+}

@@ -3,9 +3,11 @@
 //
 // Usage:
 //
-//	bbsim -proto adaptive -n 10000 -m 1000000 -reps 20 -seed 1
-//	bbsim -proto greedy -d 2 -n 10000 -m 10000
-//	bbsim -proto memory -d 1 -k 1 -n 10000 -m 10000
+//	bbsim -spec adaptive -n 10000 -m 1000000 -reps 20 -seed 1
+//	bbsim -spec greedy -d 2 -n 10000 -m 10000
+//	bbsim -spec memory -d 1 -k 1 -n 10000 -m 10000
+//
+// -proto is accepted as an alias of -spec.
 package main
 
 import (
@@ -20,39 +22,34 @@ import (
 )
 
 func main() {
+	sf := cli.RegisterSpec(flag.CommandLine)
 	var (
-		proto  = flag.String("proto", "adaptive", "protocol: "+fmt.Sprint(cli.KnownProtocols()))
-		d      = flag.Int("d", 2, "choices per ball (greedy/left/memory)")
-		k      = flag.Int("k", 1, "memory slots (memory)")
-		bound  = flag.Int("bound", 2, "acceptance bound (fixed)")
-		n      = flag.Int("n", 10000, "number of bins")
-		m      = flag.Int64("m", 100000, "number of balls")
-		reps   = flag.Int("reps", 10, "replicates to average over")
-		seed   = flag.Uint64("seed", 1, "master random seed")
-		engine = flag.String("engine", "fast", "placement engine: "+fmt.Sprint(cli.KnownEngines()))
+		n    = flag.Int("n", 10000, "number of bins")
+		m    = flag.Int64("m", 100000, "number of balls")
+		reps = flag.Int("reps", 10, "replicates to average over")
 	)
 	flag.Parse()
 
-	spec, err := cli.SpecByName(*proto, *d, *k, *bound)
+	spec, err := sf.Spec()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbsim:", err)
 		os.Exit(2)
 	}
-	eng, err := cli.EngineByName(*engine)
+	eng, err := sf.Engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbsim:", err)
 		os.Exit(2)
 	}
 
 	sum, err := ballsbins.Replicates(context.Background(), spec, *n, *m, *reps,
-		ballsbins.WithSeed(*seed), ballsbins.WithEngine(eng))
+		ballsbins.WithSeed(sf.Seed), ballsbins.WithEngine(eng))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbsim:", err)
 		os.Exit(1)
 	}
 
 	fmt.Printf("protocol=%s n=%s m=%s reps=%d seed=%d engine=%s\n",
-		sum.Protocol, cli.FmtCount(int64(*n)), cli.FmtCount(*m), *reps, *seed, eng)
+		sum.Protocol, cli.FmtCount(int64(*n)), cli.FmtCount(*m), *reps, sf.Seed, eng)
 	fmt.Printf("max-load guarantee (threshold/adaptive): %d\n\n",
 		ballsbins.MaxLoadGuarantee(*n, *m))
 

@@ -22,15 +22,14 @@ import (
 )
 
 func main() {
+	cf := cli.RegisterCommon(flag.CommandLine)
 	var (
-		n      = flag.Int("n", 10000, "number of bins")
-		phis   = flag.String("phis", "1,10,100", "comma-separated m/n load levels")
-		reps   = flag.Int("reps", 5, "replicates per configuration")
-		seed   = flag.Uint64("seed", 1, "master random seed")
-		engine = flag.String("engine", "fast", "placement engine: "+fmt.Sprint(cli.KnownEngines()))
+		n    = flag.Int("n", 10000, "number of bins")
+		phis = flag.String("phis", "1,10,100", "comma-separated m/n load levels")
+		reps = flag.Int("reps", 5, "replicates per configuration")
 	)
 	flag.Parse()
-	eng, err := cli.EngineByName(*engine)
+	eng, err := cf.Engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbtable:", err)
 		os.Exit(2)
@@ -79,7 +78,7 @@ func main() {
 		}
 		for _, row := range rows {
 			sum, err := ballsbins.Replicates(ctx, row.spec, *n, m, *reps,
-				ballsbins.WithSeed(*seed), ballsbins.WithEngine(eng))
+				ballsbins.WithSeed(cf.Seed), ballsbins.WithEngine(eng))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bbtable:", err)
 				os.Exit(1)
@@ -89,7 +88,7 @@ func main() {
 		}
 
 		// Self-balancing baseline [6]: reallocations instead of samples.
-		bal := ballsbins.SelfBalance(*n, m, *seed)
+		bal := ballsbins.SelfBalance(*n, m, cf.Seed)
 		tb.AddRow("selfbalance[6]",
 			fmt.Sprintf("%d samples + %d moves", bal.Samples, bal.Moves),
 			"O(m)+n^O(1) moves",

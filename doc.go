@@ -55,6 +55,24 @@
 // partitions the bins into independently locked shards with
 // deterministic per-shard RNG streams.
 //
+// # Serving
+//
+// The ShardedAllocator is the substrate of a network serving layer:
+// cmd/bbserved exposes it over HTTP (place, remove, stats, snapshot,
+// health, Prometheus metrics) through the arrival-combining dispatcher
+// in internal/serve, which coalesces concurrent requests per shard and
+// applies each batch under a single lock acquisition via
+// WithShardLocked — lock traffic scales with batches, not requests.
+// Monitoring reads come in two consistency grades: Metrics/Snapshot
+// lock every shard for a linearizable view, while ShardMetrics and
+// ApproxMetrics lock one shard at a time (cheap, but shards are
+// observed at slightly different instants — see ApproxMetrics for the
+// exact contract). cmd/bbload generates open-loop Poisson churn (the
+// continuous-time supermarket regime: every placed ball departs after
+// a random service time) and closed-loop saturation workloads against
+// either the HTTP API or the in-process dispatcher; see the README's
+// Serving section.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

@@ -1,0 +1,60 @@
+// Package benchio is the shared envelope and writer for the repo's
+// BENCH_*.json records, so every benchmark binary (cmd/bbbench,
+// cmd/bbload) emits machine-comparable files: one Env block describing
+// the machine plus tool-specific case sections, all under a named
+// schema version.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Env stamps the machine and toolchain a benchmark ran on — the
+// fields shared by every BENCH_*.json schema.
+type Env struct {
+	// Schema names the record layout, e.g. "bbbench/v1" or
+	// "bbserve/v1", so readers can dispatch without guessing.
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+}
+
+// NewEnv stamps the current machine under the given schema name.
+func NewEnv(schema string) Env {
+	return Env{
+		Schema:    schema,
+		Generated: time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// WriteJSON marshals v with indentation and writes it to path with a
+// trailing newline.
+func WriteJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: marshal %s: %w", path, err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("benchio: %w", err)
+	}
+	return nil
+}
+
+// DefaultPath returns "BENCH_<prefix><today>.json" — the conventional
+// location bench tools default to; prefix distinguishes families
+// (e.g. "serve_").
+func DefaultPath(prefix string) string {
+	return fmt.Sprintf("BENCH_%s%s.json", prefix, time.Now().Format("2006-01-02"))
+}

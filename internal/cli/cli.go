@@ -1,8 +1,10 @@
-// Package cli holds helpers shared by the command-line tools: protocol
-// lookup by name and common formatting.
+// Package cli holds helpers shared by the command-line tools: the
+// common flag sets (-spec, -engine, -seed and friends), protocol
+// lookup by name, and common formatting.
 package cli
 
 import (
+	"flag"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +12,60 @@ import (
 	ballsbins "repro"
 	"repro/internal/protocol"
 )
+
+// CommonFlags is the flag pair every engine-aware binary shares:
+// -seed and -engine. Register on a FlagSet with RegisterCommon.
+type CommonFlags struct {
+	Seed       uint64
+	EngineName string
+}
+
+// RegisterCommon registers -seed and -engine on fs.
+func RegisterCommon(fs *flag.FlagSet) *CommonFlags {
+	f := &CommonFlags{}
+	f.register(fs)
+	return f
+}
+
+func (f *CommonFlags) register(fs *flag.FlagSet) {
+	fs.Uint64Var(&f.Seed, "seed", 1, "master random seed")
+	fs.StringVar(&f.EngineName, "engine", "fast",
+		"placement engine: "+strings.Join(KnownEngines(), ", "))
+}
+
+// Engine resolves the -engine flag.
+func (f *CommonFlags) Engine() (ballsbins.Engine, error) {
+	return EngineByName(f.EngineName)
+}
+
+// SpecFlags is the shared protocol-selection flag set: -spec (with
+// -proto kept as an alias for older scripts) plus the protocol
+// parameters -d, -k and -bound, and the CommonFlags. Register on a
+// FlagSet with RegisterSpec, then resolve with Spec().
+type SpecFlags struct {
+	CommonFlags
+	SpecName string
+	D, K     int
+	Bound    int
+}
+
+// RegisterSpec registers the full shared flag set on fs.
+func RegisterSpec(fs *flag.FlagSet) *SpecFlags {
+	f := &SpecFlags{}
+	f.CommonFlags.register(fs)
+	usage := "protocol: " + strings.Join(KnownProtocols(), ", ")
+	fs.StringVar(&f.SpecName, "spec", "adaptive", usage)
+	fs.StringVar(&f.SpecName, "proto", "adaptive", usage+" (alias of -spec)")
+	fs.IntVar(&f.D, "d", 2, "choices per ball (greedy/left/memory)")
+	fs.IntVar(&f.K, "k", 1, "memory slots (memory)")
+	fs.IntVar(&f.Bound, "bound", 2, "acceptance bound (fixed)")
+	return f
+}
+
+// Spec resolves the selected protocol.
+func (f *SpecFlags) Spec() (ballsbins.Spec, error) {
+	return SpecByName(f.SpecName, f.D, f.K, f.Bound)
+}
 
 // SpecByName resolves a protocol name (as printed by Spec.Name, but
 // with parameters supplied separately) into a Spec. Valid names:

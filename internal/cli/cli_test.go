@@ -1,11 +1,69 @@
 package cli
 
 import (
+	"flag"
 	"strings"
 	"testing"
 
 	ballsbins "repro"
 )
+
+func TestRegisterSpecFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterSpec(fs)
+	if err := fs.Parse([]string{"-spec", "greedy", "-d", "3", "-seed", "7", "-engine", "naive"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil || spec.Name() != "greedy[3]" {
+		t.Fatalf("Spec() = %v, %v", spec, err)
+	}
+	if f.Seed != 7 {
+		t.Fatalf("Seed = %d", f.Seed)
+	}
+	if eng, err := f.Engine(); err != nil || eng != ballsbins.EngineNaive {
+		t.Fatalf("Engine() = %v, %v", eng, err)
+	}
+}
+
+func TestRegisterSpecProtoAlias(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterSpec(fs)
+	if err := fs.Parse([]string{"-proto", "threshold"}); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := f.Spec()
+	if err != nil || spec.Name() != "threshold" {
+		t.Fatalf("-proto alias broken: %v, %v", spec, err)
+	}
+	// Defaults resolve without any flags.
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	f2 := RegisterSpec(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if spec, err := f2.Spec(); err != nil || spec.Name() != "adaptive" {
+		t.Fatalf("default spec = %v, %v", spec, err)
+	}
+	if eng, err := f2.Engine(); err != nil || eng != ballsbins.EngineFast {
+		t.Fatalf("default engine = %v, %v", eng, err)
+	}
+}
+
+func TestRegisterSpecBadValues(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterSpec(fs)
+	if err := fs.Parse([]string{"-spec", "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Spec(); err == nil {
+		t.Fatal("Spec() accepted bogus protocol")
+	}
+	f.EngineName = "warp"
+	if _, err := f.Engine(); err == nil {
+		t.Fatal("Engine() accepted bogus engine")
+	}
+}
 
 func TestSpecByName(t *testing.T) {
 	for _, name := range KnownProtocols() {

@@ -1,0 +1,160 @@
+package hdrhist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketRoundTrip pins the log-linear layout: every bucket's
+// bounds map back to the bucket, bounds tile the value axis without
+// gaps, and the relative width respects the 2^-subBits error bound.
+func TestBucketRoundTrip(t *testing.T) {
+	prevHi := int64(-1)
+	for idx := 0; idx < numBuckets; idx++ {
+		lo, hi := bucketLo(idx), bucketHi(idx)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: lo %d, want %d (gap)", idx, lo, prevHi+1)
+		}
+		if bucketIdx(lo) != idx || bucketIdx(hi) != idx {
+			t.Fatalf("bucket %d: [%d,%d] maps to %d,%d",
+				idx, lo, hi, bucketIdx(lo), bucketIdx(hi))
+		}
+		if lo >= 2*sub && float64(hi-lo+1) > float64(lo)/float64(sub)+1 {
+			t.Fatalf("bucket %d too wide: [%d,%d]", idx, lo, hi)
+		}
+		prevHi = hi
+		if hi >= 1<<62 {
+			break
+		}
+	}
+}
+
+func TestQuantileExactSmall(t *testing.T) {
+	h := New()
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v * 10)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 10 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if m := s.Mean(); m != 505 {
+		t.Fatalf("mean = %v", m)
+	}
+	// The bucketed quantile may overshoot by one bucket width (~3%).
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0, 10}, {0.5, 500}, {0.99, 990}, {1, 1000}} {
+		got := s.Quantile(tc.q)
+		if got < tc.want || float64(got) > float64(tc.want)*1.07+1 {
+			t.Errorf("Quantile(%v) = %d, want ≈%d", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileAccuracy compares against the exact empirical quantile
+// on lognormal-ish data: the bucketed answer must bound it from above
+// within the layout's relative error.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	var vals []int64
+	for i := 0; i < 200000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := s.Quantile(q)
+		lo := float64(exact) * (1 - 2.0/sub)
+		hi := float64(exact)*(1+2.0/sub) + 1
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("Quantile(%v) = %d, exact %d (want within ±%.0f%%)",
+				q, got, exact, 200.0/sub)
+		}
+	}
+}
+
+func TestEmptyAndNegative(t *testing.T) {
+	h := New()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	h.Record(-5) // clamps to 0
+	s = h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 || s.Quantile(1) != 0 {
+		t.Fatalf("negative clamp: %+v", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for v := int64(0); v < 1000; v++ {
+		a.Record(v)
+		b.Record(v + 500)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 2000 || m.Min != 0 || m.Max != 1499 {
+		t.Fatalf("merge: %+v", m)
+	}
+	all := New()
+	for v := int64(0); v < 1000; v++ {
+		all.Record(v)
+		all.Record(v + 500)
+	}
+	want := all.Snapshot()
+	if m.Sum != want.Sum {
+		t.Fatalf("merge sum %d want %d", m.Sum, want.Sum)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if m.Quantile(q) != want.Quantile(q) {
+			t.Errorf("merge Quantile(%v) = %d, combined-histogram %d",
+				q, m.Quantile(q), want.Quantile(q))
+		}
+	}
+	empty := New().Snapshot()
+	if got := empty.Merge(want); got.Count != want.Count {
+		t.Fatalf("empty.Merge lost data")
+	}
+	if got := want.Merge(empty); got.Count != want.Count {
+		t.Fatalf("Merge(empty) lost data")
+	}
+}
+
+// TestConcurrentRecord hammers Record from many goroutines; run with
+// -race this is the concurrency acceptance test, and the totals must
+// balance exactly.
+func TestConcurrentRecord(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				h.Record(int64(rng.Intn(1 << 30)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count %d want %d", s.Count, workers*perWorker)
+	}
+	var total int64
+	for _, b := range s.Buckets() {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+}

@@ -1,0 +1,504 @@
+// Package load is the scenario-driven workload generator behind
+// cmd/bbload. It drives a Target — either the in-process dispatch core
+// or a remote bbserved over HTTP — in two classical modes:
+//
+//   - Open loop: arrivals are a Poisson process at a configured rate,
+//     independent of how fast the target responds (the honest way to
+//     measure latency under load), and every placed ball departs after
+//     an exponential or lognormal service time — the continuous-time
+//     "supermarket model" regime of Luczak–McDiarmid, where the
+//     adaptive protocol's live-count rule is exercised by genuine
+//     churn rather than a fixed horizon.
+//
+//   - Closed loop: a fixed number of workers issue place+remove cycles
+//     back to back, measuring the target's saturation throughput.
+//
+// Scenarios shape the arrival process over the run: steady churn, a
+// linear ramp, a flash crowd (rate spike in the middle), and skewed
+// arrivals (Zipf-distributed bulk sizes, so a few arrivals carry many
+// balls). Latencies are recorded in log-bucketed histograms
+// (internal/hdrhist) and summarized as p50/p90/p99/p999.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hdrhist"
+	"repro/internal/serve"
+)
+
+// Target is where generated operations go. Implementations must be
+// safe for concurrent use.
+type Target interface {
+	// Place allocates count balls and returns their bins.
+	Place(ctx context.Context, count int) (bins []int, samples int64, err error)
+	// Remove takes one ball out of bin.
+	Remove(ctx context.Context, bin int) error
+}
+
+// StatsReader is implemented by targets that can report the serving
+// stats view (used to stamp end-of-run load state into results).
+type StatsReader interface {
+	ReadStats(ctx context.Context) (serve.StatsView, error)
+}
+
+// Phase is one segment of a scenario: for Frac of the run's duration,
+// arrivals come at Rate times the configured base rate.
+type Phase struct {
+	Frac float64 `json:"frac"`
+	Rate float64 `json:"rate"`
+}
+
+// Scenario shapes the arrival process of an open-loop run.
+type Scenario struct {
+	Name   string  `json:"name"`
+	Phases []Phase `json:"phases"`
+	// BatchZipfS > 0 draws each arrival's bulk size from a Zipf(s)
+	// distribution on [1, BatchMax] (skewed arrivals); the arrival
+	// event rate is scaled down by the mean bulk size so the offered
+	// ball rate still matches the configured rate.
+	BatchZipfS float64 `json:"batch_zipf_s,omitempty"`
+	BatchMax   int     `json:"batch_max,omitempty"`
+}
+
+// Steady is constant-rate churn for the whole run.
+func Steady() Scenario {
+	return Scenario{Name: "steady", Phases: []Phase{{1, 1}}}
+}
+
+// Ramp steps the rate from 20% to 100% in five equal phases.
+func Ramp() Scenario {
+	return Scenario{Name: "ramp", Phases: []Phase{
+		{0.2, 0.2}, {0.2, 0.4}, {0.2, 0.6}, {0.2, 0.8}, {0.2, 1},
+	}}
+}
+
+// Flash is a flash crowd: baseline at half rate, with the middle fifth
+// of the run spiking to three times the base rate.
+func Flash() Scenario {
+	return Scenario{Name: "flash", Phases: []Phase{
+		{0.4, 0.5}, {0.2, 3}, {0.4, 0.5},
+	}}
+}
+
+// Skew keeps a steady offered ball rate but delivers it in
+// Zipf-distributed bulks of up to 32, so a few arrivals are heavy.
+func Skew() Scenario {
+	return Scenario{
+		Name:   "skew",
+		Phases: []Phase{{1, 1}},
+		// s = 1.5 over [1,32]: most arrivals are single balls, the
+		// occasional one carries tens.
+		BatchZipfS: 1.5,
+		BatchMax:   32,
+	}
+}
+
+// Scenarios lists the preset names ByName accepts.
+func Scenarios() []string { return []string{"steady", "ramp", "flash", "skew"} }
+
+// ByName resolves a scenario preset.
+func ByName(name string) (Scenario, error) {
+	switch strings.ToLower(name) {
+	case "steady":
+		return Steady(), nil
+	case "ramp":
+		return Ramp(), nil
+	case "flash":
+		return Flash(), nil
+	case "skew":
+		return Skew(), nil
+	default:
+		return Scenario{}, fmt.Errorf("unknown scenario %q (want one of %s)",
+			name, strings.Join(Scenarios(), ", "))
+	}
+}
+
+// Config parameterizes one generator run.
+type Config struct {
+	Scenario Scenario
+	// Mode is "open" or "closed".
+	Mode string
+	// Rate is the open-loop offered ball rate per second at phase
+	// multiplier 1.
+	Rate float64
+	// Workers is the closed-loop concurrency.
+	Workers int
+	// Duration is the measurement window (arrival window in open
+	// loop).
+	Duration time.Duration
+	// ServiceMean and ServiceDist ("exp" or "lognormal", σ = 1) shape
+	// open-loop departure times.
+	ServiceMean time.Duration
+	ServiceDist string
+	Seed        int64
+	// MaxOutstanding caps concurrent open-loop operations; arrivals
+	// beyond it are shed (counted in Result.Shed) rather than queued,
+	// preserving open-loop semantics under saturation. Default 16384.
+	MaxOutstanding int
+}
+
+// Result is one generator run's measurements — the per-case record of
+// the bbserve/v1 BENCH schema.
+type Result struct {
+	Scenario    string  `json:"scenario"`
+	Mode        string  `json:"mode"`
+	Target      string  `json:"target"`
+	Protocol    string  `json:"protocol,omitempty"`
+	N           int     `json:"n,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+	ServiceMs   float64 `json:"service_mean_ms,omitempty"`
+	ServiceDist string  `json:"service_dist,omitempty"`
+
+	Placed  int64 `json:"placed"`
+	Removed int64 `json:"removed"`
+	Shed    int64 `json:"shed"`
+	Errors  int64 `json:"errors"`
+	// ThroughputPerSec is placed balls per second of the measurement
+	// window.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+
+	PlaceLatencyNs  serve.Latency `json:"place_latency_ns"`
+	RemoveLatencyNs serve.Latency `json:"remove_latency_ns"`
+
+	// End-of-run serving state, when the target can report it.
+	FinalBalls   int64   `json:"final_balls,omitempty"`
+	FinalMaxLoad int     `json:"final_max_load,omitempty"`
+	FinalGap     int     `json:"final_gap,omitempty"`
+	Combining    float64 `json:"combining_factor,omitempty"`
+}
+
+// Run executes one generator run against the target.
+func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("load: duration must be positive")
+	}
+	if len(cfg.Scenario.Phases) == 0 {
+		cfg.Scenario = Steady()
+	}
+	if s := cfg.Scenario.BatchZipfS; s > 0 && s <= 1 {
+		// rand.NewZipf needs s > 1 (it returns nil otherwise).
+		return Result{}, fmt.Errorf("load: scenario %q: BatchZipfS must be > 1, got %v",
+			cfg.Scenario.Name, s)
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 16384
+	}
+	var res Result
+	var err error
+	switch cfg.Mode {
+	case "open":
+		if cfg.Rate <= 0 {
+			return Result{}, fmt.Errorf("load: open loop needs a positive rate")
+		}
+		if cfg.ServiceMean <= 0 {
+			return Result{}, fmt.Errorf("load: open loop needs a positive service mean")
+		}
+		res, err = runOpen(ctx, cfg, target)
+	case "closed":
+		if cfg.Workers <= 0 {
+			return Result{}, fmt.Errorf("load: closed loop needs workers > 0")
+		}
+		res, err = runClosed(ctx, cfg, target)
+	default:
+		return Result{}, fmt.Errorf("load: unknown mode %q (want open or closed)", cfg.Mode)
+	}
+	if err != nil {
+		return res, err
+	}
+	if sr, ok := target.(StatsReader); ok {
+		if v, serr := sr.ReadStats(ctx); serr == nil {
+			res.FinalBalls = v.Balls
+			res.FinalMaxLoad = v.MaxLoad
+			res.FinalGap = v.Gap
+			res.Combining = v.CombiningFactor
+		}
+	}
+	return res, nil
+}
+
+// sampler draws inter-arrival gaps, service times and bulk sizes. It
+// is used only by the single scheduler goroutine, so a plain rand.Rand
+// suffices.
+type sampler struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	sigma    float64
+	logNorm  bool
+	mean     float64 // service mean in seconds
+	meanBulk float64
+}
+
+func newSampler(cfg Config) *sampler {
+	s := &sampler{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		logNorm:  cfg.ServiceDist == "lognormal",
+		sigma:    1,
+		mean:     cfg.ServiceMean.Seconds(),
+		meanBulk: 1,
+	}
+	if sc := cfg.Scenario; sc.BatchZipfS > 0 {
+		max := sc.BatchMax
+		if max < 2 {
+			max = 32
+		}
+		s.zipf = rand.NewZipf(s.rng, sc.BatchZipfS, 1, uint64(max-1))
+		// Estimate the mean bulk size empirically so the offered ball
+		// rate can be held at the configured value.
+		probe := rand.NewZipf(rand.New(rand.NewSource(cfg.Seed+1)), sc.BatchZipfS, 1, uint64(max-1))
+		var sum float64
+		const probes = 20000
+		for i := 0; i < probes; i++ {
+			sum += float64(probe.Uint64() + 1)
+		}
+		s.meanBulk = sum / probes
+	}
+	return s
+}
+
+// gap returns the next Poisson inter-arrival time for arrival events
+// at ballRate balls/sec (scaled by the mean bulk size).
+func (s *sampler) gap(ballRate float64) time.Duration {
+	eventRate := ballRate / s.meanBulk
+	return time.Duration(s.rng.ExpFloat64() / eventRate * float64(time.Second))
+}
+
+// bulk returns the next arrival's ball count.
+func (s *sampler) bulk() int {
+	if s.zipf == nil {
+		return 1
+	}
+	return int(s.zipf.Uint64()) + 1
+}
+
+// service returns a departure delay with the configured mean:
+// exponential, or lognormal with σ=1 (same mean, heavier tail).
+func (s *sampler) service() time.Duration {
+	var x float64
+	if s.logNorm {
+		mu := math.Log(s.mean) - s.sigma*s.sigma/2
+		x = math.Exp(mu + s.sigma*s.rng.NormFloat64())
+	} else {
+		x = s.rng.ExpFloat64() * s.mean
+	}
+	return time.Duration(x * float64(time.Second))
+}
+
+func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
+	smp := newSampler(cfg)
+	placeHist, removeHist := hdrhist.New(), hdrhist.New()
+	var placed, removed, shed, errs atomic.Int64
+	var outstanding atomic.Int64
+
+	// sleepCtx is cancelled at the drain cutoff. It interrupts ONLY the
+	// departure sleeps still pending then — an admitted place or an
+	// elapsed departure's remove always runs to completion against the
+	// caller's ctx, so no operation is abandoned mid-flight (an HTTP
+	// request cancelled mid-flight leaves the client unsure whether the
+	// ball was committed, which would break the books) and every error
+	// counted is a real target failure.
+	grace := 2 * cfg.ServiceMean
+	if grace < 250*time.Millisecond {
+		grace = 250 * time.Millisecond
+	}
+	if grace > 5*time.Second {
+		grace = 5 * time.Second
+	}
+	sleepCtx, cancelSleeps := context.WithCancel(ctx)
+	defer cancelSleeps()
+
+	var wg sync.WaitGroup
+	depart := func(bin int, after time.Duration) {
+		defer wg.Done()
+		select {
+		case <-time.After(after):
+		case <-sleepCtx.Done():
+			return // departure abandoned at drain; the ball stays live
+		}
+		t0 := time.Now()
+		if err := target.Remove(ctx, bin); err != nil {
+			errs.Add(1)
+			return
+		}
+		removeHist.RecordSince(t0)
+		removed.Add(1)
+	}
+	arrive := func(bulk int, services []time.Duration) {
+		defer wg.Done()
+		defer outstanding.Add(-1)
+		t0 := time.Now()
+		bins, _, err := target.Place(ctx, bulk)
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		placeHist.RecordSince(t0)
+		placed.Add(int64(len(bins)))
+		for i, bin := range bins {
+			wg.Add(1)
+			go depart(bin, services[i])
+		}
+	}
+
+	start := time.Now()
+	deadlinePhases := time.Duration(0)
+	for _, ph := range cfg.Scenario.Phases {
+		phaseEnd := deadlinePhases + time.Duration(ph.Frac*float64(cfg.Duration))
+		deadlinePhases = phaseEnd
+		rate := cfg.Rate * ph.Rate
+		if rate <= 0 {
+			// Idle phase: just wait it out.
+			select {
+			case <-time.After(phaseEnd - time.Since(start)):
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+			continue
+		}
+		next := time.Since(start)
+		for {
+			next += smp.gap(rate)
+			if next >= phaseEnd {
+				break
+			}
+			if sleep := next - time.Since(start); sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+					return Result{}, ctx.Err()
+				}
+			}
+			bulk := smp.bulk()
+			services := make([]time.Duration, bulk)
+			for i := range services {
+				services[i] = smp.service()
+			}
+			if outstanding.Load() >= int64(cfg.MaxOutstanding) {
+				shed.Add(int64(bulk))
+				continue
+			}
+			outstanding.Add(1)
+			wg.Add(1)
+			go arrive(bulk, services)
+		}
+		if sleep := phaseEnd - time.Since(start); sleep > 0 {
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		}
+	}
+	window := time.Since(start)
+
+	// Drain: near-term departures get the grace period to fire, then
+	// pending sleeps are cut and the remaining in-flight operations
+	// run to completion.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		cancelSleeps()
+		<-done
+	}
+
+	res := describe(cfg, "open")
+	res.DurationSec = window.Seconds()
+	res.Placed = placed.Load()
+	res.Removed = removed.Load()
+	res.Shed = shed.Load()
+	res.Errors = errs.Load()
+	res.ThroughputPerSec = float64(res.Placed) / window.Seconds()
+	res.PlaceLatencyNs = serve.LatencySummary(placeHist.Snapshot())
+	res.RemoveLatencyNs = serve.LatencySummary(removeHist.Snapshot())
+	return res, nil
+}
+
+func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
+	placeHist, removeHist := hdrhist.New(), hdrhist.New()
+	var placed, removed, errs atomic.Int64
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				t0 := time.Now()
+				bins, _, err := target.Place(runCtx, 1)
+				if err != nil {
+					if runCtx.Err() == nil {
+						// Transient failure: count it and keep
+						// measuring — a worker that quits would
+						// silently deflate the saturation throughput
+						// for the rest of the run. Back off briefly so
+						// a hard-down target doesn't spin.
+						errs.Add(1)
+						time.Sleep(time.Millisecond)
+					}
+					continue
+				}
+				placeHist.RecordSince(t0)
+				placed.Add(1)
+				t1 := time.Now()
+				// The pair is the unit of work: finish the remove even
+				// if the deadline landed mid-cycle, so the run ends
+				// with the target drained back to empty.
+				if err := target.Remove(context.Background(), bins[0]); err != nil {
+					errs.Add(1)
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				removeHist.RecordSince(t1)
+				removed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	window := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	res := describe(cfg, "closed")
+	res.DurationSec = window.Seconds()
+	res.Placed = placed.Load()
+	res.Removed = removed.Load()
+	res.Errors = errs.Load()
+	res.ThroughputPerSec = float64(res.Placed) / window.Seconds()
+	res.PlaceLatencyNs = serve.LatencySummary(placeHist.Snapshot())
+	res.RemoveLatencyNs = serve.LatencySummary(removeHist.Snapshot())
+	return res, nil
+}
+
+func describe(cfg Config, mode string) Result {
+	res := Result{
+		Scenario: cfg.Scenario.Name,
+		Mode:     mode,
+	}
+	if mode == "open" {
+		res.RatePerSec = cfg.Rate
+		res.ServiceMs = float64(cfg.ServiceMean) / float64(time.Millisecond)
+		res.ServiceDist = cfg.ServiceDist
+		if res.ServiceDist == "" {
+			res.ServiceDist = "exp"
+		}
+	} else {
+		res.Workers = cfg.Workers
+	}
+	return res
+}

@@ -1,0 +1,191 @@
+package load
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	ballsbins "repro"
+	"repro/internal/serve"
+)
+
+func newDispatcher(t *testing.T, n, shards int) *serve.Dispatcher {
+	t.Helper()
+	d := serve.NewDispatcher(serve.Config{
+		Spec: ballsbins.Adaptive(), N: n, Shards: shards, Seed: 1,
+	})
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestScenarioPresets(t *testing.T) {
+	for _, name := range Scenarios() {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if sc.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, sc.Name)
+		}
+		var frac float64
+		for _, ph := range sc.Phases {
+			frac += ph.Frac
+		}
+		if math.Abs(frac-1) > 1e-9 {
+			t.Errorf("scenario %q phases cover %v of the run, want 1", name, frac)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown scenario")
+	}
+}
+
+func TestSamplerServiceMean(t *testing.T) {
+	for _, dist := range []string{"exp", "lognormal"} {
+		smp := newSampler(Config{
+			Seed: 42, ServiceMean: 100 * time.Millisecond, ServiceDist: dist,
+		})
+		var sum time.Duration
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += smp.service()
+		}
+		mean := sum.Seconds() / n
+		if mean < 0.09 || mean > 0.11 {
+			t.Errorf("%s service mean %.4fs, want ≈0.100s", dist, mean)
+		}
+	}
+}
+
+func TestSamplerSkewBulk(t *testing.T) {
+	smp := newSampler(Config{Seed: 7, ServiceMean: time.Millisecond, Scenario: Skew()})
+	if smp.meanBulk <= 1 {
+		t.Fatalf("skew mean bulk %v, want > 1", smp.meanBulk)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		b := smp.bulk()
+		if b < 1 || b > 32 {
+			t.Fatalf("bulk %d outside [1,32]", b)
+		}
+		seen[b] = true
+	}
+	if !seen[1] || len(seen) < 5 {
+		t.Fatalf("skew bulk distribution degenerate: %d distinct sizes", len(seen))
+	}
+	// The arrival event gap must be stretched by the mean bulk so the
+	// ball rate stays at the configured value.
+	steady := newSampler(Config{Seed: 7, ServiceMean: time.Millisecond})
+	var skewGap, steadyGap time.Duration
+	for i := 0; i < 20000; i++ {
+		skewGap += smp.gap(1000)
+		steadyGap += steady.gap(1000)
+	}
+	ratio := skewGap.Seconds() / steadyGap.Seconds()
+	if ratio < smp.meanBulk*0.9 || ratio > smp.meanBulk*1.1 {
+		t.Errorf("skew gap stretch %.2f, want ≈ mean bulk %.2f", ratio, smp.meanBulk)
+	}
+}
+
+func TestClosedLoopInProc(t *testing.T) {
+	d := newDispatcher(t, 64, 4)
+	res, err := Run(context.Background(), Config{
+		Mode:     "closed",
+		Workers:  4,
+		Duration: 200 * time.Millisecond,
+		Seed:     1,
+	}, InProc{D: d})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Mode != "closed" || res.Workers != 4 || res.Scenario != "steady" {
+		t.Fatalf("result header: %+v", res)
+	}
+	if res.Placed == 0 || res.Placed != res.Removed || res.Errors != 0 {
+		t.Fatalf("placed/removed/errors = %d/%d/%d", res.Placed, res.Removed, res.Errors)
+	}
+	if res.ThroughputPerSec <= 0 || res.PlaceLatencyNs.Count != res.Placed {
+		t.Fatalf("throughput %v, latency count %d", res.ThroughputPerSec, res.PlaceLatencyNs.Count)
+	}
+	// Closed-loop churn holds one ball per worker at most; everything
+	// is removed by the end.
+	if res.FinalBalls != 0 {
+		t.Fatalf("final balls %d, want 0 after pure churn", res.FinalBalls)
+	}
+}
+
+func TestOpenLoopInProc(t *testing.T) {
+	d := newDispatcher(t, 64, 4)
+	res, err := Run(context.Background(), Config{
+		Scenario:    Steady(),
+		Mode:        "open",
+		Rate:        2000,
+		Duration:    300 * time.Millisecond,
+		ServiceMean: 20 * time.Millisecond,
+		Seed:        3,
+	}, InProc{D: d})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Placed == 0 || res.Errors != 0 {
+		t.Fatalf("placed %d errors %d", res.Placed, res.Errors)
+	}
+	// Poisson arrivals at 2000/s over 0.3s: expect ≈600 placements;
+	// allow wide slack for CI timing jitter.
+	if res.Placed < 200 || res.Placed > 1800 {
+		t.Errorf("open-loop placed %d, expected ≈600", res.Placed)
+	}
+	if res.Removed == 0 || res.Removed > res.Placed {
+		t.Errorf("removed %d of %d placed", res.Removed, res.Placed)
+	}
+	// Books balance: every ball is placed, removed, or still live.
+	if res.FinalBalls != res.Placed-res.Removed {
+		t.Errorf("final balls %d, placed-removed %d", res.FinalBalls, res.Placed-res.Removed)
+	}
+}
+
+func TestOpenLoopHTTP(t *testing.T) {
+	d := newDispatcher(t, 64, 4)
+	srv := httptest.NewServer(serve.NewHandler(d, serve.Info{Protocol: "adaptive", N: 64, Shards: 4}))
+	t.Cleanup(srv.Close)
+	res, err := Run(context.Background(), Config{
+		Scenario:    Flash(),
+		Mode:        "open",
+		Rate:        1000,
+		Duration:    300 * time.Millisecond,
+		ServiceMean: 10 * time.Millisecond,
+		Seed:        5,
+	}, NewHTTPTarget(srv.URL))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res.Target = "http"
+	if res.Placed == 0 || res.Errors != 0 {
+		t.Fatalf("placed %d errors %d (final %+v)", res.Placed, res.Errors, res)
+	}
+	if res.FinalBalls != res.Placed-res.Removed {
+		t.Errorf("final balls %d, placed-removed %d", res.FinalBalls, res.Placed-res.Removed)
+	}
+	if res.PlaceLatencyNs.P999 < res.PlaceLatencyNs.P50 {
+		t.Errorf("latency summary inverted: %+v", res.PlaceLatencyNs)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := newDispatcher(t, 8, 1)
+	tgt := InProc{D: d}
+	ctx := context.Background()
+	for name, cfg := range map[string]Config{
+		"no duration":  {Mode: "open", Rate: 1, ServiceMean: time.Millisecond},
+		"no rate":      {Mode: "open", Duration: time.Second, ServiceMean: time.Millisecond},
+		"no service":   {Mode: "open", Rate: 1, Duration: time.Second},
+		"no workers":   {Mode: "closed", Duration: time.Second},
+		"unknown mode": {Mode: "banana", Duration: time.Second},
+	} {
+		if _, err := Run(ctx, cfg, tgt); err == nil {
+			t.Errorf("%s: Run accepted invalid config", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// InProc drives a dispatch core directly — no network, so it measures
+// the dispatcher itself (the mode used for combiner throughput
+// benchmarks).
+type InProc struct {
+	D *serve.Dispatcher
+}
+
+// Place implements Target.
+func (t InProc) Place(ctx context.Context, count int) ([]int, int64, error) {
+	return t.D.PlaceMany(ctx, count)
+}
+
+// Remove implements Target.
+func (t InProc) Remove(ctx context.Context, bin int) error {
+	return t.D.Remove(ctx, bin)
+}
+
+// ReadStats implements StatsReader.
+func (t InProc) ReadStats(context.Context) (serve.StatsView, error) {
+	return t.D.Stats(), nil
+}
+
+// HTTPTarget drives a bbserved instance over its HTTP API.
+type HTTPTarget struct {
+	Base   string // e.g. "http://127.0.0.1:8080"
+	Client *http.Client
+}
+
+// NewHTTPTarget returns a target for the server at base with a client
+// tuned for many concurrent keep-alive connections.
+func NewHTTPTarget(base string) *HTTPTarget {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 512
+	tr.MaxIdleConnsPerHost = 512
+	return &HTTPTarget{
+		Base:   base,
+		Client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+func (t *HTTPTarget) post(ctx context.Context, path string, v any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			return resp.StatusCode, fmt.Errorf("load: decode %s: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Place implements Target via POST /v1/place.
+func (t *HTTPTarget) Place(ctx context.Context, count int) ([]int, int64, error) {
+	path := "/v1/place"
+	if count != 1 {
+		path = fmt.Sprintf("/v1/place?count=%d", count)
+	}
+	var pr serve.PlaceResponse
+	status, err := t.post(ctx, path, &pr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status != http.StatusOK {
+		return nil, 0, fmt.Errorf("load: place: status %d", status)
+	}
+	bins := pr.Bins
+	if len(bins) == 0 {
+		bins = []int{pr.Bin}
+	}
+	return bins, pr.Samples, nil
+}
+
+// Remove implements Target via POST /v1/remove.
+func (t *HTTPTarget) Remove(ctx context.Context, bin int) error {
+	var rr serve.RemoveResponse
+	status, err := t.post(ctx, fmt.Sprintf("/v1/remove?bin=%d", bin), &rr)
+	if err != nil {
+		return err
+	}
+	switch status {
+	case http.StatusOK:
+		return nil
+	case http.StatusConflict:
+		return serve.ErrEmptyBin
+	default:
+		return fmt.Errorf("load: remove: status %d", status)
+	}
+}
+
+func (t *HTTPTarget) readStatsResponse(ctx context.Context) (serve.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/v1/stats", nil)
+	if err != nil {
+		return serve.StatsResponse{}, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return serve.StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var sr serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return serve.StatsResponse{}, err
+	}
+	return sr, nil
+}
+
+// ReadStats implements StatsReader via GET /v1/stats.
+func (t *HTTPTarget) ReadStats(ctx context.Context) (serve.StatsView, error) {
+	sr, err := t.readStatsResponse(ctx)
+	return sr.StatsView, err
+}
+
+// ReadInfo fetches the server's configuration block, so load runs can
+// be labeled with the protocol/n/shards actually served.
+func (t *HTTPTarget) ReadInfo(ctx context.Context) (serve.Info, error) {
+	sr, err := t.readStatsResponse(ctx)
+	return sr.Info, err
+}

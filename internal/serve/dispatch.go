@@ -1,0 +1,361 @@
+// Package serve is the network-serving layer over the ballsbins
+// allocator core: an arrival-combining dispatcher that turns many
+// concurrent Place/Remove callers into amortized batched work against
+// a ShardedAllocator, a lock-free stats pipeline for monitoring reads,
+// and the HTTP handlers cmd/bbserved mounts.
+//
+// # Dispatch core
+//
+// Each shard of the underlying ShardedAllocator gets a bounded arrival
+// queue and one combiner goroutine. A caller's Place round-robins a
+// ticket (the allocator's own cursor, so dispatcher traffic and direct
+// allocator traffic share one arrival order), enqueues a request on
+// the ticketed shard's queue and waits; the combiner drains whatever
+// requests have accumulated — up to MaxBatch — and applies them under
+// a single shard-lock acquisition via WithShardLocked. Under
+// concurrency the mutex is therefore taken O(batches) times rather
+// than O(requests), and each acquisition does O(1) amortized work per
+// ball (the Session fast path), which is what lets lock traffic fall
+// as load rises instead of growing with it. With a single caller every
+// batch has size one and the dispatcher degenerates to a plain locked
+// call — combining costs nothing when there is nothing to combine.
+//
+// Admission is the commit point: ctx is consulted once, before any
+// round-robin ticket is claimed; a call past admission executes in
+// full even if the caller's context is cancelled while it waits, and
+// Close drains all admitted work before stopping. So a caller that
+// got a bin really owns a ball, a caller that got an error knows
+// nothing happened, and the per-shard evenness of the ticket cursor
+// (which the sharded max-load bound is built on) can never be skewed
+// by abandoned operations.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ballsbins "repro"
+	"repro/internal/hdrhist"
+)
+
+// ErrDraining is returned by Place/Remove once Close has begun: the
+// dispatcher no longer accepts new arrivals (it is draining the ones
+// already enqueued).
+var ErrDraining = errors.New("serve: dispatcher draining")
+
+// ErrEmptyBin is returned by Remove when the target bin holds no
+// balls at execution time.
+var ErrEmptyBin = errors.New("serve: remove from empty bin")
+
+const (
+	// DefaultQueueDepth bounds each shard's arrival queue; beyond it,
+	// enqueues block (backpressure) rather than buffer without limit.
+	DefaultQueueDepth = 1024
+	// DefaultMaxBatch caps how many requests one combiner pass applies
+	// under a single lock acquisition.
+	DefaultMaxBatch = 256
+)
+
+// Config describes a dispatcher. Spec and N are required.
+type Config struct {
+	Spec   ballsbins.Spec
+	N      int // total bins
+	Shards int // default 1
+	Seed   uint64
+	Engine ballsbins.Engine
+	// Horizon forwards ballsbins.WithHorizon for specs that need the
+	// total ball count (threshold family).
+	Horizon int64
+	// QueueDepth and MaxBatch default to DefaultQueueDepth and
+	// DefaultMaxBatch when zero.
+	QueueDepth int
+	MaxBatch   int
+}
+
+type opKind uint8
+
+const (
+	opPlace opKind = iota
+	opRemove
+)
+
+// request is one enqueued operation. The combiner fills the result
+// fields, then closes done; the enqueuer owns the request until the
+// channel send succeeds and reads results only after <-done.
+type request struct {
+	op    opKind
+	count int   // balls to place (opPlace, ≥ 1)
+	bin   int   // remove target (opRemove)
+	bins  []int // assigned bins (opPlace), len == count
+	// samples is the number of random bin choices the operation
+	// consumed; err reports per-request failure (ErrEmptyBin).
+	samples int64
+	err     error
+	t0      time.Time // enqueue time, for the dispatch-latency histogram
+	done    chan struct{}
+}
+
+// Dispatcher is the arrival-combining front-end. Construct with
+// NewDispatcher; all methods are safe for concurrent use.
+type Dispatcher struct {
+	sa      *ballsbins.ShardedAllocator
+	cfg     Config
+	queues  []chan *request
+	stats   *Stats
+	latency *hdrhist.Hist // enqueue → completion, per request
+	// drainMu is held shared for the span of every enqueue and
+	// exclusively by Close between setting draining and closing the
+	// queues, so no send can race a close. (A WaitGroup would not do:
+	// its counter legally hits zero mid-drain while admitted callers
+	// keep arriving, and Add-from-zero concurrent with Wait panics.)
+	drainMu  sync.RWMutex
+	workers  sync.WaitGroup
+	draining atomic.Bool
+	closed   chan struct{} // closed when every combiner has exited
+}
+
+// NewDispatcher builds the sharded allocator and starts one combiner
+// goroutine per shard. It panics on invalid Config (same rules as
+// ballsbins.NewSharded).
+func NewDispatcher(cfg Config) *Dispatcher {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	opts := []ballsbins.Option{
+		ballsbins.WithSeed(cfg.Seed),
+		ballsbins.WithEngine(cfg.Engine),
+	}
+	if cfg.Horizon > 0 {
+		opts = append(opts, ballsbins.WithHorizon(cfg.Horizon))
+	}
+	d := &Dispatcher{
+		sa:      ballsbins.NewSharded(cfg.Spec, cfg.N, cfg.Shards, opts...),
+		cfg:     cfg,
+		queues:  make([]chan *request, cfg.Shards),
+		stats:   newStats(cfg.Shards),
+		latency: hdrhist.New(),
+		closed:  make(chan struct{}),
+	}
+	for s := range d.queues {
+		d.queues[s] = make(chan *request, cfg.QueueDepth)
+		d.workers.Add(1)
+		go d.combine(s)
+	}
+	go func() {
+		d.workers.Wait()
+		close(d.closed)
+	}()
+	return d
+}
+
+// Allocator exposes the underlying ShardedAllocator for consistent
+// lock-all reads (Metrics, Snapshot, Loads). Do not place or remove
+// through it while the dispatcher is live — that would bypass the
+// stats pipeline (the allocator itself stays correct either way).
+func (d *Dispatcher) Allocator() *ballsbins.ShardedAllocator { return d.sa }
+
+// N returns the total number of bins.
+func (d *Dispatcher) N() int { return d.cfg.N }
+
+// Shards returns the shard count.
+func (d *Dispatcher) Shards() int { return d.cfg.Shards }
+
+// Name returns the protocol's identifier.
+func (d *Dispatcher) Name() string { return d.sa.Name() }
+
+// Place allocates one ball and returns its global bin together with
+// the number of random bin choices consumed. ctx is checked at
+// admission only: a nil error past that point means the placement is
+// committed, and Place blocks through any queue backpressure until
+// its result is ready. (This is the allocation-free single-ball hot
+// path — one ticket, one request, no per-shard planning.)
+func (d *Dispatcher) Place(ctx context.Context) (bin int, samples int64, err error) {
+	if err := d.admit(); err != nil {
+		return 0, 0, err
+	}
+	defer d.drainMu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	req := &request{op: opPlace, count: 1, t0: time.Now(), done: make(chan struct{})}
+	d.queues[d.sa.NextShard()] <- req
+	<-req.done
+	return req.bins[0], req.samples, nil
+}
+
+// PlaceMany allocates count balls spread round-robin over the shards
+// (claiming count tickets at once) and returns their global bins in
+// assignment order, plus the total random choices consumed. A bulk
+// arrival is combined per shard: all balls ticketed to one shard are
+// placed under one lock acquisition, together with whatever other
+// requests the combiner has pending.
+//
+// ctx is checked at admission, before any ticket is claimed; past
+// that point the whole bulk is committed and PlaceMany blocks until
+// every ball is placed. (Aborting mid-bulk would leave already-
+// claimed tickets without balls, skewing the per-shard evenness the
+// max-load bound is built on — so there is deliberately no early
+// exit.)
+func (d *Dispatcher) PlaceMany(ctx context.Context, count int) ([]int, int64, error) {
+	if count < 1 {
+		return nil, 0, fmt.Errorf("serve: PlaceMany count %d < 1", count)
+	}
+	if err := d.admit(); err != nil {
+		return nil, 0, err
+	}
+	defer d.drainMu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
+	counts := d.sa.NextShardBatch(int64(count))
+	reqs := make([]*request, 0, min(count, d.cfg.Shards))
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		req := &request{op: opPlace, count: int(c), t0: time.Now(), done: make(chan struct{})}
+		d.queues[s] <- req
+		reqs = append(reqs, req)
+	}
+	var bins []int
+	var samples int64
+	for _, r := range reqs {
+		<-r.done
+		bins = append(bins, r.bins...)
+		samples += r.samples
+	}
+	return bins, samples, nil
+}
+
+// Remove takes one ball out of global bin. It returns ErrEmptyBin if
+// the bin holds no ball when the combiner executes the request, and an
+// error for out-of-range bins. Like Place, ctx is checked at
+// admission only; past that the removal is committed.
+func (d *Dispatcher) Remove(ctx context.Context, bin int) error {
+	if bin < 0 || bin >= d.cfg.N {
+		return fmt.Errorf("serve: bin %d outside [0,%d)", bin, d.cfg.N)
+	}
+	if err := d.admit(); err != nil {
+		return err
+	}
+	defer d.drainMu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	req := &request{op: opRemove, bin: bin, t0: time.Now(), done: make(chan struct{})}
+	d.queues[d.sa.ShardOf(bin)] <- req
+	<-req.done
+	return req.err
+}
+
+// admit takes the shared drain lock for an enqueue (the caller
+// releases it once its requests are on their queues) unless the
+// dispatcher is draining. Close sets draining before taking the lock
+// exclusively, so either we see the flag and back out, or Close waits
+// for our queue sends to finish before closing any queue.
+func (d *Dispatcher) admit() error {
+	d.drainMu.RLock()
+	if d.draining.Load() {
+		d.drainMu.RUnlock()
+		return ErrDraining
+	}
+	return nil
+}
+
+// Draining reports whether Close has begun.
+func (d *Dispatcher) Draining() bool { return d.draining.Load() }
+
+// Close drains the dispatcher: new arrivals are refused with
+// ErrDraining, every already-enqueued request is executed and its
+// caller released, then the combiners exit. Close blocks until the
+// drain completes and is idempotent.
+func (d *Dispatcher) Close() {
+	if d.draining.CompareAndSwap(false, true) {
+		d.drainMu.Lock() // every admitted enqueue has reached its queue
+		for _, q := range d.queues {
+			close(q)
+		}
+		d.drainMu.Unlock()
+	}
+	<-d.closed
+}
+
+// combine is shard s's combiner loop: block for one request, then
+// opportunistically drain whatever else has arrived (up to MaxBatch)
+// and apply the whole batch under one shard-lock acquisition.
+func (d *Dispatcher) combine(s int) {
+	defer d.workers.Done()
+	q := d.queues[s]
+	batch := make([]*request, 0, d.cfg.MaxBatch)
+	for {
+		req, ok := <-q
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], req)
+	fill:
+		for len(batch) < d.cfg.MaxBatch {
+			select {
+			case r, ok := <-q:
+				if !ok {
+					// Queue closed and empty: apply what we have,
+					// then exit.
+					d.apply(s, batch)
+					return
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		d.apply(s, batch)
+	}
+}
+
+// apply executes one combined batch under a single lock acquisition
+// and publishes fresh per-shard stats while the lock is still held (so
+// the stats snapshot is exactly the post-batch shard state).
+func (d *Dispatcher) apply(s int, batch []*request) {
+	d.sa.WithShardLocked(s, func(a *ballsbins.Allocator, base int) {
+		for _, r := range batch {
+			switch r.op {
+			case opPlace:
+				r.bins = make([]int, r.count)
+				for i := range r.bins {
+					local, smp := a.Place()
+					r.bins[i] = base + local
+					r.samples += smp
+				}
+			case opRemove:
+				local := r.bin - base
+				if a.Load(local) == 0 {
+					r.err = ErrEmptyBin
+					continue
+				}
+				a.Remove(local)
+			}
+		}
+		d.stats.publish(s, a, len(batch))
+	})
+	for _, r := range batch {
+		d.latency.RecordSince(r.t0)
+		close(r.done)
+	}
+}
+
+// Latency returns a snapshot of the dispatch-latency histogram: the
+// time from a request's enqueue to its completion, covering queueing
+// delay plus its share of the combined batch.
+func (d *Dispatcher) Latency() hdrhist.Snapshot { return d.latency.Snapshot() }

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	ballsbins "repro"
+)
+
+func newTestDispatcher(t *testing.T, n, shards int) *Dispatcher {
+	t.Helper()
+	d := NewDispatcher(Config{
+		Spec:   ballsbins.Adaptive(),
+		N:      n,
+		Shards: shards,
+		Seed:   1,
+	})
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestDispatcherPlaceRemove(t *testing.T) {
+	d := newTestDispatcher(t, 64, 4)
+	ctx := context.Background()
+
+	bin, samples, err := d.Place(ctx)
+	if err != nil || bin < 0 || bin >= 64 || samples < 1 {
+		t.Fatalf("Place = (%d, %d, %v)", bin, samples, err)
+	}
+	if err := d.Remove(ctx, bin); err != nil {
+		t.Fatalf("Remove(%d) = %v", bin, err)
+	}
+	if err := d.Remove(ctx, bin); err != ErrEmptyBin {
+		t.Fatalf("Remove from empty bin = %v, want ErrEmptyBin", err)
+	}
+	if err := d.Remove(ctx, -1); err == nil {
+		t.Fatal("Remove(-1) accepted")
+	}
+	if err := d.Remove(ctx, 64); err == nil {
+		t.Fatal("Remove(64) accepted")
+	}
+	if _, _, err := d.PlaceMany(ctx, 0); err == nil {
+		t.Fatal("PlaceMany(0) accepted")
+	}
+}
+
+func TestDispatcherPlaceMany(t *testing.T) {
+	const n, shards, k = 60, 7, 100
+	d := newTestDispatcher(t, n, shards)
+	bins, samples, err := d.PlaceMany(context.Background(), k)
+	if err != nil {
+		t.Fatalf("PlaceMany: %v", err)
+	}
+	if len(bins) != k || samples < k {
+		t.Fatalf("PlaceMany returned %d bins, %d samples", len(bins), samples)
+	}
+	for _, b := range bins {
+		if b < 0 || b >= n {
+			t.Fatalf("bin %d out of range", b)
+		}
+	}
+	sa := d.Allocator()
+	if sa.Balls() != k || sa.Samples() != samples {
+		t.Fatalf("allocator holds %d balls / %d samples, want %d / %d",
+			sa.Balls(), sa.Samples(), k, samples)
+	}
+	// Round-robin ticketing spreads a bulk arrival evenly: per-shard
+	// ball counts stay within one of each other.
+	minB, maxB := int64(1<<62), int64(0)
+	for s := 0; s < shards; s++ {
+		var balls int64
+		sa.WithShardLocked(s, func(a *ballsbins.Allocator, base int) { balls = a.Balls() })
+		if balls < minB {
+			minB = balls
+		}
+		if balls > maxB {
+			maxB = balls
+		}
+	}
+	if maxB-minB > 1 {
+		t.Fatalf("bulk placement skewed shards: min %d max %d", minB, maxB)
+	}
+}
+
+// TestDispatcherCombines drives the dispatcher with enough concurrency
+// that batches form, then checks the stats pipeline observed a
+// combining factor above 1 and exact operation counts.
+func TestDispatcherCombines(t *testing.T) {
+	const n, workers, perWorker = 32, 16, 200
+	d := newTestDispatcher(t, n, 1) // one shard: every request shares a queue
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, _, err := d.Place(ctx); err != nil {
+					t.Errorf("Place: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v := d.Stats()
+	if v.Placed != workers*perWorker || v.Balls != workers*perWorker {
+		t.Fatalf("stats placed/balls = %d/%d, want %d", v.Placed, v.Balls, workers*perWorker)
+	}
+	if v.Shards[0].Requests != workers*perWorker {
+		t.Fatalf("stats requests = %d, want %d", v.Shards[0].Requests, workers*perWorker)
+	}
+	if v.CombiningFactor < 1 {
+		t.Fatalf("combining factor %v < 1", v.CombiningFactor)
+	}
+	if lat := d.Latency(); lat.Count != workers*perWorker {
+		t.Fatalf("latency histogram recorded %d ops, want %d", lat.Count, workers*perWorker)
+	}
+	t.Logf("combining factor with %d workers: %.2f", workers, v.CombiningFactor)
+}
+
+// TestDispatcherHammer is the -race acceptance test for the dispatch
+// core: mixed concurrent Place/PlaceMany/Remove plus monitoring reads,
+// then exact bookkeeping and the sharded adaptive max-load bound
+// ⌈⌈m/P⌉/⌊n/P⌋⌉ + 1 on the cumulative placements m (live load only
+// ever being smaller, the bound holds a fortiori under churn).
+func TestDispatcherHammer(t *testing.T) {
+	const n, shards, workers, perWorker = 128, 8, 12, 600
+	d := newTestDispatcher(t, n, shards)
+	ctx := context.Background()
+	var placed, removed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []int
+			for i := 0; i < perWorker; i++ {
+				switch {
+				case w%3 == 0 && i%5 == 4: // occasional small bulk
+					bins, _, err := d.PlaceMany(ctx, 3)
+					if err != nil {
+						t.Errorf("PlaceMany: %v", err)
+						return
+					}
+					mine = append(mine, bins...)
+					placed.Add(int64(len(bins)))
+				default:
+					bin, _, err := d.Place(ctx)
+					if err != nil {
+						t.Errorf("Place: %v", err)
+						return
+					}
+					mine = append(mine, bin)
+					placed.Add(1)
+				}
+				if i%3 == 2 { // churn the oldest of our live balls
+					if err := d.Remove(ctx, mine[0]); err != nil {
+						t.Errorf("Remove(%d): %v", mine[0], err)
+						return
+					}
+					mine = mine[1:]
+					removed.Add(1)
+				}
+				if i%64 == 0 {
+					_ = d.Stats()   // lock-free monitoring read under fire
+					_ = d.Latency() // histogram read under fire
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sa := d.Allocator()
+	if sa.Placed() != placed.Load() {
+		t.Fatalf("Placed() = %d want %d", sa.Placed(), placed.Load())
+	}
+	if want := placed.Load() - removed.Load(); sa.Balls() != want {
+		t.Fatalf("Balls() = %d want %d", sa.Balls(), want)
+	}
+	var sum int64
+	for _, l := range sa.Loads() {
+		sum += int64(l)
+	}
+	if sum != sa.Balls() {
+		t.Fatalf("loads sum %d != Balls %d", sum, sa.Balls())
+	}
+	ceil := func(a, b int64) int64 { return (a + b - 1) / b }
+	bound := ceil(ceil(placed.Load(), shards), n/shards) + 1
+	if got := int64(sa.MaxLoad()); got > bound {
+		t.Fatalf("max load %d beyond sharded adaptive bound %d", sa.MaxLoad(), bound)
+	}
+	// The eventually-consistent stats converge exactly at quiescence.
+	v := d.Stats()
+	if v.Placed != placed.Load() || v.Balls != sa.Balls() || v.Removed != removed.Load() {
+		t.Fatalf("quiescent stats diverge: %+v", v)
+	}
+	if v.MaxLoad != sa.MaxLoad() || v.Psi != sa.Psi() {
+		t.Fatalf("quiescent stats max/psi = %d/%v, allocator %d/%v",
+			v.MaxLoad, v.Psi, sa.MaxLoad(), sa.Psi())
+	}
+}
+
+// TestDispatcherDrain closes the dispatcher while traffic is in
+// flight: every accepted request must complete, every refused request
+// must report ErrDraining, and the books must balance exactly.
+func TestDispatcherDrain(t *testing.T) {
+	const n, shards, workers = 64, 4, 8
+	d := NewDispatcher(Config{Spec: ballsbins.Adaptive(), N: n, Shards: shards, Seed: 3})
+	ctx := context.Background()
+	var accepted, refused atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for {
+				_, _, err := d.Place(ctx)
+				switch err {
+				case nil:
+					accepted.Add(1)
+				case ErrDraining:
+					refused.Add(1)
+					return
+				default:
+					t.Errorf("Place during drain: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	for accepted.Load() < 500 { // let traffic build before pulling the plug
+		runtime.Gosched()
+	}
+	d.Close()
+	wg.Wait()
+	if refused.Load() != workers {
+		t.Fatalf("refused %d workers, want %d", refused.Load(), workers)
+	}
+	if got := d.Allocator().Balls(); got != accepted.Load() {
+		t.Fatalf("allocator holds %d balls, callers saw %d accepted", got, accepted.Load())
+	}
+	// Close is idempotent, and post-close traffic is refused.
+	d.Close()
+	if _, _, err := d.Place(ctx); err != ErrDraining {
+		t.Fatalf("Place after Close = %v", err)
+	}
+	if err := d.Remove(ctx, 0); err != ErrDraining {
+		t.Fatalf("Remove after Close = %v", err)
+	}
+}
+
+// TestDispatcherThresholdHorizon checks the horizon plumbing: a
+// threshold-family dispatcher must absorb its full declared horizon.
+func TestDispatcherThresholdHorizon(t *testing.T) {
+	const n, shards, m = 10, 3, 60
+	d := NewDispatcher(Config{
+		Spec: ballsbins.Threshold(), N: n, Shards: shards, Seed: 2, Horizon: m,
+	})
+	defer d.Close()
+	bins, _, err := d.PlaceMany(context.Background(), m)
+	if err != nil || len(bins) != m {
+		t.Fatalf("PlaceMany(%d) = %d bins, %v", m, len(bins), err)
+	}
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	ballsbins "repro"
+	"repro/internal/hdrhist"
+)
+
+// MaxBulkPlace caps the count accepted by one POST /v1/place, bounding
+// the response size and the work one HTTP request can enqueue.
+const MaxBulkPlace = 65536
+
+// Info describes the served configuration; it is echoed in /v1/stats
+// and /v1/snapshot so load generators can label their output.
+type Info struct {
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	Shards   int    `json:"shards"`
+	Engine   string `json:"engine"`
+	Seed     uint64 `json:"seed"`
+}
+
+// PlaceResponse is the body of POST /v1/place. Bin duplicates Bins[0]
+// for the count=1 case so single-ball callers need not unpack a list.
+type PlaceResponse struct {
+	Bin     int   `json:"bin"`
+	Bins    []int `json:"bins,omitempty"`
+	Count   int   `json:"count"`
+	Samples int64 `json:"samples"`
+}
+
+// RemoveResponse is the body of POST /v1/remove.
+type RemoveResponse struct {
+	Bin     int  `json:"bin"`
+	Removed bool `json:"removed"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the lock-free monitoring
+// view plus dispatch-latency quantiles in nanoseconds.
+type StatsResponse struct {
+	Info Info `json:"info"`
+	StatsView
+	Draining  bool    `json:"draining"`
+	LatencyNs Latency `json:"dispatch_latency_ns"`
+}
+
+// Latency summarizes a latency histogram in nanoseconds.
+type Latency struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// SnapshotResponse is the body of GET /v1/snapshot: a lock-all
+// linearizable Metrics of the whole system plus one per-shard Result
+// (read shard-at-a-time after the global snapshot).
+type SnapshotResponse struct {
+	Info    Info               `json:"info"`
+	Balls   int64              `json:"balls"`
+	Metrics ballsbins.Result   `json:"metrics"`
+	Shards  []ballsbins.Result `json:"shards"`
+}
+
+type handler struct {
+	d    *Dispatcher
+	info Info
+}
+
+// NewHandler mounts the serving API over a dispatcher:
+//
+//	POST /v1/place[?count=k]  place 1 (default) or k balls
+//	POST /v1/remove?bin=i     remove one ball from bin i
+//	GET  /v1/stats            lock-free monitoring view
+//	GET  /v1/snapshot         lock-all consistent snapshot
+//	GET  /healthz             200 ok, 503 once draining
+//	GET  /metrics             Prometheus text format
+func NewHandler(d *Dispatcher, info Info) http.Handler {
+	h := &handler{d: d, info: info}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", h.place)
+	mux.HandleFunc("POST /v1/remove", h.remove)
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /v1/snapshot", h.snapshot)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (h *handler) place(w http.ResponseWriter, r *http.Request) {
+	count := 1
+	if s := r.URL.Query().Get("count"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "count must be a positive integer, got %q", s)
+			return
+		}
+		if v > MaxBulkPlace {
+			writeError(w, http.StatusBadRequest, "count %d exceeds maximum %d", v, MaxBulkPlace)
+			return
+		}
+		count = v
+	}
+	bins, samples, err := h.d.PlaceMany(r.Context(), count)
+	if err != nil {
+		// A cancelled bulk request may still have committed part of
+		// its balls (enqueue is the commit point) — the client is gone
+		// and cannot read any body, so there is no one to report them
+		// to; they remain visible in /v1/stats like every placement.
+		status := http.StatusInternalServerError
+		if err == ErrDraining {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := PlaceResponse{Bin: bins[0], Count: count, Samples: samples}
+	if count > 1 {
+		resp.Bins = bins
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
+	s := r.URL.Query().Get("bin")
+	if s == "" {
+		writeError(w, http.StatusBadRequest, "missing bin parameter")
+		return
+	}
+	bin, err := strconv.Atoi(s)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bin must be an integer, got %q", s)
+		return
+	}
+	if bin < 0 || bin >= h.d.N() {
+		writeError(w, http.StatusBadRequest, "bin %d outside [0,%d)", bin, h.d.N())
+		return
+	}
+	switch err := h.d.Remove(r.Context(), bin); err {
+	case nil:
+		writeJSON(w, http.StatusOK, RemoveResponse{Bin: bin, Removed: true})
+	case ErrEmptyBin:
+		writeError(w, http.StatusConflict, "bin %d is empty", bin)
+	case ErrDraining:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// LatencySummary condenses a histogram snapshot into the quantile
+// summary used by /v1/stats and the bench JSON records.
+func LatencySummary(s hdrhist.Snapshot) Latency {
+	return Latency{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.5),
+		P90:   s.Quantile(0.9),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+		Max:   s.Max,
+	}
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Info:      h.info,
+		StatsView: h.d.Stats(),
+		Draining:  h.d.Draining(),
+		LatencyNs: LatencySummary(h.d.Latency()),
+	})
+}
+
+func (h *handler) snapshot(w http.ResponseWriter, r *http.Request) {
+	sa := h.d.Allocator()
+	metrics, balls := sa.MetricsWithBalls() // one lock-all: Balls and Metrics agree
+	resp := SnapshotResponse{
+		Info:    h.info,
+		Balls:   balls,
+		Metrics: metrics,
+	}
+	for s := 0; s < sa.Shards(); s++ {
+		resp.Shards = append(resp.Shards, sa.ShardMetrics(s))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.d.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// metrics renders the Prometheus text exposition format: counters and
+// gauges from the lock-free stats view, per-shard ball/load gauges,
+// and the dispatch latency as a summary in seconds.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	v := h.d.Stats()
+	lat := h.d.Latency()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	g := func(name, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	c := func(name, help string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+	c("bb_place_total", "Cumulative balls placed.", v.Placed)
+	c("bb_remove_total", "Cumulative balls removed.", v.Removed)
+	c("bb_samples_total", "Cumulative random bin choices (allocation time).", v.Samples)
+	g("bb_balls", "Balls currently in the system.", v.Balls)
+	g("bb_max_load", "Current maximum bin load.", v.MaxLoad)
+	g("bb_min_load", "Current minimum bin load.", v.MinLoad)
+	g("bb_gap", "Max minus min load.", v.Gap)
+	g("bb_psi", "Quadratic potential of the load vector.", v.Psi)
+	g("bb_samples_per_ball", "Cumulative samples per placed ball.", v.SamplesPerBall)
+	g("bb_combining_factor", "Requests applied per combiner lock acquisition.", v.CombiningFactor)
+
+	fmt.Fprintf(w, "# HELP bb_shard_balls Balls per shard.\n# TYPE bb_shard_balls gauge\n")
+	for _, row := range v.Shards {
+		fmt.Fprintf(w, "bb_shard_balls{shard=%q} %d\n", strconv.Itoa(row.Shard), row.Balls)
+	}
+	fmt.Fprintf(w, "# HELP bb_shard_max_load Maximum load per shard.\n# TYPE bb_shard_max_load gauge\n")
+	for _, row := range v.Shards {
+		fmt.Fprintf(w, "bb_shard_max_load{shard=%q} %d\n", strconv.Itoa(row.Shard), row.MaxLoad)
+	}
+
+	fmt.Fprintf(w, "# HELP bb_dispatch_latency_seconds Request enqueue-to-completion latency.\n")
+	fmt.Fprintf(w, "# TYPE bb_dispatch_latency_seconds summary\n")
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		fmt.Fprintf(w, "bb_dispatch_latency_seconds{quantile=%q} %g\n",
+			trimFloat(q), float64(lat.Quantile(q))/1e9)
+	}
+	fmt.Fprintf(w, "bb_dispatch_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
+	fmt.Fprintf(w, "bb_dispatch_latency_seconds_count %d\n", lat.Count)
+}
+
+func trimFloat(q float64) string { return strconv.FormatFloat(q, 'g', -1, 64) }

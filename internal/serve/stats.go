@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+
+	ballsbins "repro"
+)
+
+// Stats is the dispatcher's monitoring pipeline: after each batch the
+// combiner publishes its shard's state — read while it still holds
+// the shard lock — as one immutable row behind an atomic pointer, so
+// every row a monitor reads is an internally consistent post-batch
+// observation, and reading costs zero locks and never blocks traffic.
+// Different shards' rows may still be a few batches apart in time (the
+// same shard-at-a-time tradeoff as ballsbins.ApproxMetrics, which see;
+// use Dispatcher.Allocator().Metrics() when a lock-all linearizable
+// snapshot is worth stalling the shards for).
+type Stats struct {
+	shards []shardCell
+}
+
+// shardCell holds one shard's latest published row. Written only by
+// the owning shard's combiner; read by anyone.
+type shardCell struct {
+	row atomic.Pointer[shardRow]
+	_   [56]byte // one cache line per combiner
+}
+
+// shardRow is an immutable post-batch observation of one shard.
+type shardRow struct {
+	balls, placed, removed, samples, sumSq int64
+	maxLoad, minLoad                       int
+	batches, reqs                          int64
+}
+
+func newStats(shards int) *Stats {
+	return &Stats{shards: make([]shardCell, shards)}
+}
+
+// publish refreshes shard s's row from its allocator. Called by the
+// combiner with the shard lock held, batchReqs being the number of
+// requests the batch just applied combined.
+func (st *Stats) publish(s int, a *ballsbins.Allocator, batchReqs int) {
+	prev := st.shards[s].row.Load()
+	row := &shardRow{
+		balls:   a.Balls(),
+		placed:  a.Placed(),
+		removed: a.Removed(),
+		samples: a.Samples(),
+		sumSq:   a.SumSquares(),
+		maxLoad: a.MaxLoad(),
+		minLoad: a.MinLoad(),
+		batches: 1,
+		reqs:    int64(batchReqs),
+	}
+	if prev != nil {
+		row.batches += prev.batches
+		row.reqs += prev.reqs
+	}
+	st.shards[s].row.Store(row)
+}
+
+// ShardStat is one shard's row in a StatsView.
+type ShardStat struct {
+	Shard   int   `json:"shard"`
+	Balls   int64 `json:"balls"`
+	Placed  int64 `json:"placed"`
+	Removed int64 `json:"removed"`
+	Samples int64 `json:"samples"`
+	MaxLoad int   `json:"max_load"`
+	MinLoad int   `json:"min_load"`
+	// Batches and Requests count combiner passes and the requests they
+	// carried; Requests/Batches is the achieved combining factor.
+	Batches  int64 `json:"batches"`
+	Requests int64 `json:"requests"`
+}
+
+// StatsView is a monitoring snapshot assembled from the per-shard
+// rows (see Stats for its consistency contract).
+type StatsView struct {
+	Balls   int64 `json:"balls"`
+	Placed  int64 `json:"placed"`
+	Removed int64 `json:"removed"`
+	Samples int64 `json:"samples"`
+	MaxLoad int   `json:"max_load"`
+	MinLoad int   `json:"min_load"`
+	Gap     int   `json:"gap"`
+	// Psi is the quadratic potential combined exactly from the shard
+	// rows (Σ sumSq − t²/n over the rows as read).
+	Psi float64 `json:"psi"`
+	// SamplesPerBall is cumulative samples over cumulative placements.
+	SamplesPerBall float64 `json:"samples_per_ball"`
+	// CombiningFactor is total requests over total combiner batches —
+	// 1.0 means no combining is happening, higher means each lock
+	// acquisition is amortized over that many requests.
+	CombiningFactor float64     `json:"combining_factor"`
+	Shards          []ShardStat `json:"shards"`
+}
+
+// View assembles a StatsView for n total bins.
+func (st *Stats) View(n int) StatsView {
+	v := StatsView{MinLoad: math.MaxInt}
+	var sumSq, batches, reqs int64
+	for s := range st.shards {
+		g := st.shards[s].row.Load()
+		if g == nil {
+			g = &shardRow{} // no batch published yet: empty shard
+		}
+		v.Shards = append(v.Shards, ShardStat{
+			Shard:    s,
+			Balls:    g.balls,
+			Placed:   g.placed,
+			Removed:  g.removed,
+			Samples:  g.samples,
+			MaxLoad:  g.maxLoad,
+			MinLoad:  g.minLoad,
+			Batches:  g.batches,
+			Requests: g.reqs,
+		})
+		v.Balls += g.balls
+		v.Placed += g.placed
+		v.Removed += g.removed
+		v.Samples += g.samples
+		sumSq += g.sumSq
+		batches += g.batches
+		reqs += g.reqs
+		if g.maxLoad > v.MaxLoad {
+			v.MaxLoad = g.maxLoad
+		}
+		if g.minLoad < v.MinLoad {
+			v.MinLoad = g.minLoad
+		}
+	}
+	if v.MinLoad == math.MaxInt {
+		v.MinLoad = 0
+	}
+	v.Gap = v.MaxLoad - v.MinLoad
+	t := float64(v.Balls)
+	v.Psi = float64(sumSq) - t*t/float64(n)
+	if v.Placed > 0 {
+		v.SamplesPerBall = float64(v.Samples) / float64(v.Placed)
+	}
+	if batches > 0 {
+		v.CombiningFactor = float64(reqs) / float64(batches)
+	}
+	return v
+}
+
+// Stats returns the dispatcher's current monitoring view.
+func (d *Dispatcher) Stats() StatsView { return d.stats.View(d.cfg.N) }

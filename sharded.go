@@ -96,10 +96,15 @@ func (sa *ShardedAllocator) N() int { return sa.n }
 // Shards returns the number of shards.
 func (sa *ShardedAllocator) Shards() int { return len(sa.shards) }
 
-// shardOf returns the shard holding global bin index b. Shard
-// boundaries are lo_i = ⌊i·n/P⌋, so the candidate ⌊b·P/n⌋ is off by at
-// most one; the fixups settle it.
+// shardOf returns the shard holding global bin index b.
 func (sa *ShardedAllocator) shardOf(b int) *shard {
+	return sa.shards[sa.ShardOf(b)]
+}
+
+// ShardOf returns the index of the shard holding global bin b. Shard
+// boundaries are lo_i = ⌊i·n/P⌋, so the candidate ⌊b·P/n⌋ is off by at
+// most one; the fixups settle it. It panics if b is out of range.
+func (sa *ShardedAllocator) ShardOf(b int) int {
 	if b < 0 || b >= sa.n {
 		panic(fmt.Sprintf("ballsbins: bin %d outside [0,%d)", b, sa.n))
 	}
@@ -111,7 +116,59 @@ func (sa *ShardedAllocator) shardOf(b int) *shard {
 	for i > 0 && sa.shards[i].lo > b {
 		i--
 	}
-	return sa.shards[i]
+	return i
+}
+
+// ShardBase returns the global index of shard i's first bin; bins
+// [ShardBase(i), ShardBase(i)+ShardSize(i)) belong to shard i.
+func (sa *ShardedAllocator) ShardBase(i int) int { return sa.shards[i].lo }
+
+// ShardSize returns the number of bins in shard i.
+func (sa *ShardedAllocator) ShardSize(i int) int { return sa.shards[i].a.N() }
+
+// WithShardLocked runs fn with shard i's Allocator while holding that
+// shard's lock, passing the global index of the shard's first bin (so
+// fn can translate the Allocator's shard-local bins to global ones).
+// It is the batching hook for serving layers: a caller that has
+// grouped several operations destined for one shard can apply them all
+// under a single lock acquisition instead of paying one per operation.
+// fn must not retain the Allocator past its return, and must not call
+// back into the ShardedAllocator (the shard lock is held).
+func (sa *ShardedAllocator) WithShardLocked(i int, fn func(a *Allocator, base int)) {
+	sh := sa.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fn(sh.a, sh.lo)
+}
+
+// NextShard claims one round-robin ticket and returns the shard index
+// the next arrival should land on — the same cursor Place and
+// PlaceBatch use, so external dispatchers placing via WithShardLocked
+// keep per-shard ball counts within one of each other even when mixed
+// with direct Place traffic. Safe for concurrent use.
+func (sa *ShardedAllocator) NextShard() int {
+	return int((sa.next.Add(1) - 1) % uint64(len(sa.shards)))
+}
+
+// NextShardBatch claims k round-robin tickets and reports how many of
+// the k arrivals belong on each shard (counts[i] balls to shard i),
+// exactly as PlaceBatch would spread them. Safe for concurrent use.
+func (sa *ShardedAllocator) NextShardBatch(k int64) []int64 {
+	p := int64(len(sa.shards))
+	counts := make([]int64, p)
+	if k <= 0 {
+		return counts
+	}
+	start := int64((sa.next.Add(uint64(k)) - uint64(k)) % uint64(p))
+	base := k / p
+	rem := k % p
+	for i := range counts {
+		counts[i] = base
+		if (int64(i)-start+p)%p < rem {
+			counts[i]++
+		}
+	}
+	return counts
 }
 
 // Place allocates one ball on the next shard in round-robin order and
@@ -121,7 +178,7 @@ func (sa *ShardedAllocator) Place() (bin int, samples int64) {
 	// Claim ticket t = old cursor value and advance by one — the same
 	// convention PlaceBatch uses, so mixed Place/PlaceBatch traffic
 	// visits the shards in one consistent round-robin order.
-	sh := sa.shards[(sa.next.Add(1)-1)%uint64(len(sa.shards))]
+	sh := sa.shards[sa.NextShard()]
 	sh.mu.Lock()
 	local, samples := sh.a.Place()
 	sh.mu.Unlock()
@@ -136,25 +193,17 @@ func (sa *ShardedAllocator) PlaceBatch(k int64) int64 {
 	if k <= 0 {
 		return 0
 	}
-	p := int64(len(sa.shards))
-	base := k / p
-	rem := k % p
-	// Claim rem tickets: the extra balls go to the shards the
-	// round-robin cursor would have visited next (starting at the old
-	// cursor value, the shard the next Place would have used), so
-	// mixed Place/PlaceBatch traffic keeps shard counts within one.
-	start := int64((sa.next.Add(uint64(rem)) - uint64(rem)) % uint64(p))
+	// Claim k tickets: each ball goes to the shard the round-robin
+	// cursor would have visited next, so mixed Place/PlaceBatch
+	// traffic keeps shard counts within one.
+	counts := sa.NextShardBatch(k)
 	var total int64
 	for i, sh := range sa.shards {
-		count := base
-		if (int64(i)-start+p)%p < rem {
-			count++
-		}
-		if count == 0 {
+		if counts[i] == 0 {
 			continue
 		}
 		sh.mu.Lock()
-		total += sh.a.PlaceBatch(count)
+		total += sh.a.PlaceBatch(counts[i])
 		sh.mu.Unlock()
 	}
 	return total
@@ -292,6 +341,16 @@ func (sa *ShardedAllocator) psiLocked() float64 {
 // shards under one consistent snapshot. Phi is evaluated against the
 // global average load.
 func (sa *ShardedAllocator) Metrics() Result {
+	res, _ := sa.MetricsWithBalls()
+	return res
+}
+
+// MetricsWithBalls returns Metrics together with the live ball count,
+// both read under the same lock-all acquisition — use it when the
+// Result and the count must describe the same instant (Result alone
+// cannot carry the count, and a separate Balls() call would observe a
+// later state).
+func (sa *ShardedAllocator) MetricsWithBalls() (Result, int64) {
 	defer sa.lockAll()()
 	var samples, placed, balls int64
 	for _, sh := range sa.shards {
@@ -310,7 +369,7 @@ func (sa *ShardedAllocator) Metrics() Result {
 	if placed > 0 {
 		res.SamplesPerBall = float64(samples) / float64(placed)
 	}
-	return res
+	return res, balls
 }
 
 // phiLocked merges the shards' level histograms and evaluates the
@@ -332,6 +391,99 @@ func (sa *ShardedAllocator) phiLocked(balls int64) float64 {
 		sum += float64(c) * math.Exp((avg+2-float64(l))*log1pe)
 	}
 	return sum
+}
+
+// ShardMetrics summarizes shard i alone as a Result, locking only that
+// shard — a cheap monitoring read that never blocks traffic on the
+// other P−1 shards. Loads, potentials and SamplesPerBall are evaluated
+// within the shard (Phi against the shard's own average load). It
+// panics if i is out of range.
+func (sa *ShardedAllocator) ShardMetrics(i int) Result {
+	if i < 0 || i >= len(sa.shards) {
+		panic(fmt.Sprintf("ballsbins: shard %d outside [0,%d)", i, len(sa.shards)))
+	}
+	sh := sa.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return Result{
+		Samples:        sh.a.Samples(),
+		SamplesPerBall: safeDiv(sh.a.Samples(), sh.a.Placed()),
+		MaxLoad:        sh.a.MaxLoad(),
+		MinLoad:        sh.a.MinLoad(),
+		Gap:            sh.a.Gap(),
+		Psi:            sh.a.Psi(),
+		Phi:            sh.a.Phi(),
+	}
+}
+
+func safeDiv(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// ApproxMetrics summarizes the whole system like Metrics but locks one
+// shard at a time instead of all P at once, so a monitoring read never
+// stalls more than 1/P of the traffic.
+//
+// Consistency tradeoff: each shard's contribution is internally
+// consistent (read under its own lock), but the shards are observed at
+// slightly different moments, so operations that land between the
+// per-shard reads may be counted on some shards and not others. The
+// combined figures can therefore differ transiently from any
+// lock-all Metrics snapshot — e.g. Psi mixes sums-of-squares and ball
+// counts from instants a few operations apart, and MaxLoad may miss a
+// ball placed on an already-visited shard. Under quiescence it equals
+// Metrics exactly. Use Metrics when a linearizable snapshot matters;
+// use ApproxMetrics on monitoring paths.
+func (sa *ShardedAllocator) ApproxMetrics() Result {
+	var samples, placed, balls, sumSq int64
+	maxL, minL := 0, math.MaxInt
+	// Level counts are merged across shards to evaluate Phi globally;
+	// the map stays tiny (levels span maxLoad−minLoad+1 values).
+	levels := make(map[int]int64)
+	for _, sh := range sa.shards {
+		sh.mu.Lock()
+		samples += sh.a.Samples()
+		placed += sh.a.Placed()
+		balls += sh.a.Balls()
+		sumSq += sh.a.SumSquares()
+		lo, hi := sh.a.MinLoad(), sh.a.MaxLoad()
+		if hi > maxL {
+			maxL = hi
+		}
+		if lo < minL {
+			minL = lo
+		}
+		for l := lo; l <= hi; l++ {
+			if c := sh.a.LevelCount(l); c > 0 {
+				levels[l] += c
+			}
+		}
+		sh.mu.Unlock()
+	}
+	t := float64(balls)
+	avg := t / float64(sa.n)
+	log1pe := math.Log1p(loadvec.DefaultEpsilon)
+	var phi float64
+	// Ascending level order, matching Metrics' summation order so the
+	// two agree bit-for-bit at quiescence.
+	for l := minL; l <= maxL; l++ {
+		if c := levels[l]; c > 0 {
+			phi += float64(c) * math.Exp((avg+2-float64(l))*log1pe)
+		}
+	}
+	res := Result{
+		Samples:        samples,
+		SamplesPerBall: safeDiv(samples, placed),
+		MaxLoad:        maxL,
+		MinLoad:        minL,
+		Psi:            float64(sumSq) - t*t/float64(sa.n),
+		Phi:            phi,
+	}
+	res.Gap = res.MaxLoad - res.MinLoad
+	return res
 }
 
 // Snapshot returns a consistent mid-run observation of the whole
