@@ -1,7 +1,8 @@
 // Command bbload generates serving workloads against a bbserved
-// instance (HTTP) or an in-process dispatch core, and writes the
-// measured throughput and latency quantiles as a bbserve/v1 BENCH
-// JSON record.
+// instance (HTTP), an in-process dispatch core, or an in-process
+// routing cluster, and writes the measured throughput and latency
+// quantiles as a BENCH JSON record (schema bbserve/v1, or bbcluster/v1
+// for cluster runs).
 //
 // Modes:
 //
@@ -9,7 +10,7 @@
 //     after an exponential or lognormal service time — the supermarket
 //     continuous-arrival regime.
 //   - closed: -workers concurrent place+remove loops, measuring
-//     saturation throughput.
+//     saturation throughput (errors reported per worker).
 //
 // Scenarios shape the open-loop arrival rate over the run: steady,
 // ramp, flash (crowd spike), skew (Zipf bulk sizes).
@@ -20,12 +21,19 @@
 //	        -rate 2000 -duration 30s -service 50ms
 //	bbload -target inproc -mode closed -workers 64 -duration 10s \
 //	        -spec adaptive -n 100000 -shards 8
-//	bbload -scenarios steady,flash -out BENCH_serve_2026-01-01.json
+//	bbload -target cluster -cluster-backends 8 -policies single,greedy,adaptive \
+//	        -scenarios steady,skew,flash -rate 4000 -duration 10s
 //
 // With -target inproc the generator builds its own dispatcher from
-// -spec/-n/-shards/-engine/-seed; with an http target those flags are
-// ignored (the server's configuration governs) and the run is labeled
-// from the server's /v1/stats info.
+// -spec/-n/-shards/-engine/-seed. With -target cluster it builds
+// -cluster-backends in-proc dispatch cores fronted by a cluster.Router
+// and runs every scenario under every -policies entry (fresh backends
+// per run), recording the cross-backend gap each routing policy
+// achieved — the single-machine version of bbload → bbproxy →
+// N×bbserved. With an http target those flags are ignored (the
+// server's configuration governs) and the run is labeled from the
+// server's /v1/stats info; pointing at a bbproxy stamps the cluster
+// fields from its aggregated stats.
 package main
 
 import (
@@ -38,12 +46,13 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/load"
 	"repro/internal/serve"
 )
 
-// report is the bbserve/v1 schema: the shared benchio envelope plus
-// one case per generator run.
+// report is the bbserve/v1 (or bbcluster/v1) schema: the shared
+// benchio envelope plus one case per generator run.
 type report struct {
 	benchio.Env
 	Cases []load.Result `json:"cases"`
@@ -52,7 +61,7 @@ type report struct {
 func main() {
 	sf := cli.RegisterSpec(flag.CommandLine)
 	var (
-		target    = flag.String("target", "inproc", `target: "inproc" or a base URL like http://127.0.0.1:8080`)
+		target    = flag.String("target", "inproc", `target: "inproc", "cluster", or a base URL like http://127.0.0.1:8080`)
 		mode      = flag.String("mode", "open", "load mode: open or closed")
 		scenarios = flag.String("scenarios", "steady", "comma-separated scenario presets: "+strings.Join(load.Scenarios(), ", "))
 		rate      = flag.Float64("rate", 2000, "open-loop offered ball rate per second")
@@ -60,10 +69,15 @@ func main() {
 		duration  = flag.Duration("duration", 10*time.Second, "measurement window per scenario")
 		service   = flag.Duration("service", 50*time.Millisecond, "open-loop mean service time")
 		dist      = flag.String("dist", "exp", "service time distribution: exp or lognormal")
-		n         = flag.Int("n", 100000, "bins (inproc target)")
-		shards    = flag.Int("shards", 8, "shards (inproc target)")
-		horizon   = flag.Int64("horizon", 0, "declared total balls (inproc threshold family)")
-		out       = flag.String("out", "", "output path (default BENCH_serve_<date>.json; \"-\" to skip)")
+		n         = flag.Int("n", 100000, "bins (inproc target; per backend for cluster)")
+		shards    = flag.Int("shards", 8, "shards (inproc target; per backend for cluster)")
+		horizon   = flag.Int64("horizon", 0, "declared total balls (inproc threshold family / threshold policy)")
+		out       = flag.String("out", "", "output path (default BENCH_serve_<date>.json or BENCH_cluster_<date>.json; \"-\" to skip)")
+
+		backends  = flag.Int("cluster-backends", 4, "in-proc backends (cluster target)")
+		policies  = flag.String("policies", "single,greedy,adaptive", "comma-separated routing policies (cluster target): "+strings.Join(cluster.Policies(), ", "))
+		retries   = flag.Int("retries", 3, "probe cap (boundedretry policy)")
+		staleness = flag.Duration("staleness", 0, "cluster load-view refresh window (0 = local accounting)")
 	)
 	flag.Parse()
 
@@ -76,8 +90,17 @@ func main() {
 	for _, tok := range strings.Split(*scenarios, ",") {
 		names = append(names, strings.TrimSpace(tok))
 	}
+	policyNames := []string{""}
+	schema := "bbserve/v1"
+	if *target == "cluster" {
+		schema = "bbcluster/v1"
+		policyNames = policyNames[:0]
+		for _, tok := range strings.Split(*policies, ",") {
+			policyNames = append(policyNames, strings.TrimSpace(tok))
+		}
+	}
 
-	rep := report{Env: benchio.NewEnv("bbserve/v1")}
+	rep := report{Env: benchio.NewEnv(schema)}
 	ctx := context.Background()
 	for _, name := range names {
 		sc, err := load.ByName(name)
@@ -85,23 +108,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bbload:", err)
 			os.Exit(2)
 		}
-		res, err := runOne(ctx, sf, sc, *target, *mode, *rate, *workers, *duration,
-			*service, *dist, *n, *shards, *horizon)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bbload:", err)
-			os.Exit(1)
+		for _, policy := range policyNames {
+			res, err := runOne(ctx, sf, sc, *target, *mode, *rate, *workers, *duration,
+				*service, *dist, *n, *shards, *horizon, *backends, policy, *retries, *staleness)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbload:", err)
+				os.Exit(1)
+			}
+			line := fmt.Sprintf(
+				"bbload: %-6s %-6s %-7s %8.0f ops/s  p50 %s  p99 %s  p999 %s  (placed %d, removed %d, shed %d, errs %d)",
+				res.Scenario, res.Mode, res.Target, res.ThroughputPerSec,
+				fmtNs(res.PlaceLatencyNs.P50), fmtNs(res.PlaceLatencyNs.P99),
+				fmtNs(res.PlaceLatencyNs.P999), res.Placed, res.Removed, res.Shed, res.Errors)
+			if res.Policy != "" {
+				line += fmt.Sprintf("  [%s x%d gap %d, %.2f probes/pick]",
+					res.Policy, res.Backends, res.ClusterGap, res.ProbesPerPick)
+			}
+			fmt.Fprintln(os.Stderr, line)
+			rep.Cases = append(rep.Cases, res)
 		}
-		fmt.Fprintf(os.Stderr,
-			"bbload: %-6s %-6s %-7s %8.0f ops/s  p50 %s  p99 %s  p999 %s  (placed %d, removed %d, shed %d, errs %d)\n",
-			res.Scenario, res.Mode, res.Target, res.ThroughputPerSec,
-			fmtNs(res.PlaceLatencyNs.P50), fmtNs(res.PlaceLatencyNs.P99),
-			fmtNs(res.PlaceLatencyNs.P999), res.Placed, res.Removed, res.Shed, res.Errors)
-		rep.Cases = append(rep.Cases, res)
 	}
 
 	path := *out
 	if path == "" {
-		path = benchio.DefaultPath("serve_")
+		prefix := "serve_"
+		if *target == "cluster" {
+			prefix = "cluster_"
+		}
+		path = benchio.DefaultPath(prefix)
 	}
 	if path == "-" {
 		return
@@ -127,7 +161,8 @@ func fmtNs(ns int64) string {
 
 func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 	target, mode string, rate float64, workers int, duration, service time.Duration,
-	dist string, n, shards int, horizon int64) (load.Result, error) {
+	dist string, n, shards int, horizon int64,
+	backends int, policyName string, retries int, staleness time.Duration) (load.Result, error) {
 
 	cfg := load.Config{
 		Scenario:    sc,
@@ -143,7 +178,8 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 	var tgt load.Target
 	label := "http"
 	protocol := ""
-	if target == "inproc" {
+	switch target {
+	case "inproc":
 		spec, err := sf.Spec()
 		if err != nil {
 			return load.Result{}, err
@@ -159,7 +195,33 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 		tgt = load.InProc{D: d}
 		label = "inproc"
 		protocol = d.Name()
-	} else {
+	case "cluster":
+		spec, err := sf.Spec()
+		if err != nil {
+			return load.Result{}, err
+		}
+		eng, err := sf.Engine()
+		if err != nil {
+			return load.Result{}, err
+		}
+		policy, err := cluster.PolicyByName(policyName, sf.D, retries, sf.Bound, horizon)
+		if err != nil {
+			return load.Result{}, err
+		}
+		ct, err := load.NewInprocCluster(load.ClusterConfig{
+			Backends: backends, Spec: spec, N: n, Shards: shards,
+			Engine: eng, Seed: sf.Seed, Horizon: horizon,
+			Policy: policy, Staleness: staleness,
+		})
+		if err != nil {
+			return load.Result{}, err
+		}
+		defer ct.Close()
+		tgt = ct
+		label = "cluster"
+		protocol = spec.Name()
+		n = ct.R.N() // total bins across the cluster
+	default:
 		ht := load.NewHTTPTarget(strings.TrimSuffix(target, "/"))
 		if info, err := ht.ReadInfo(ctx); err == nil {
 			protocol = info.Protocol

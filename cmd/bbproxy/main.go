@@ -1,0 +1,223 @@
+// Command bbproxy is the cluster routing tier: it serves the same
+// HTTP surface as a single bbserved but fans traffic out across many
+// bbserved backends, using the paper's allocation protocols as live
+// load-balancing policies (backends are the bins; a protocol retry is
+// a probe of another backend against a stale load view).
+//
+// Usage:
+//
+//	bbproxy -addr :8080 \
+//	    -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	    -policy greedy -d 2 -staleness 500ms
+//	bbproxy -backends ... -policy adaptive
+//	bbproxy -backends ... -policy boundedretry -retries 3
+//
+// Policies: single (random routing), greedy (-d choices), adaptive,
+// threshold (-horizon), boundedretry (-retries), fixed (-bound).
+//
+// API (identical to bbserved, plus the aggregated cluster block):
+//
+//	POST /v1/place[?count=k]  route 1 (default) or k balls
+//	POST /v1/remove?bin=g     remove from global bin g (slot·n + local)
+//	GET  /v1/stats            aggregated cluster view + per-backend rows
+//	GET  /healthz             200 while routable, 503 otherwise
+//	GET  /metrics             Prometheus text format
+//
+// Backends that fail -fail-after consecutive health probes (or live
+// requests) are evicted from routing and rejoin automatically after
+// -rise-after successful probes. SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// checkedBackend defers the bin-count agreement check for a backend
+// that was down at the startup probe. Every forwarded operation —
+// place, remove, and health — first verifies (once) that the backend
+// serves wantN bins, so even though the slot sits in rotation from the
+// start, a misconfigured late joiner can never serve a mis-numbered
+// placement: its operations fail, the router fails over and evicts it,
+// and the mismatch is reported once.
+type checkedBackend struct {
+	*cluster.HTTPBackend
+	wantN  int
+	ok     atomic.Bool
+	warned atomic.Bool
+}
+
+func (c *checkedBackend) verify(ctx context.Context) error {
+	if c.ok.Load() {
+		return nil
+	}
+	info, err := c.Info(ctx)
+	if err != nil {
+		return err
+	}
+	if info.N != c.wantN {
+		if c.warned.CompareAndSwap(false, true) {
+			fmt.Fprintf(os.Stderr,
+				"bbproxy: backend %s serves n=%d, cluster expects n=%d — refusing to route to it\n",
+				c.Name(), info.N, c.wantN)
+		}
+		return fmt.Errorf("bbproxy: bin count mismatch on %s: %d != %d", c.Name(), info.N, c.wantN)
+	}
+	c.ok.Store(true)
+	return nil
+}
+
+func (c *checkedBackend) Place(ctx context.Context, count int) ([]int, int64, error) {
+	if err := c.verify(ctx); err != nil {
+		return nil, 0, err
+	}
+	return c.HTTPBackend.Place(ctx, count)
+}
+
+func (c *checkedBackend) Remove(ctx context.Context, bin int) error {
+	if err := c.verify(ctx); err != nil {
+		return err
+	}
+	return c.HTTPBackend.Remove(ctx, bin)
+}
+
+func (c *checkedBackend) Health(ctx context.Context) error {
+	if err := c.HTTPBackend.Health(ctx); err != nil {
+		return err
+	}
+	return c.verify(ctx)
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		backends    = flag.String("backends", "", "comma-separated backend base URLs (required)")
+		policyName  = flag.String("policy", "greedy", "routing policy: "+strings.Join(cluster.Policies(), ", "))
+		d           = flag.Int("d", 2, "choices per pick (greedy)")
+		retries     = flag.Int("retries", 3, "probe cap (boundedretry)")
+		bound       = flag.Int("bound", 0, "absolute per-backend ball bound (fixed)")
+		horizon     = flag.Int64("horizon", 0, "declared total balls (threshold)")
+		seed        = flag.Uint64("seed", 1, "routing RNG seed")
+		staleness   = flag.Duration("staleness", 500*time.Millisecond, "load-view refresh window (0 = local accounting only)")
+		healthEvery = flag.Duration("health-every", 1*time.Second, "health probe period (0 = no health loop)")
+		failAfter   = flag.Int("fail-after", 2, "consecutive failures to evict a backend")
+		riseAfter   = flag.Int("rise-after", 2, "consecutive successful probes to rejoin")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, tok := range strings.Split(*backends, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			urls = append(urls, strings.TrimSuffix(tok, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "bbproxy: -backends is required (comma-separated base URLs)")
+		os.Exit(2)
+	}
+
+	policy, err := cluster.PolicyByName(*policyName, *d, *retries, *bound, *horizon)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbproxy:", err)
+		os.Exit(2)
+	}
+
+	// Probe the backends for their configuration: every backend must
+	// serve the same number of bins for the global bin numbering
+	// slot·n + local to be well defined. Backends that are down at
+	// startup are tolerated as long as at least one answers — their
+	// operations are gated on a deferred bin-count check
+	// (checkedBackend), so a misconfigured late joiner can never
+	// corrupt the numbering.
+	hbs := make([]*cluster.HTTPBackend, len(urls))
+	verified := make([]bool, len(urls))
+	n, protocol := 0, ""
+	probeCtx, cancelProbe := context.WithTimeout(context.Background(), 10*time.Second)
+	for i, u := range urls {
+		hbs[i] = cluster.NewHTTPBackend(u)
+		info, err := hbs[i].Info(probeCtx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bbproxy: backend %s unreachable at startup: %v\n", u, err)
+			continue
+		}
+		verified[i] = true
+		if n == 0 {
+			n, protocol = info.N, info.Protocol
+		} else if info.N != n {
+			fmt.Fprintf(os.Stderr, "bbproxy: backend %s serves n=%d, others n=%d — all backends must match\n",
+				u, info.N, n)
+			os.Exit(2)
+		}
+	}
+	cancelProbe()
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "bbproxy: no backend answered the startup probe")
+		os.Exit(1)
+	}
+	bks := make([]cluster.Backend, len(urls))
+	for i, hb := range hbs {
+		if verified[i] {
+			bks[i] = hb
+		} else {
+			bks[i] = &checkedBackend{HTTPBackend: hb, wantN: n}
+		}
+	}
+
+	rt := cluster.NewRouter(cluster.Config{
+		Backends:       bks,
+		BinsPerBackend: n,
+		Policy:         policy,
+		Seed:           *seed,
+		Staleness:      *staleness,
+		HealthEvery:    *healthEvery,
+		FailAfter:      *failAfter,
+		RiseAfter:      *riseAfter,
+	})
+	info := serve.Info{
+		Protocol: "cluster/" + rt.Policy(),
+		N:        rt.N(),
+		Shards:   len(bks),
+		Engine:   protocol, // the backends' protocol, for labeling
+		Seed:     *seed,
+	}
+	srv := &http.Server{Addr: *addr, Handler: cluster.NewHandler(rt, info)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		fmt.Fprintf(os.Stderr, "bbproxy: %v, draining\n", sig)
+		// Flip to draining first (healthz goes 503 while the listener
+		// still answers, so upstream balancers can observe the drain),
+		// then stop the listener, letting in-flight proxying finish.
+		rt.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "bbproxy: shutdown:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "bbproxy: policy=%s backends=%d n=%d (per backend %d) listening on %s\n",
+		rt.Policy(), len(bks), rt.N(), n, *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bbproxy:", err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "bbproxy: drained, bye")
+}

@@ -73,6 +73,29 @@
 // either the HTTP API or the in-process dispatcher; see the README's
 // Serving section.
 //
+// # The cluster tier
+//
+// Above single-node serving sits the routing tier (internal/cluster,
+// cmd/bbproxy), which runs the paper one level up: backend bbserved
+// nodes are the bins, and the protocols become live load-balancing
+// policies deciding which backend each placement goes to. A protocol
+// "retry" is a probe of another backend against a deliberately stale
+// LoadView (async stats polling on a configurable staleness window,
+// corrected by local accounting) — the stale-information regime of
+// the two-choices literature. SingleChoice is random routing,
+// Greedy(d) is the classical power of d choices, and Adaptive accepts
+// a backend whose estimated load is below (live total)/K + 1, which
+// transplants its ⌈i/K⌉+1 max-load guarantee to the cluster level
+// while needing no declared horizon. bbproxy serves the same HTTP
+// surface as bbserved (clients cannot tell the tiers apart), health-
+// checks its backends with eviction and automatic rejoin on stable
+// slots, fails placements over on backend errors, and exposes
+// aggregated cross-backend stats (max load, gap, probe counts per
+// policy). bbload's cluster target drives the same Router over
+// in-process backends for single-machine policy comparisons; see the
+// README's Cluster tier section for measured gaps of random vs
+// 2-choice vs adaptive routing.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// StatsResponse is the body of the proxy's GET /v1/stats: the same
+// envelope a bbserved serves (so bbload and other serve clients work
+// against a proxy unmodified — backends appear as pseudo-shards) plus
+// the aggregated cluster block.
+type StatsResponse struct {
+	Info serve.Info `json:"info"`
+	serve.StatsView
+	Draining  bool          `json:"draining"`
+	LatencyNs serve.Latency `json:"dispatch_latency_ns"`
+	// WindowLatencyNs covers only the last completed staleness window
+	// (WindowSec long), for per-interval monitoring.
+	WindowLatencyNs serve.Latency `json:"window_latency_ns"`
+	WindowSec       float64       `json:"window_sec,omitempty"`
+	Cluster         Stats         `json:"cluster"`
+}
+
+type handler struct {
+	rt   *Router
+	info serve.Info
+}
+
+// NewHandler mounts the proxy API over a router — the same surface as
+// a single bbserved:
+//
+//	POST /v1/place[?count=k]  route 1 (default) or k balls to a backend
+//	POST /v1/remove?bin=g     remove from global bin g (slot·n + local)
+//	GET  /v1/stats            aggregated cluster view
+//	GET  /healthz             200 while routable, 503 when draining or
+//	                          no backend is healthy
+//	GET  /metrics             Prometheus text format
+func NewHandler(rt *Router, info serve.Info) http.Handler {
+	h := &handler{rt: rt, info: info}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", h.place)
+	mux.HandleFunc("POST /v1/remove", h.remove)
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+// writeJSON/writeError delegate to the serve helpers so the two HTTP
+// surfaces (bbserved, bbproxy) share one wire shape.
+func writeJSON(w http.ResponseWriter, status int, v any) { serve.WriteJSON(w, status, v) }
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	serve.WriteError(w, status, format, args...)
+}
+
+func (h *handler) place(w http.ResponseWriter, r *http.Request) {
+	count, err := serve.ParseBulkCount(r.URL.Query().Get("count"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	bins, samples, err := h.rt.Place(r.Context(), count)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrNoBackends) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := serve.PlaceResponse{Bin: bins[0], Count: count, Samples: samples}
+	if count > 1 {
+		resp.Bins = bins
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
+	s := r.URL.Query().Get("bin")
+	if s == "" {
+		writeError(w, http.StatusBadRequest, "missing bin parameter")
+		return
+	}
+	bin, err := strconv.Atoi(s)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bin must be an integer, got %q", s)
+		return
+	}
+	if bin < 0 || bin >= h.rt.N() {
+		writeError(w, http.StatusBadRequest, "bin %d outside [0,%d)", bin, h.rt.N())
+		return
+	}
+	switch err := h.rt.Remove(r.Context(), bin); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, serve.RemoveResponse{Bin: bin, Removed: true})
+	case errors.Is(err, serve.ErrEmptyBin):
+		writeError(w, http.StatusConflict, "bin %d is empty", bin)
+	case errors.Is(err, ErrBackendDown), errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadGateway, "%v", err)
+	}
+}
+
+func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	win, secs := h.rt.WindowLatency()
+	cs := h.rt.Stats() // one aggregation pass serves both blocks
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Info:            h.info,
+		StatsView:       cs.View(),
+		Draining:        h.rt.Draining(),
+		LatencyNs:       serve.LatencySummary(h.rt.PlaceLatency()),
+		WindowLatencyNs: serve.LatencySummary(win),
+		WindowSec:       secs,
+		Cluster:         cs,
+	})
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.rt.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if len(h.rt.Membership().Healthy()) == 0 {
+		http.Error(w, "no healthy backends", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// metrics renders the routing tier in Prometheus text format: the
+// cluster aggregates, per-backend gauges, and the place latency as a
+// summary in seconds.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	cs := h.rt.Stats()
+	lat := h.rt.PlaceLatency()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	g := func(name, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	c := func(name, help string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+	g("bb_proxy_backends", "Configured backend slots.", cs.Backends)
+	g("bb_proxy_healthy_backends", "Backends currently in rotation.", cs.Healthy)
+	g("bb_proxy_balls", "Estimated balls across healthy backends.", cs.Balls)
+	g("bb_proxy_backend_gap", "Max minus min estimated backend ball count.", cs.BackendGap)
+	g("bb_proxy_max_load", "Maximum single-bin load across healthy backends.", cs.MaxLoad)
+	g("bb_proxy_probes_per_pick", "Load-view probes per routing decision.", cs.ProbesPerPick)
+	c("bb_proxy_picks_total", "Cumulative routing decisions.", cs.Picks)
+	c("bb_proxy_probes_total", "Cumulative load-view probes.", cs.Probes)
+	c("bb_proxy_failovers_total", "Placements retried on another backend.", cs.Failovers)
+	c("bb_proxy_evictions_total", "Backends evicted from rotation.", cs.Evictions)
+	c("bb_proxy_rejoins_total", "Backends re-admitted to rotation.", cs.Rejoins)
+
+	fmt.Fprintf(w, "# HELP bb_proxy_backend_up Backend in rotation (1) or evicted (0).\n# TYPE bb_proxy_backend_up gauge\n")
+	for _, row := range cs.Rows {
+		up := 0
+		if row.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "bb_proxy_backend_up{slot=%q} %d\n", strconv.Itoa(row.Slot), up)
+	}
+	fmt.Fprintf(w, "# HELP bb_proxy_backend_balls Estimated balls per backend.\n# TYPE bb_proxy_backend_balls gauge\n")
+	for _, row := range cs.Rows {
+		fmt.Fprintf(w, "bb_proxy_backend_balls{slot=%q} %d\n", strconv.Itoa(row.Slot), row.Balls)
+	}
+	fmt.Fprintf(w, "# HELP bb_proxy_backend_poll_age_seconds Age of each backend's load view.\n# TYPE bb_proxy_backend_poll_age_seconds gauge\n")
+	for _, row := range cs.Rows {
+		if row.AgeMs >= 0 {
+			fmt.Fprintf(w, "bb_proxy_backend_poll_age_seconds{slot=%q} %g\n",
+				strconv.Itoa(row.Slot), float64(row.AgeMs)/1e3)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP bb_proxy_place_latency_seconds Proxied place latency (incl. failover).\n")
+	fmt.Fprintf(w, "# TYPE bb_proxy_place_latency_seconds summary\n")
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		fmt.Fprintf(w, "bb_proxy_place_latency_seconds{quantile=%q} %g\n",
+			strconv.FormatFloat(q, 'g', -1, 64), float64(lat.Quantile(q))/1e9)
+	}
+	fmt.Fprintf(w, "bb_proxy_place_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
+	fmt.Fprintf(w, "bb_proxy_place_latency_seconds_count %d\n", lat.Count)
+}

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hdrhist"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// Config describes a Router.
+type Config struct {
+	// Backends are the routable nodes, one fixed slot each. Required.
+	Backends []Backend
+	// BinsPerBackend is every backend's bin count n; global bin
+	// numbering is slot·n + local bin. Required.
+	BinsPerBackend int
+	// Policy picks backends. Required (see PolicyByName).
+	Policy Policy
+	// Seed drives the policy's random probes.
+	Seed uint64
+	// Staleness is the LoadView refresh period — how stale the routing
+	// decisions are allowed to be. 0 disables polling: the view then
+	// relies on local accounting alone (exact for a single router over
+	// in-proc backends; deterministic for tests).
+	Staleness time.Duration
+	// HealthEvery is the health-probe period; 0 disables the health
+	// loop (backends only leave rotation via traffic errors).
+	HealthEvery time.Duration
+	// FailAfter / RiseAfter are the consecutive-evidence thresholds for
+	// eviction and rejoin (default 2 each).
+	FailAfter, RiseAfter int
+}
+
+// Router routes place/remove traffic across the backends: the cluster
+// tier's dispatch core. Construct with NewRouter; all methods are safe
+// for concurrent use; Close stops the background loops.
+type Router struct {
+	cfg    Config
+	ms     *Membership
+	view   *LoadView
+	policy Policy
+	n      int // bins per backend
+
+	// mu serializes policy picks over the shared RNG stream (kept
+	// single so fixed seeds give reproducible routing).
+	mu  sync.Mutex
+	rnd *rng.Rand
+
+	picks     atomic.Int64
+	probes    atomic.Int64
+	failovers atomic.Int64
+
+	placeLat  *hdrhist.Hist
+	removeLat *hdrhist.Hist
+	// window accumulates place latency for the current staleness
+	// window; the poll loop rotates it into lastWindow.
+	window      *hdrhist.Hist
+	lastWindow  atomic.Pointer[windowSummary]
+	windowBegan atomic.Int64 // unixnano
+
+	draining atomic.Bool
+	cancel   context.CancelFunc
+	loops    sync.WaitGroup
+}
+
+type windowSummary struct {
+	snap hdrhist.Snapshot
+	secs float64
+}
+
+// NewRouter validates cfg, takes a best-effort initial load poll of
+// every backend, and starts the health and refresh loops. It panics on
+// structurally invalid configuration (no backends, missing policy) —
+// same contract as the allocator constructors.
+func NewRouter(cfg Config) *Router {
+	if len(cfg.Backends) == 0 {
+		panic("cluster: NewRouter with no backends")
+	}
+	if cfg.BinsPerBackend <= 0 {
+		panic("cluster: NewRouter with BinsPerBackend <= 0")
+	}
+	if cfg.Policy == nil {
+		panic("cluster: NewRouter with nil Policy")
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ms:        NewMembership(cfg.Backends, cfg.FailAfter, cfg.RiseAfter),
+		view:      NewLoadView(len(cfg.Backends)),
+		policy:    cfg.Policy,
+		n:         cfg.BinsPerBackend,
+		rnd:       rng.New(cfg.Seed),
+		placeLat:  hdrhist.New(),
+		removeLat: hdrhist.New(),
+		window:    hdrhist.New(),
+	}
+	rt.windowBegan.Store(time.Now().UnixNano())
+	// A rejoining backend may have lost or served balls we never saw:
+	// re-poll it immediately (asynchronously — onChange runs under the
+	// membership lock) so the next picks see its real load rather than
+	// the pre-eviction estimate.
+	rt.ms.onChange = func(slot int, up bool) {
+		if up {
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = rt.view.Refresh(ctx, slot, rt.ms.Backend(slot))
+			}()
+		}
+	}
+
+	// Seed the view so the first picks are informed (best-effort; a
+	// backend that is down simply stays unpolled).
+	initCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	rt.view.refreshAll(initCtx, rt.ms.Healthy(), rt.ms.Backend, 2*time.Second)
+	cancel()
+
+	loopCtx, loopCancel := context.WithCancel(context.Background())
+	rt.cancel = loopCancel
+	if cfg.HealthEvery > 0 {
+		rt.loops.Add(1)
+		go func() {
+			defer rt.loops.Done()
+			rt.ms.run(loopCtx, cfg.HealthEvery)
+		}()
+	}
+	if cfg.Staleness > 0 {
+		rt.loops.Add(1)
+		go func() {
+			defer rt.loops.Done()
+			rt.refreshLoop(loopCtx)
+		}()
+	}
+	return rt
+}
+
+// refreshLoop re-polls every healthy backend's stats each staleness
+// window and rotates the windowed latency histogram.
+func (rt *Router) refreshLoop(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.Staleness)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.view.refreshAll(ctx, rt.ms.Healthy(), rt.ms.Backend, rt.cfg.Staleness)
+			rt.rotateWindow()
+		}
+	}
+}
+
+// rotateWindow publishes the current latency window and starts the
+// next one.
+func (rt *Router) rotateWindow() {
+	began := rt.windowBegan.Swap(time.Now().UnixNano())
+	snap := rt.window.SnapshotAndReset()
+	rt.lastWindow.Store(&windowSummary{
+		snap: snap,
+		secs: float64(time.Now().UnixNano()-began) / 1e9,
+	})
+}
+
+// Membership exposes the backend registry (read-side: Healthy, IsUp).
+func (rt *Router) Membership() *Membership { return rt.ms }
+
+// View exposes the load view (read-side: Load, Polled).
+func (rt *Router) View() *LoadView { return rt.view }
+
+// N returns the cluster's total bin count (backends × bins each).
+func (rt *Router) N() int { return len(rt.cfg.Backends) * rt.n }
+
+// BinsPerBackend returns each backend's bin count.
+func (rt *Router) BinsPerBackend() int { return rt.n }
+
+// Policy returns the routing policy's name.
+func (rt *Router) Policy() string { return rt.policy.Name() }
+
+// Draining reports whether Close has begun.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// pick runs one policy decision under the RNG lock.
+func (rt *Router) pick(healthy []int, count int) int {
+	rt.mu.Lock()
+	slot, probes := rt.policy.Pick(rt.rnd, rt.view, healthy, count)
+	rt.mu.Unlock()
+	rt.picks.Add(1)
+	rt.probes.Add(int64(probes))
+	return slot
+}
+
+// Place routes count balls to one policy-chosen backend and returns
+// their global bins plus the backend-reported allocation samples. When
+// the chosen backend errors the request fails over to another healthy
+// backend (the error is reported to Membership, so a dead backend is
+// evicted by its own traffic); Place fails only when every healthy
+// backend has been tried.
+func (rt *Router) Place(ctx context.Context, count int) ([]int, int64, error) {
+	if count < 1 {
+		return nil, 0, fmt.Errorf("cluster: Place count %d < 1", count)
+	}
+	if rt.draining.Load() {
+		return nil, 0, ErrDraining
+	}
+	t0 := time.Now()
+	candidates := rt.ms.Healthy()
+	var lastErr error
+	for len(candidates) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		slot := rt.pick(candidates, count)
+		bins, samples, err := rt.ms.Backend(slot).Place(ctx, count)
+		if err == nil {
+			rt.ms.ReportSuccess(slot)
+			rt.view.Note(slot, int64(count))
+			for i := range bins {
+				bins[i] += slot * rt.n
+			}
+			el := int64(time.Since(t0))
+			rt.placeLat.Record(el)
+			rt.window.Record(el)
+			return bins, samples, nil
+		}
+		// A dead caller is not evidence against the backend: when the
+		// failure is the caller's own context (disconnect, deadline),
+		// return it without reporting or failing over — otherwise two
+		// client disconnects could evict a healthy backend.
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		lastErr = err
+		rt.failovers.Add(1)
+		rt.ms.ReportFailure(slot)
+		candidates = without(candidates, slot)
+	}
+	if lastErr == nil {
+		return nil, 0, ErrNoBackends
+	}
+	return nil, 0, fmt.Errorf("cluster: place failed on every healthy backend: %w", lastErr)
+}
+
+// without returns candidates minus slot, copying (the healthy snapshot
+// is shared and must not be mutated).
+func without(candidates []int, slot int) []int {
+	out := make([]int, 0, len(candidates)-1)
+	for _, c := range candidates {
+		if c != slot {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Remove takes one ball out of global bin. The owning backend is
+// determined by the bin numbering — there is no failover: if that
+// backend is evicted the ball is unreachable until it rejoins, and
+// Remove returns ErrBackendDown.
+func (rt *Router) Remove(ctx context.Context, bin int) error {
+	if rt.draining.Load() {
+		return ErrDraining
+	}
+	if bin < 0 || bin >= rt.N() {
+		return fmt.Errorf("cluster: bin %d outside [0,%d)", bin, rt.N())
+	}
+	slot, local := bin/rt.n, bin%rt.n
+	if !rt.ms.IsUp(slot) {
+		return ErrBackendDown
+	}
+	t0 := time.Now()
+	err := rt.ms.Backend(slot).Remove(ctx, local)
+	switch {
+	case err == nil:
+		rt.ms.ReportSuccess(slot)
+		rt.view.Note(slot, -1)
+		rt.removeLat.RecordSince(t0)
+	case errors.Is(err, serve.ErrEmptyBin):
+		// A well-formed answer from a healthy backend — the caller's
+		// books are wrong, not the backend.
+		rt.ms.ReportSuccess(slot)
+	case ctx.Err() != nil:
+		// The caller's own context died: not evidence (see Place).
+	default:
+		// Transport-level failure: removes count toward eviction just
+		// like placements, so a dead backend serving only departures
+		// still leaves rotation.
+		rt.ms.ReportFailure(slot)
+	}
+	return err
+}
+
+// PlaceLatency returns the cumulative place-latency snapshot.
+func (rt *Router) PlaceLatency() hdrhist.Snapshot { return rt.placeLat.Snapshot() }
+
+// RemoveLatency returns the cumulative remove-latency snapshot.
+func (rt *Router) RemoveLatency() hdrhist.Snapshot { return rt.removeLat.Snapshot() }
+
+// WindowLatency returns the last completed staleness window's place
+// latency and the window length in seconds (zero before the first
+// rotation).
+func (rt *Router) WindowLatency() (hdrhist.Snapshot, float64) {
+	if w := rt.lastWindow.Load(); w != nil {
+		return w.snap, w.secs
+	}
+	return hdrhist.Snapshot{}, 0
+}
+
+// Close stops routing: subsequent Place/Remove return ErrDraining, the
+// background loops exit, and in-flight requests run to completion
+// against their backends. It does not close the backends themselves
+// (the proxy does not own the cluster's data). Idempotent.
+func (rt *Router) Close() {
+	rt.draining.Store(true)
+	rt.cancel()
+	rt.loops.Wait()
+}

@@ -96,6 +96,59 @@ func (h *Hist) RecordSince(t0 time.Time) { h.Record(int64(time.Since(t0))) }
 // Count returns the number of observations so far.
 func (h *Hist) Count() int64 { return h.count.Load() }
 
+// Reset zeroes the histogram, returning it to the state New produced.
+// Like Snapshot, it is not atomic across buckets: a Record racing the
+// reset may land wholly before, wholly after, or be split across the
+// boundary — acceptable for windowed monitoring, where the window
+// edges are approximate anyway.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(-1 << 62)
+}
+
+// SnapshotAndReset captures the current state and zeroes the histogram
+// in one call — the windowed-reporting primitive: call it once per
+// interval and each snapshot holds that interval's observations, while
+// Merge over the sequence of snapshots reproduces the full history
+// (see the merge-after-reset tests). Each bucket is collected with an
+// atomic swap, so an observation racing the call lands in either the
+// returned window or the next one — never both, never lost; only the
+// Sum/Max/Min sidecars of a mid-flight Record can straddle the
+// boundary (same tolerance as Snapshot).
+func (h *Hist) SnapshotAndReset() Snapshot {
+	s := Snapshot{
+		Sum: h.sum.Swap(0),
+		Max: h.max.Swap(0),
+		Min: -h.min.Swap(-1 << 62),
+	}
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Swap(0)
+		if c == 0 {
+			continue
+		}
+		total += c
+		s.buckets = append(s.buckets, Bucket{
+			Lo:    bucketLo(i),
+			Hi:    bucketHi(i),
+			Count: c,
+		})
+	}
+	s.Count = total
+	// Deduct exactly the observations collected, so racing Records keep
+	// their count for the next window.
+	h.count.Add(-total)
+	if total == 0 {
+		s.Max, s.Min, s.Sum = 0, 0, 0
+	}
+	return s
+}
+
 // Snapshot captures the current state for analysis. Concurrent Records
 // during the copy may straddle the snapshot (it is not atomic across
 // buckets); totals are reconciled so the snapshot is self-consistent.

@@ -128,6 +128,99 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeAfterReset pins the windowed-reporting contract: recording
+// in intervals punctuated by SnapshotAndReset and merging the window
+// snapshots reproduces the one-histogram view of the full history —
+// counts, sum, min/max and every quantile.
+func TestMergeAfterReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h, all := New(), New()
+	var windows []Snapshot
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 20000; i++ {
+			v := int64(rng.ExpFloat64() * float64(uint64(1)<<uint(10+3*w)))
+			h.Record(v)
+			all.Record(v)
+		}
+		s := h.SnapshotAndReset()
+		if s.Count != 20000 {
+			t.Fatalf("window %d count %d want 20000", w, s.Count)
+		}
+		windows = append(windows, s)
+	}
+	if c := h.Count(); c != 0 {
+		t.Fatalf("count %d after final reset, want 0", c)
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("non-empty snapshot after reset: %+v", s)
+	}
+
+	merged := windows[0]
+	for _, w := range windows[1:] {
+		merged = merged.Merge(w)
+	}
+	want := all.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum ||
+		merged.Min != want.Min || merged.Max != want.Max {
+		t.Fatalf("merged %+v, full-history %+v", merged, want)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if merged.Quantile(q) != want.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %d, full-history %d",
+				q, merged.Quantile(q), want.Quantile(q))
+		}
+	}
+
+	// Recording after a reset starts a fresh window (min/max included).
+	h.Record(42)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("post-reset window: %+v", s)
+	}
+}
+
+// TestSnapshotAndResetConcurrent interleaves windowed collection with
+// concurrent recorders: with -race this is the windowing concurrency
+// test, and no observation may be lost or double-counted across
+// windows.
+func TestSnapshotAndResetConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	h := New()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				h.Record(int64(rng.Intn(1 << 30)))
+			}
+		}(w)
+	}
+	var total int64
+	stop := make(chan struct{})
+	var collector sync.WaitGroup
+	collector.Add(1)
+	go func() {
+		defer collector.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				total += h.SnapshotAndReset().Count
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	collector.Wait()
+	total += h.Snapshot().Count // the final, uncollected window
+	if total != workers*perWorker {
+		t.Fatalf("windows sum to %d observations, want %d", total, workers*perWorker)
+	}
+}
+
 // TestConcurrentRecord hammers Record from many goroutines; run with
 // -race this is the concurrency acceptance test, and the totals must
 // balance exactly.

@@ -1,0 +1,103 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	ballsbins "repro"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// ClusterTarget drives a routing tier in process: bbload builds K
+// in-proc dispatch cores (the backends), fronts them with a
+// cluster.Router under the chosen policy, and sends every operation
+// through the router — the whole bbload → bbproxy → K×bbserved path
+// minus the network, so routing policies are comparable on one CPU
+// without pretending to have cluster parallelism.
+type ClusterTarget struct {
+	R *cluster.Router
+	// dispatchers are owned by the target when built via
+	// NewInprocCluster; Close drains them.
+	dispatchers []*serve.Dispatcher
+}
+
+// ClusterConfig parameterizes NewInprocCluster.
+type ClusterConfig struct {
+	// Backends is the number of in-proc backends K. Required.
+	Backends int
+	// Spec/N/Shards/Engine/Seed/Horizon configure EACH backend's
+	// dispatch core (N bins per backend; backend i seeds with Seed+i).
+	Spec    ballsbins.Spec
+	N       int
+	Shards  int
+	Engine  ballsbins.Engine
+	Seed    uint64
+	Horizon int64
+	// Policy routes across the backends. Required.
+	Policy cluster.Policy
+	// Staleness is the router's load-view refresh window; 0 keeps the
+	// view on exact local accounting (the single-router case).
+	Staleness time.Duration
+}
+
+// NewInprocCluster builds K in-proc backends and a router over them.
+func NewInprocCluster(cfg ClusterConfig) (*ClusterTarget, error) {
+	if cfg.Backends < 1 {
+		return nil, fmt.Errorf("load: cluster needs at least 1 backend, got %d", cfg.Backends)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("load: cluster needs a routing policy")
+	}
+	t := &ClusterTarget{}
+	backends := make([]cluster.Backend, cfg.Backends)
+	for i := 0; i < cfg.Backends; i++ {
+		d := serve.NewDispatcher(serve.Config{
+			Spec:    cfg.Spec,
+			N:       cfg.N,
+			Shards:  cfg.Shards,
+			Seed:    cfg.Seed + uint64(i),
+			Engine:  cfg.Engine,
+			Horizon: cfg.Horizon,
+		})
+		t.dispatchers = append(t.dispatchers, d)
+		backends[i] = &cluster.InprocBackend{D: d, Label: fmt.Sprintf("inproc-%d", i)}
+	}
+	t.R = cluster.NewRouter(cluster.Config{
+		Backends:       backends,
+		BinsPerBackend: cfg.N,
+		Policy:         cfg.Policy,
+		Seed:           cfg.Seed,
+		Staleness:      cfg.Staleness,
+	})
+	return t, nil
+}
+
+// Place implements Target via the router.
+func (t *ClusterTarget) Place(ctx context.Context, count int) ([]int, int64, error) {
+	return t.R.Place(ctx, count)
+}
+
+// Remove implements Target via the router.
+func (t *ClusterTarget) Remove(ctx context.Context, bin int) error {
+	return t.R.Remove(ctx, bin)
+}
+
+// ReadStats implements StatsReader with the router's flattened view.
+func (t *ClusterTarget) ReadStats(context.Context) (serve.StatsView, error) {
+	return t.R.StatsView(), nil
+}
+
+// ReadClusterStats implements ClusterStatsReader.
+func (t *ClusterTarget) ReadClusterStats(context.Context) (cluster.Stats, bool, error) {
+	return t.R.Stats(), true, nil
+}
+
+// Close stops the router, then drains the owned backends.
+func (t *ClusterTarget) Close() {
+	t.R.Close()
+	for _, d := range t.dispatchers {
+		d.Close()
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/hdrhist"
 	"repro/internal/serve"
 )
@@ -47,6 +48,15 @@ type Target interface {
 // stats view (used to stamp end-of-run load state into results).
 type StatsReader interface {
 	ReadStats(ctx context.Context) (serve.StatsView, error)
+}
+
+// ClusterStatsReader is implemented by targets fronting a routing tier
+// (the in-proc ClusterTarget, and HTTPTarget when pointed at a
+// bbproxy): it reports the aggregated cluster stats so runs can be
+// stamped with the routing policy and the cross-backend balance it
+// achieved. ok is false when the target is not a cluster.
+type ClusterStatsReader interface {
+	ReadClusterStats(ctx context.Context) (cs cluster.Stats, ok bool, err error)
 }
 
 // Phase is one segment of a scenario: for Frac of the run's duration,
@@ -163,7 +173,13 @@ type Result struct {
 	Placed  int64 `json:"placed"`
 	Removed int64 `json:"removed"`
 	Shed    int64 `json:"shed"`
-	Errors  int64 `json:"errors"`
+	// Errors = PlaceErrors + RemoveErrors. The split matters for
+	// cluster runs: a dying backend strands its balls, so their
+	// departures fail (RemoveErrors), while placements should ride
+	// failover without a single client-visible error (PlaceErrors 0).
+	Errors       int64 `json:"errors"`
+	PlaceErrors  int64 `json:"place_errors"`
+	RemoveErrors int64 `json:"remove_errors"`
 	// ThroughputPerSec is placed balls per second of the measurement
 	// window.
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
@@ -171,11 +187,33 @@ type Result struct {
 	PlaceLatencyNs  serve.Latency `json:"place_latency_ns"`
 	RemoveLatencyNs serve.Latency `json:"remove_latency_ns"`
 
+	// WorkerErrors breaks Errors down per closed-loop worker (index =
+	// worker id), so a run where one worker's connection went bad is
+	// distinguishable from uniform failure — without it, partial
+	// failure hides inside the total and cluster runs are unauditable.
+	WorkerErrors []int64 `json:"worker_errors,omitempty"`
+
 	// End-of-run serving state, when the target can report it.
 	FinalBalls   int64   `json:"final_balls,omitempty"`
 	FinalMaxLoad int     `json:"final_max_load,omitempty"`
 	FinalGap     int     `json:"final_gap,omitempty"`
 	Combining    float64 `json:"combining_factor,omitempty"`
+
+	// Cluster-mode fields, stamped when the target fronts a routing
+	// tier: the policy that routed, the backend count, the end-of-run
+	// cross-backend ball gap (the routing tier's headline balance
+	// metric), and the probes each routing decision cost. Policy and
+	// Backends discriminate cluster cases; the metrics deliberately
+	// have no omitempty — a gap of 0 is a perfect-balance result, not
+	// missing data (non-cluster cases serialize them as zeros; check
+	// Policy to tell the two apart).
+	Policy          string  `json:"policy,omitempty"`
+	Backends        int     `json:"backends,omitempty"`
+	HealthyBackends int     `json:"healthy_backends"`
+	ClusterGap      int64   `json:"cluster_gap"`
+	MaxBackendBalls int64   `json:"max_backend_balls"`
+	ProbesPerPick   float64 `json:"probes_per_pick"`
+	Failovers       int64   `json:"failovers"`
 }
 
 // Run executes one generator run against the target.
@@ -222,6 +260,17 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 			res.FinalMaxLoad = v.MaxLoad
 			res.FinalGap = v.Gap
 			res.Combining = v.CombiningFactor
+		}
+	}
+	if cr, ok := target.(ClusterStatsReader); ok {
+		if cs, isCluster, cerr := cr.ReadClusterStats(ctx); cerr == nil && isCluster {
+			res.Policy = cs.Policy
+			res.Backends = cs.Backends
+			res.HealthyBackends = cs.Healthy
+			res.ClusterGap = cs.BackendGap
+			res.MaxBackendBalls = cs.MaxBackendBalls
+			res.ProbesPerPick = cs.ProbesPerPick
+			res.Failovers = cs.Failovers
 		}
 	}
 	return res, nil
@@ -297,7 +346,7 @@ func (s *sampler) service() time.Duration {
 func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 	smp := newSampler(cfg)
 	placeHist, removeHist := hdrhist.New(), hdrhist.New()
-	var placed, removed, shed, errs atomic.Int64
+	var placed, removed, shed, placeErrs, removeErrs atomic.Int64
 	var outstanding atomic.Int64
 
 	// sleepCtx is cancelled at the drain cutoff. It interrupts ONLY the
@@ -327,7 +376,7 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 		}
 		t0 := time.Now()
 		if err := target.Remove(ctx, bin); err != nil {
-			errs.Add(1)
+			removeErrs.Add(1)
 			return
 		}
 		removeHist.RecordSince(t0)
@@ -339,7 +388,7 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 		t0 := time.Now()
 		bins, _, err := target.Place(ctx, bulk)
 		if err != nil {
-			errs.Add(1)
+			placeErrs.Add(1)
 			return
 		}
 		placeHist.RecordSince(t0)
@@ -418,7 +467,9 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 	res.Placed = placed.Load()
 	res.Removed = removed.Load()
 	res.Shed = shed.Load()
-	res.Errors = errs.Load()
+	res.PlaceErrors = placeErrs.Load()
+	res.RemoveErrors = removeErrs.Load()
+	res.Errors = res.PlaceErrors + res.RemoveErrors
 	res.ThroughputPerSec = float64(res.Placed) / window.Seconds()
 	res.PlaceLatencyNs = serve.LatencySummary(placeHist.Snapshot())
 	res.RemoveLatencyNs = serve.LatencySummary(removeHist.Snapshot())
@@ -427,7 +478,11 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 
 func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 	placeHist, removeHist := hdrhist.New(), hdrhist.New()
-	var placed, removed, errs atomic.Int64
+	var placed, removed, placeErrs, removeErrs atomic.Int64
+	// Errors are accounted per worker (each owns its slot; read after
+	// Wait), so a single bad worker is visible in the envelope instead
+	// of hiding inside a total.
+	workerErrs := make([]int64, cfg.Workers)
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
@@ -435,7 +490,7 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for runCtx.Err() == nil {
 				t0 := time.Now()
@@ -447,7 +502,8 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 						// silently deflate the saturation throughput
 						// for the rest of the run. Back off briefly so
 						// a hard-down target doesn't spin.
-						errs.Add(1)
+						workerErrs[w]++
+						placeErrs.Add(1)
 						time.Sleep(time.Millisecond)
 					}
 					continue
@@ -459,14 +515,15 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 				// if the deadline landed mid-cycle, so the run ends
 				// with the target drained back to empty.
 				if err := target.Remove(context.Background(), bins[0]); err != nil {
-					errs.Add(1)
+					workerErrs[w]++
+					removeErrs.Add(1)
 					time.Sleep(time.Millisecond)
 					continue
 				}
 				removeHist.RecordSince(t1)
 				removed.Add(1)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	window := time.Since(start)
@@ -478,7 +535,12 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 	res.DurationSec = window.Seconds()
 	res.Placed = placed.Load()
 	res.Removed = removed.Load()
-	res.Errors = errs.Load()
+	res.WorkerErrors = workerErrs
+	res.PlaceErrors = placeErrs.Load()
+	res.RemoveErrors = removeErrs.Load()
+	for _, e := range workerErrs {
+		res.Errors += e
+	}
 	res.ThroughputPerSec = float64(res.Placed) / window.Seconds()
 	res.PlaceLatencyNs = serve.LatencySummary(placeHist.Snapshot())
 	res.RemoveLatencyNs = serve.LatencySummary(removeHist.Snapshot())

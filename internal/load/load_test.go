@@ -2,12 +2,15 @@ package load
 
 import (
 	"context"
+	"errors"
 	"math"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	ballsbins "repro"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -170,6 +173,98 @@ func TestOpenLoopHTTP(t *testing.T) {
 	}
 	if res.PlaceLatencyNs.P999 < res.PlaceLatencyNs.P50 {
 		t.Errorf("latency summary inverted: %+v", res.PlaceLatencyNs)
+	}
+}
+
+// flakyTarget fails every place whose global order is ≡ 0 mod 3,
+// exercising the per-worker error accounting.
+type flakyTarget struct {
+	inner Target
+	calls atomic.Int64
+}
+
+func (f *flakyTarget) Place(ctx context.Context, count int) ([]int, int64, error) {
+	if f.calls.Add(1)%3 == 0 {
+		return nil, 0, errors.New("flaky")
+	}
+	return f.inner.Place(ctx, count)
+}
+
+func (f *flakyTarget) Remove(ctx context.Context, bin int) error {
+	return f.inner.Remove(ctx, bin)
+}
+
+// TestClosedLoopWorkerErrors pins the per-worker error envelope: the
+// slice has one entry per worker, sums to the total, and a flaky
+// target's failures are visible in it rather than only as a lump sum.
+func TestClosedLoopWorkerErrors(t *testing.T) {
+	d := newDispatcher(t, 64, 4)
+	res, err := Run(context.Background(), Config{
+		Mode:     "closed",
+		Workers:  3,
+		Duration: 150 * time.Millisecond,
+		Seed:     1,
+	}, &flakyTarget{inner: InProc{D: d}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.WorkerErrors) != 3 {
+		t.Fatalf("WorkerErrors has %d entries, want 3", len(res.WorkerErrors))
+	}
+	var sum int64
+	for _, e := range res.WorkerErrors {
+		sum += e
+	}
+	if sum != res.Errors || res.Errors == 0 {
+		t.Fatalf("worker errors sum %d, total %d (want equal, nonzero)", sum, res.Errors)
+	}
+	if res.PlaceErrors+res.RemoveErrors != res.Errors || res.PlaceErrors == 0 {
+		t.Fatalf("place/remove split %d+%d != total %d",
+			res.PlaceErrors, res.RemoveErrors, res.Errors)
+	}
+}
+
+// TestClusterTargetRun drives the full in-proc cluster path through
+// the load generator and checks the cluster stamping in the result.
+func TestClusterTargetRun(t *testing.T) {
+	policy, err := cluster.PolicyByName("greedy", 2, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := NewInprocCluster(ClusterConfig{
+		Backends: 4, Spec: ballsbins.Adaptive(), N: 256, Shards: 1,
+		Seed: 1, Policy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ct.Close)
+	res, err := Run(context.Background(), Config{
+		Scenario:    Skew(),
+		Mode:        "open",
+		Rate:        2000,
+		Duration:    300 * time.Millisecond,
+		ServiceMean: 20 * time.Millisecond,
+		Seed:        3,
+	}, ct)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Placed == 0 || res.Errors != 0 {
+		t.Fatalf("placed %d errors %d", res.Placed, res.Errors)
+	}
+	if res.Policy != "greedy[2]" || res.Backends != 4 || res.HealthyBackends != 4 {
+		t.Fatalf("cluster stamping: %+v", res)
+	}
+	if res.ProbesPerPick != 2 {
+		t.Fatalf("probes/pick %v, want 2 for greedy[2]", res.ProbesPerPick)
+	}
+	if res.FinalBalls != res.Placed-res.Removed {
+		t.Errorf("final balls %d, placed-removed %d", res.FinalBalls, res.Placed-res.Removed)
+	}
+	// The view's estimate agrees with the backends at quiescence.
+	if res.MaxBackendBalls < res.FinalBalls/4 {
+		t.Errorf("max backend balls %d below mean %d", res.MaxBackendBalls, res.FinalBalls/4)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -111,19 +112,27 @@ func (t *HTTPTarget) Remove(ctx context.Context, bin int) error {
 	}
 }
 
-func (t *HTTPTarget) readStatsResponse(ctx context.Context) (serve.StatsResponse, error) {
+// statsEnvelope is /v1/stats as served by either tier: the serve
+// fields, plus the aggregated cluster block a bbproxy adds (absent —
+// zero — on a plain bbserved).
+type statsEnvelope struct {
+	serve.StatsResponse
+	Cluster cluster.Stats `json:"cluster"`
+}
+
+func (t *HTTPTarget) readStatsResponse(ctx context.Context) (statsEnvelope, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/v1/stats", nil)
 	if err != nil {
-		return serve.StatsResponse{}, err
+		return statsEnvelope{}, err
 	}
 	resp, err := t.Client.Do(req)
 	if err != nil {
-		return serve.StatsResponse{}, err
+		return statsEnvelope{}, err
 	}
 	defer resp.Body.Close()
-	var sr serve.StatsResponse
+	var sr statsEnvelope
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return serve.StatsResponse{}, err
+		return statsEnvelope{}, err
 	}
 	return sr, nil
 }
@@ -139,4 +148,15 @@ func (t *HTTPTarget) ReadStats(ctx context.Context) (serve.StatsView, error) {
 func (t *HTTPTarget) ReadInfo(ctx context.Context) (serve.Info, error) {
 	sr, err := t.readStatsResponse(ctx)
 	return sr.Info, err
+}
+
+// ReadClusterStats implements ClusterStatsReader: when the target is a
+// bbproxy its /v1/stats carries an aggregated cluster block; a plain
+// bbserved has none and ok is false.
+func (t *HTTPTarget) ReadClusterStats(ctx context.Context) (cluster.Stats, bool, error) {
+	sr, err := t.readStatsResponse(ctx)
+	if err != nil {
+		return cluster.Stats{}, false, err
+	}
+	return sr.Cluster, sr.Cluster.Policy != "", nil
 }

@@ -78,7 +78,7 @@ type handler struct {
 //
 //	POST /v1/place[?count=k]  place 1 (default) or k balls
 //	POST /v1/remove?bin=i     remove one ball from bin i
-//	GET  /v1/stats            lock-free monitoring view
+//	GET  /v1/stats[?shard=s]  lock-free monitoring view (one shard row)
 //	GET  /v1/snapshot         lock-all consistent snapshot
 //	GET  /healthz             200 ok, 503 once draining
 //	GET  /metrics             Prometheus text format
@@ -94,7 +94,10 @@ func NewHandler(d *Dispatcher, info Info) http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as indented JSON with the given status. Shared by
+// every HTTP surface in the system (bbserved, bbproxy) so the wire
+// shape cannot drift between tiers.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -102,23 +105,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// WriteError writes the canonical {"error": ...} body.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) { WriteJSON(w, status, v) }
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	WriteError(w, status, format, args...)
+}
+
+// ParseBulkCount validates a /v1/place count query value: empty means
+// 1, otherwise an integer in [1, MaxBulkPlace].
+func ParseBulkCount(s string) (int, error) {
+	if s == "" {
+		return 1, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("count must be a positive integer, got %q", s)
+	}
+	if v > MaxBulkPlace {
+		return 0, fmt.Errorf("count %d exceeds maximum %d", v, MaxBulkPlace)
+	}
+	return v, nil
 }
 
 func (h *handler) place(w http.ResponseWriter, r *http.Request) {
-	count := 1
-	if s := r.URL.Query().Get("count"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, "count must be a positive integer, got %q", s)
-			return
-		}
-		if v > MaxBulkPlace {
-			writeError(w, http.StatusBadRequest, "count %d exceeds maximum %d", v, MaxBulkPlace)
-			return
-		}
-		count = v
+	count, err := ParseBulkCount(r.URL.Query().Get("count"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	bins, samples, err := h.d.PlaceMany(r.Context(), count)
 	if err != nil {
@@ -181,7 +199,28 @@ func LatencySummary(s hdrhist.Snapshot) Latency {
 	}
 }
 
+// ShardStatsResponse is the body of GET /v1/stats?shard=s: one shard's
+// row from the lock-free monitoring view. Cluster load views and
+// operators drilling into a hot shard use it to avoid shipping every
+// row on each poll.
+type ShardStatsResponse struct {
+	Info  Info      `json:"info"`
+	Shard ShardStat `json:"shard"`
+}
+
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
+	if s := r.URL.Query().Get("shard"); s != "" {
+		shard, err := strconv.Atoi(s)
+		if err != nil || shard < 0 || shard >= h.d.Shards() {
+			writeError(w, http.StatusBadRequest, "shard must be in [0,%d), got %q", h.d.Shards(), s)
+			return
+		}
+		writeJSON(w, http.StatusOK, ShardStatsResponse{
+			Info:  h.info,
+			Shard: h.d.ShardStats(shard),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Info:      h.info,
 		StatsView: h.d.Stats(),

@@ -161,6 +161,44 @@ func TestHTTPStatsAndSnapshot(t *testing.T) {
 	}
 }
 
+// TestHTTPStatsShardQuery exercises GET /v1/stats?shard=s: every shard
+// row must be retrievable on its own, agree with the full view, and —
+// at quiescence — agree exactly with the lock-all ShardMetrics.
+func TestHTTPStatsShardQuery(t *testing.T) {
+	d, srv := newTestServer(t, 60, 7)
+	const k = 333
+	decode[PlaceResponse](t, post(t, fmt.Sprintf("%s/v1/place?count=%d", srv.URL, k)), http.StatusOK)
+
+	full := decode[StatsResponse](t, get(t, srv.URL+"/v1/stats"), http.StatusOK)
+	var balls int64
+	for s := 0; s < 7; s++ {
+		row := decode[ShardStatsResponse](t,
+			get(t, fmt.Sprintf("%s/v1/stats?shard=%d", srv.URL, s)), http.StatusOK)
+		if row.Info.Protocol != "adaptive" {
+			t.Fatalf("shard %d info: %+v", s, row.Info)
+		}
+		if row.Shard != full.Shards[s] {
+			t.Fatalf("shard %d row %+v, full view row %+v", s, row.Shard, full.Shards[s])
+		}
+		// Quiescent agreement with the lock-all per-shard metrics: the
+		// published row is exactly the shard's true state.
+		m := d.Allocator().ShardMetrics(s)
+		if row.Shard.MaxLoad != m.MaxLoad || row.Shard.MinLoad != m.MinLoad {
+			t.Fatalf("shard %d row max/min %d/%d, ShardMetrics %d/%d",
+				s, row.Shard.MaxLoad, row.Shard.MinLoad, m.MaxLoad, m.MinLoad)
+		}
+		balls += row.Shard.Balls
+	}
+	if balls != k {
+		t.Fatalf("shard rows sum to %d balls, want %d", balls, k)
+	}
+
+	for _, bad := range []string{"?shard=-1", "?shard=7", "?shard=abc"} {
+		resp := get(t, srv.URL+"/v1/stats"+bad)
+		decode[map[string]string](t, resp, http.StatusBadRequest)
+	}
+}
+
 func TestHTTPHealthAndMetrics(t *testing.T) {
 	_, srv := newTestServer(t, 16, 2)
 	resp := get(t, srv.URL+"/healthz")

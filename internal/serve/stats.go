@@ -98,6 +98,31 @@ type StatsView struct {
 	Shards          []ShardStat `json:"shards"`
 }
 
+// ShardRow returns shard s's latest published row alone — the cheap
+// single-shard read behind GET /v1/stats?shard= (one atomic load, no
+// full-view assembly).
+func (st *Stats) ShardRow(s int) ShardStat {
+	g := st.shards[s].row.Load()
+	if g == nil {
+		g = &shardRow{} // no batch published yet: empty shard
+	}
+	return toShardStat(s, g)
+}
+
+func toShardStat(s int, g *shardRow) ShardStat {
+	return ShardStat{
+		Shard:    s,
+		Balls:    g.balls,
+		Placed:   g.placed,
+		Removed:  g.removed,
+		Samples:  g.samples,
+		MaxLoad:  g.maxLoad,
+		MinLoad:  g.minLoad,
+		Batches:  g.batches,
+		Requests: g.reqs,
+	}
+}
+
 // View assembles a StatsView for n total bins.
 func (st *Stats) View(n int) StatsView {
 	v := StatsView{MinLoad: math.MaxInt}
@@ -107,17 +132,7 @@ func (st *Stats) View(n int) StatsView {
 		if g == nil {
 			g = &shardRow{} // no batch published yet: empty shard
 		}
-		v.Shards = append(v.Shards, ShardStat{
-			Shard:    s,
-			Balls:    g.balls,
-			Placed:   g.placed,
-			Removed:  g.removed,
-			Samples:  g.samples,
-			MaxLoad:  g.maxLoad,
-			MinLoad:  g.minLoad,
-			Batches:  g.batches,
-			Requests: g.reqs,
-		})
+		v.Shards = append(v.Shards, toShardStat(s, g))
 		v.Balls += g.balls
 		v.Placed += g.placed
 		v.Removed += g.removed
@@ -149,3 +164,6 @@ func (st *Stats) View(n int) StatsView {
 
 // Stats returns the dispatcher's current monitoring view.
 func (d *Dispatcher) Stats() StatsView { return d.stats.View(d.cfg.N) }
+
+// ShardStats returns shard s's row of the monitoring view.
+func (d *Dispatcher) ShardStats(s int) ShardStat { return d.stats.ShardRow(s) }
