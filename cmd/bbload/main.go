@@ -13,7 +13,11 @@
 //     saturation throughput (errors reported per worker).
 //
 // Scenarios shape the open-loop arrival rate over the run: steady,
-// ramp, flash (crowd spike), skew (Zipf bulk sizes).
+// ramp, flash (crowd spike), skew (Zipf bulk sizes) — plus the keyed
+// family (schema bbkeyed/v1): keyed (steady Zipf key popularity from
+// a seedable stream), keyed-flash (one key takes 30% of mid-run
+// traffic), keyed-churn (the key space rotates), keyed-kill (one
+// backend dies mid-run; cluster target).
 //
 // Usage:
 //
@@ -23,6 +27,9 @@
 //	        -spec adaptive -n 100000 -shards 8
 //	bbload -target cluster -cluster-backends 8 -policies single,greedy,adaptive \
 //	        -scenarios steady,skew,flash -rate 4000 -duration 10s
+//	bbload -target cluster -cluster-backends 8 \
+//	        -policies keyed-hash,keyed-greedy2,keyed-adaptive \
+//	        -scenarios keyed,keyed-flash,keyed-churn -rate 2000 -duration 10s
 //
 // With -target inproc the generator builds its own dispatcher from
 // -spec/-n/-shards/-engine/-seed. With -target cluster it builds
@@ -47,6 +54,7 @@ import (
 	"repro/internal/benchio"
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/keyed"
 	"repro/internal/load"
 	"repro/internal/serve"
 )
@@ -75,9 +83,12 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_serve_<date>.json or BENCH_cluster_<date>.json; \"-\" to skip)")
 
 		backends  = flag.Int("cluster-backends", 4, "in-proc backends (cluster target)")
-		policies  = flag.String("policies", "single,greedy,adaptive", "comma-separated routing policies (cluster target): "+strings.Join(cluster.Policies(), ", "))
+		policies  = flag.String("policies", "single,greedy,adaptive", "comma-separated routing policies (cluster target): "+strings.Join(cluster.Policies(), ", ")+", or keyed-P / keyed[P] with P one of "+strings.Join(keyed.Policies(), ", "))
 		retries   = flag.Int("retries", 3, "probe cap (boundedretry policy)")
 		staleness = flag.Duration("staleness", 0, "cluster load-view refresh window (0 = local accounting)")
+
+		keySpace = flag.Int("key-space", 0, "keyed scenarios: distinct key count (0 = preset default)")
+		keyZipf  = flag.Float64("key-zipf", 0, "keyed scenarios: key popularity Zipf s > 1 (0 = preset default)")
 	)
 	flag.Parse()
 
@@ -100,6 +111,14 @@ func main() {
 		}
 	}
 
+	// Keyed scenarios write the bbkeyed/v1 schema (the bbserve/bbcluster
+	// records extended with the keyed-tier columns).
+	for _, name := range names {
+		if sc, err := load.ByName(name); err == nil && sc.Keyed {
+			schema = "bbkeyed/v1"
+		}
+	}
+
 	rep := report{Env: benchio.NewEnv(schema)}
 	ctx := context.Background()
 	for _, name := range names {
@@ -107,6 +126,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bbload:", err)
 			os.Exit(2)
+		}
+		if sc.Keyed {
+			if *keySpace > 0 {
+				sc.KeySpace = *keySpace
+			}
+			if *keyZipf > 0 {
+				sc.KeyZipfS = *keyZipf
+			}
 		}
 		for _, policy := range policyNames {
 			res, err := runOne(ctx, sf, sc, *target, *mode, *rate, *workers, *duration,
@@ -124,6 +151,10 @@ func main() {
 				line += fmt.Sprintf("  [%s x%d gap %d, %.2f probes/pick]",
 					res.Policy, res.Backends, res.ClusterGap, res.ProbesPerPick)
 			}
+			if res.KeyedPolicy != "" {
+				line += fmt.Sprintf("  [keyed %s: %d keys, hit %.3f, moved %d, shed %d, hot %d]",
+					res.KeyedPolicy, res.Keys, res.AffinityHitRate, res.KeysMoved, res.KeysShed, res.HotKeys)
+			}
 			fmt.Fprintln(os.Stderr, line)
 			rep.Cases = append(rep.Cases, res)
 		}
@@ -134,6 +165,9 @@ func main() {
 		prefix := "serve_"
 		if *target == "cluster" {
 			prefix = "cluster_"
+		}
+		if schema == "bbkeyed/v1" {
+			prefix = "keyed_"
 		}
 		path = benchio.DefaultPath(prefix)
 	}
@@ -204,14 +238,27 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 		if err != nil {
 			return load.Result{}, err
 		}
-		policy, err := cluster.PolicyByName(policyName, sf.D, retries, sf.Bound, horizon)
+		// keyed-P (or keyed[P]) policies run the keyed tier under inner
+		// policy P; anonymous traffic routes under P's anonymous
+		// analogue (hash → single). Same mapping as bbproxy -policy.
+		var keyedCfg *keyed.Config
+		anonName, anonD := policyName, sf.D
+		if inner, ok := keyed.SplitName(policyName); ok {
+			kp, kerr := keyed.PolicyByName(inner, sf.D, retries, horizon)
+			if kerr != nil {
+				return load.Result{}, kerr
+			}
+			keyedCfg = &keyed.Config{Policy: kp}
+			anonName, anonD = keyed.AnonAnalogue(inner, sf.D)
+		}
+		policy, err := cluster.PolicyByName(anonName, anonD, retries, sf.Bound, horizon)
 		if err != nil {
 			return load.Result{}, err
 		}
 		ct, err := load.NewInprocCluster(load.ClusterConfig{
 			Backends: backends, Spec: spec, N: n, Shards: shards,
 			Engine: eng, Seed: sf.Seed, Horizon: horizon,
-			Policy: policy, Staleness: staleness,
+			Policy: policy, Keyed: keyedCfg, Staleness: staleness,
 		})
 		if err != nil {
 			return load.Result{}, err

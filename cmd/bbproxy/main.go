@@ -11,14 +11,23 @@
 //	    -policy greedy -d 2 -staleness 500ms
 //	bbproxy -backends ... -policy adaptive
 //	bbproxy -backends ... -policy boundedretry -retries 3
+//	bbproxy -backends ... -policy 'keyed[adaptive]'
 //
 // Policies: single (random routing), greedy (-d choices), adaptive,
 // threshold (-horizon), boundedretry (-retries), fixed (-bound).
+// A keyed[P] policy additionally runs the keyed placement tier
+// (internal/keyed): requests carrying ?key= get consistent bounded-
+// load key→backend assignment under inner policy P (hash, greedy,
+// adaptive, threshold, boundedretry) with sticky affinity, hot-key
+// splitting (-replicas, -hot-share) and minimal-disruption
+// rebalancing on evict/rejoin; anonymous requests keep routing under
+// P's anonymous analogue.
 //
 // API (identical to bbserved, plus the aggregated cluster block):
 //
 //	POST /v1/place[?count=k]  route 1 (default) or k balls
-//	POST /v1/remove?bin=g     remove from global bin g (slot·n + local)
+//	POST /v1/place?key=K      keyed placement (bulk + key is a 400)
+//	POST /v1/remove?bin=g[&key=K]  remove from global bin g (slot·n + local)
 //	GET  /v1/stats            aggregated cluster view + per-backend rows
 //	GET  /healthz             200 while routable, 503 otherwise
 //	GET  /metrics             Prometheus text format
@@ -42,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/keyed"
 	"repro/internal/serve"
 )
 
@@ -93,6 +103,20 @@ func (c *checkedBackend) Remove(ctx context.Context, bin int) error {
 	return c.HTTPBackend.Remove(ctx, bin)
 }
 
+func (c *checkedBackend) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	if err := c.verify(ctx); err != nil {
+		return nil, 0, err
+	}
+	return c.HTTPBackend.PlaceKey(ctx, key)
+}
+
+func (c *checkedBackend) RemoveKey(ctx context.Context, bin int, key string) error {
+	if err := c.verify(ctx); err != nil {
+		return err
+	}
+	return c.HTTPBackend.RemoveKey(ctx, bin, key)
+}
+
 func (c *checkedBackend) Health(ctx context.Context) error {
 	if err := c.HTTPBackend.Health(ctx); err != nil {
 		return err
@@ -104,7 +128,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		backends    = flag.String("backends", "", "comma-separated backend base URLs (required)")
-		policyName  = flag.String("policy", "greedy", "routing policy: "+strings.Join(cluster.Policies(), ", "))
+		policyName  = flag.String("policy", "greedy", "routing policy: "+strings.Join(cluster.Policies(), ", ")+", or keyed[P] with P one of "+strings.Join(keyed.Policies(), ", "))
 		d           = flag.Int("d", 2, "choices per pick (greedy)")
 		retries     = flag.Int("retries", 3, "probe cap (boundedretry)")
 		bound       = flag.Int("bound", 0, "absolute per-backend ball bound (fixed)")
@@ -114,6 +138,9 @@ func main() {
 		healthEvery = flag.Duration("health-every", 1*time.Second, "health probe period (0 = no health loop)")
 		failAfter   = flag.Int("fail-after", 2, "consecutive failures to evict a backend")
 		riseAfter   = flag.Int("rise-after", 2, "consecutive successful probes to rejoin")
+		replicas    = flag.Int("replicas", keyed.DefaultReplicas, "keyed tier: hot-key replica set size (1 disables splitting)")
+		hotShare    = flag.Float64("hot-share", keyed.DefaultHotShare, "keyed tier: request share promoting a key to replicas (>=1 disables)")
+		maxKeys     = flag.Int("max-keys", keyed.DefaultMaxKeys, "keyed tier: affinity table capacity")
 	)
 	flag.Parse()
 
@@ -128,7 +155,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	policy, err := cluster.PolicyByName(*policyName, *d, *retries, *bound, *horizon)
+	// A "keyed[P]" (or "keyed-P") policy enables the keyed placement
+	// tier under inner policy P; anonymous (unkeyed) requests then
+	// route under the matching anonymous policy — P itself, except
+	// hash, whose anonymous analogue is single-choice.
+	var keyedCfg *keyed.Config
+	anonName := *policyName
+	anonD := *d
+	if inner, ok := keyed.SplitName(*policyName); ok {
+		kp, err := keyed.PolicyByName(inner, *d, *retries, *horizon)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbproxy:", err)
+			os.Exit(2)
+		}
+		keyedCfg = &keyed.Config{
+			Policy:   kp,
+			Replicas: *replicas,
+			HotShare: *hotShare,
+			MaxKeys:  *maxKeys,
+		}
+		anonName, anonD = keyed.AnonAnalogue(inner, *d)
+	}
+	policy, err := cluster.PolicyByName(anonName, anonD, *retries, *bound, *horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbproxy:", err)
 		os.Exit(2)
@@ -184,9 +232,14 @@ func main() {
 		HealthEvery:    *healthEvery,
 		FailAfter:      *failAfter,
 		RiseAfter:      *riseAfter,
+		Keyed:          keyedCfg,
 	})
+	served := rt.Policy()
+	if km := rt.Keyed(); km != nil {
+		served = "keyed[" + km.PolicyName() + "]+" + served
+	}
 	info := serve.Info{
-		Protocol: "cluster/" + rt.Policy(),
+		Protocol: "cluster/" + served,
 		N:        rt.N(),
 		Shards:   len(bks),
 		Engine:   protocol, // the backends' protocol, for labeling

@@ -10,8 +10,11 @@
 // API:
 //
 //	POST /v1/place[?count=k]  allocate 1 (default) or k balls
-//	POST /v1/remove?bin=i     remove one ball from bin i
-//	GET  /v1/stats            lock-free monitoring view
+//	POST /v1/place?key=K      keyed placement: one ball on K's sticky
+//	                          shard (-keyed-policy; bulk + key is a 400)
+//	POST /v1/remove?bin=i[&key=K]  remove one ball from bin i (key
+//	                          releases it from the keyed tier too)
+//	GET  /v1/stats            lock-free monitoring view (+ keyed block)
 //	GET  /v1/snapshot         lock-all consistent snapshot
 //	GET  /healthz             200 ok, 503 once draining
 //	GET  /metrics             Prometheus text format
@@ -29,22 +32,29 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/keyed"
 	"repro/internal/serve"
 )
 
 func main() {
 	sf := cli.RegisterSpec(flag.CommandLine)
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		n          = flag.Int("n", 100000, "number of bins")
-		shards     = flag.Int("shards", 8, "allocator shards (parallel dispatch lanes)")
-		horizon    = flag.Int64("horizon", 0, "declared total balls (threshold family)")
-		queueDepth = flag.Int("queue-depth", serve.DefaultQueueDepth, "per-shard arrival queue depth")
-		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max requests combined per lock acquisition")
+		addr        = flag.String("addr", ":8080", "listen address")
+		n           = flag.Int("n", 100000, "number of bins")
+		shards      = flag.Int("shards", 8, "allocator shards (parallel dispatch lanes)")
+		horizon     = flag.Int64("horizon", 0, "declared total balls (threshold family)")
+		queueDepth  = flag.Int("queue-depth", serve.DefaultQueueDepth, "per-shard arrival queue depth")
+		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max requests combined per lock acquisition")
+		keyedPolicy = flag.String("keyed-policy", "adaptive", "keyed tier key->shard policy: "+strings.Join(keyed.Policies(), ", "))
+		retries     = flag.Int("retries", 3, "keyed tier probe cap (boundedretry policy)")
+		replicas    = flag.Int("replicas", keyed.DefaultReplicas, "hot-key replica set size (1 disables splitting)")
+		hotShare    = flag.Float64("hot-share", keyed.DefaultHotShare, "request share promoting a key to replicas (>=1 disables)")
+		maxKeys     = flag.Int("max-keys", keyed.DefaultMaxKeys, "keyed affinity table capacity (idle keys evicted beyond it)")
 	)
 	flag.Parse()
 
@@ -54,6 +64,11 @@ func main() {
 		os.Exit(2)
 	}
 	eng, err := sf.Engine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbserved:", err)
+		os.Exit(2)
+	}
+	kp, err := keyed.PolicyByName(*keyedPolicy, sf.D, *retries, *horizon)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbserved:", err)
 		os.Exit(2)
@@ -68,6 +83,12 @@ func main() {
 		Horizon:    *horizon,
 		QueueDepth: *queueDepth,
 		MaxBatch:   *maxBatch,
+		Keyed: &keyed.Config{
+			Policy:   kp,
+			Replicas: *replicas,
+			HotShare: *hotShare,
+			MaxKeys:  *maxKeys,
+		},
 	})
 	info := serve.Info{
 		Protocol: d.Name(),

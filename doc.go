@@ -96,6 +96,32 @@
 // README's Cluster tier section for measured gaps of random vs
 // 2-choice vs adaptive routing.
 //
+// # Keyed placement tier
+//
+// The keyed tier (internal/keyed, exposed by bbserved and bbproxy via
+// ?key= and -policy keyed[...]) serves workloads where the same key —
+// a user, session, or cache key — must keep landing on the same bin.
+// It is consistent-hashing-with-bounded-loads built from the paper's
+// own machinery: every key owns a deterministic pseudo-random probe
+// sequence (a per-key RNG stream, the same construction as the
+// protocols' bin draws) and is assigned to the first probed bin
+// passing the active policy's acceptance rule — the exact integer
+// test K·(load−1) < i over per-bin key counts, so keyed-adaptive
+// carries the ⌈i/K⌉+1 guarantee on keys per bin where plain hash
+// affinity has none. An assignment table makes repeat traffic free
+// (sticky affinity, zero probes); keys whose request share crosses a
+// threshold are split to d-replica sets balanced by two-choices among
+// the replicas; and when a bin dies, only the keys resident on it
+// re-probe — their moves are counted and bounded (moved ≤ resident),
+// overfull survivors shed their most recent keys down to the policy
+// bound, and a rejoining bin moves nothing at all, in the paper's
+// no-reallocation spirit. bbload's keyed scenarios (Zipf key
+// popularity, hot-key flash, key churn, membership kill) measure the
+// tier end to end; see the README's Keyed tier section. Keyed
+// placement at the serve tier requires a fully online spec (the
+// threshold family's per-shard horizon split assumes round-robin
+// evenness, so bbserved refuses ?key= under threshold/fixed specs).
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

@@ -3,6 +3,18 @@
 // cmd/bbload) emits machine-comparable files: one Env block describing
 // the machine plus tool-specific case sections, all under a named
 // schema version.
+//
+// Known schemas:
+//
+//   - bbbench/v1   — cmd/bbbench engine grid (ns/ball, speedups)
+//   - bbserve/v1   — cmd/bbload serving runs (throughput, latency
+//     quantiles, end-state)
+//   - bbcluster/v1 — bbserve/v1 plus the cluster-routing fields
+//     (policy, backends, cluster_gap, probes_per_pick, failovers)
+//   - bbkeyed/v1   — bbserve/bbcluster records plus the keyed-tier
+//     fields (keyed_policy, key_space, key_zipf_s, keys, hot_keys,
+//     affinity_hit_rate, keys_moved, keys_shed, max_key_load,
+//     killed_backend), written whenever a keyed scenario runs
 package benchio
 
 import (

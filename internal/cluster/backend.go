@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/serve"
@@ -37,6 +38,20 @@ func (b *InprocBackend) Place(ctx context.Context, count int) ([]int, int64, err
 // already serve.ErrEmptyBin.
 func (b *InprocBackend) Remove(ctx context.Context, bin int) error {
 	return b.D.Remove(ctx, bin)
+}
+
+// PlaceKey implements KeyedBackend via the dispatcher's keyed tier.
+func (b *InprocBackend) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	bin, samples, err := b.D.PlaceKeyed(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return []int{bin}, samples, nil
+}
+
+// RemoveKey implements KeyedBackend.
+func (b *InprocBackend) RemoveKey(ctx context.Context, bin int, key string) error {
+	return b.D.RemoveKeyed(ctx, bin, key)
 }
 
 // Stats implements Backend.
@@ -121,7 +136,29 @@ func (b *HTTPBackend) Place(ctx context.Context, count int) ([]int, int64, error
 // Remove implements Backend via POST /v1/remove, mapping the 409
 // conflict back to serve.ErrEmptyBin.
 func (b *HTTPBackend) Remove(ctx context.Context, bin int) error {
-	status, err := b.do(ctx, http.MethodPost, fmt.Sprintf("/v1/remove?bin=%d", bin), nil)
+	return b.RemoveKey(ctx, bin, "")
+}
+
+// PlaceKey implements KeyedBackend via POST /v1/place?key=.
+func (b *HTTPBackend) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	var pr serve.PlaceResponse
+	status, err := b.do(ctx, http.MethodPost, "/v1/place?key="+url.QueryEscape(key), &pr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status != http.StatusOK {
+		return nil, 0, fmt.Errorf("cluster: keyed place on %s: status %d", b.base, status)
+	}
+	return []int{pr.Bin}, pr.Samples, nil
+}
+
+// RemoveKey implements KeyedBackend via POST /v1/remove?bin=&key=.
+func (b *HTTPBackend) RemoveKey(ctx context.Context, bin int, key string) error {
+	path := fmt.Sprintf("/v1/remove?bin=%d", bin)
+	if key != "" {
+		path += "&key=" + url.QueryEscape(key)
+	}
+	status, err := b.do(ctx, http.MethodPost, path, nil)
 	if err != nil {
 		return err
 	}

@@ -81,3 +81,17 @@ type Backend interface {
 	// Health reports nil when the backend is serving.
 	Health(ctx context.Context) error
 }
+
+// KeyedBackend is implemented by backends that accept keyed
+// operations, forwarding the key so the backend's own keyed tier
+// (its key→shard affinity) sees it too — end-to-end affinity:
+// bbproxy pins the key's backend, the backend pins the key's shard.
+// The router falls back to anonymous Place/Remove when a backend
+// does not implement it.
+type KeyedBackend interface {
+	// PlaceKey places one ball for key and returns its backend-local
+	// bin.
+	PlaceKey(ctx context.Context, key string) (bins []int, samples int64, err error)
+	// RemoveKey removes one of key's balls from backend-local bin.
+	RemoveKey(ctx context.Context, bin int, key string) error
+}

@@ -64,7 +64,21 @@ func (h *handler) place(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	bins, samples, err := h.rt.Place(r.Context(), count)
+	key := r.URL.Query().Get("key")
+	if key != "" && count > 1 {
+		// Same contract as bbserved: a bulk cannot carry a key (see
+		// the serve handler for why).
+		writeError(w, http.StatusBadRequest,
+			"bulk place (count=%d) cannot carry a key: keyed placement is one ball per request; send count=1 requests for key %q", count, key)
+		return
+	}
+	var bins []int
+	var samples int64
+	if key != "" {
+		bins, samples, err = h.rt.PlaceKeyed(r.Context(), key)
+	} else {
+		bins, samples, err = h.rt.Place(r.Context(), count)
+	}
 	if err != nil {
 		status := http.StatusBadGateway
 		if errors.Is(err, ErrDraining) || errors.Is(err, ErrNoBackends) {
@@ -73,7 +87,7 @@ func (h *handler) place(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	resp := serve.PlaceResponse{Bin: bins[0], Count: count, Samples: samples}
+	resp := serve.PlaceResponse{Bin: bins[0], Count: count, Samples: samples, Key: key}
 	if count > 1 {
 		resp.Bins = bins
 	}
@@ -95,7 +109,7 @@ func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bin %d outside [0,%d)", bin, h.rt.N())
 		return
 	}
-	switch err := h.rt.Remove(r.Context(), bin); {
+	switch err := h.rt.RemoveKeyed(r.Context(), bin, r.URL.Query().Get("key")); {
 	case err == nil:
 		writeJSON(w, http.StatusOK, serve.RemoveResponse{Bin: bin, Removed: true})
 	case errors.Is(err, serve.ErrEmptyBin):
@@ -159,6 +173,14 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	c("bb_proxy_failovers_total", "Placements retried on another backend.", cs.Failovers)
 	c("bb_proxy_evictions_total", "Backends evicted from rotation.", cs.Evictions)
 	c("bb_proxy_rejoins_total", "Backends re-admitted to rotation.", cs.Rejoins)
+
+	if ks := cs.Keyed; ks != nil {
+		g("bb_proxy_keyed_keys", "Keys in the keyed placement table.", ks.Keys)
+		g("bb_proxy_keyed_hot_keys", "Keys split to replica sets.", ks.HotKeys)
+		g("bb_proxy_keyed_affinity_hit_rate", "Keyed requests answered from the affinity table.", ks.AffinityHitRate)
+		c("bb_proxy_keyed_moved_total", "Key replicas moved by failures or rebalancing.", ks.MovedKeys)
+		c("bb_proxy_keyed_shed_total", "Key replicas shed off overfull bins.", ks.ShedKeys)
+	}
 
 	fmt.Fprintf(w, "# HELP bb_proxy_backend_up Backend in rotation (1) or evicted (0).\n# TYPE bb_proxy_backend_up gauge\n")
 	for _, row := range cs.Rows {

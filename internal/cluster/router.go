@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/hdrhist"
+	"repro/internal/keyed"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
@@ -35,6 +36,13 @@ type Config struct {
 	// FailAfter / RiseAfter are the consecutive-evidence thresholds for
 	// eviction and rejoin (default 2 each).
 	FailAfter, RiseAfter int
+	// Keyed, when non-nil, enables the keyed placement tier: requests
+	// carrying a key route through an internal/keyed KeyMap over the
+	// backend slots (sticky affinity, hot-key splitting,
+	// minimal-disruption rebalancing on evict/rejoin) instead of the
+	// anonymous Policy. Bins and, when zero, Seed are filled in by the
+	// router. Anonymous traffic still uses Policy.
+	Keyed *keyed.Config
 }
 
 // Router routes place/remove traffic across the backends: the cluster
@@ -45,7 +53,8 @@ type Router struct {
 	ms     *Membership
 	view   *LoadView
 	policy Policy
-	n      int // bins per backend
+	km     *keyed.KeyMap // nil unless Config.Keyed was set
+	n      int           // bins per backend
 
 	// mu serializes policy picks over the shared RNG stream (kept
 	// single so fixed seeds give reproducible routing).
@@ -100,11 +109,30 @@ func NewRouter(cfg Config) *Router {
 		window:    hdrhist.New(),
 	}
 	rt.windowBegan.Store(time.Now().UnixNano())
+	if cfg.Keyed != nil {
+		kc := *cfg.Keyed
+		kc.Bins = len(cfg.Backends)
+		if kc.Seed == 0 {
+			kc.Seed = rng.Mix(cfg.Seed, 0x6b657965642f636c)
+		}
+		rt.km = keyed.New(kc)
+	}
 	// A rejoining backend may have lost or served balls we never saw:
 	// re-poll it immediately (asynchronously — onChange runs under the
 	// membership lock) so the next picks see its real load rather than
-	// the pre-eviction estimate.
+	// the pre-eviction estimate. The keyed tier follows membership
+	// synchronously: an eviction rebalances exactly the keys resident
+	// on the dead slot (the KeyMap has its own lock and never calls
+	// back into Membership, so nesting under the membership lock is
+	// safe), a rejoin only reopens the slot for future picks.
 	rt.ms.onChange = func(slot int, up bool) {
+		if rt.km != nil {
+			if up {
+				rt.km.SetUp(slot)
+			} else {
+				rt.km.SetDown(slot)
+			}
+		}
 		if up {
 			go func() {
 				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -181,6 +209,10 @@ func (rt *Router) BinsPerBackend() int { return rt.n }
 // Policy returns the routing policy's name.
 func (rt *Router) Policy() string { return rt.policy.Name() }
 
+// Keyed returns the router's KeyMap, nil when keyed routing is not
+// configured.
+func (rt *Router) Keyed() *keyed.KeyMap { return rt.km }
+
 // Draining reports whether Close has begun.
 func (rt *Router) Draining() bool { return rt.draining.Load() }
 
@@ -245,6 +277,87 @@ func (rt *Router) Place(ctx context.Context, count int) ([]int, int64, error) {
 	return nil, 0, fmt.Errorf("cluster: place failed on every healthy backend: %w", lastErr)
 }
 
+// PlaceKeyed routes one ball for key to the key's assigned backend —
+// the keyed tier's dispatch path. First contact probes an assignment
+// under the keyed policy's bounded-load rule; repeat traffic hits the
+// same backend with zero probes; a hot key spreads over its replica
+// set. When the assigned backend errors, the key's replica is moved
+// (one deterministic re-probe of its own sequence, counted in
+// moved_keys) and the placement retries there — like Place, keyed
+// placements fail only when every healthy candidate has been tried,
+// so a backend death costs zero client-visible place errors. Falls
+// back to anonymous Place when the router has no keyed tier or key
+// is empty.
+func (rt *Router) PlaceKeyed(ctx context.Context, key string) ([]int, int64, error) {
+	if rt.km == nil || key == "" {
+		return rt.Place(ctx, 1)
+	}
+	if rt.draining.Load() {
+		return nil, 0, ErrDraining
+	}
+	t0 := time.Now()
+	// Keyed decisions and their probes are accounted in the keyed
+	// stats block, not in picks/probes — mixing them would corrupt
+	// probes_per_pick, whose denominator is anonymous policy picks.
+	slot, _, _, err := rt.km.Route(key)
+	if err != nil {
+		return nil, 0, ErrNoBackends
+	}
+	// Route counted the incoming ball against the key; every exit that
+	// does NOT place it must release that ref, or a failed request
+	// would leave the key looking busy forever (immune to idle
+	// eviction, inflating live-ball balancing).
+	var lastErr error
+	var tried []int
+	for len(tried) <= rt.ms.Size() {
+		if err := ctx.Err(); err != nil {
+			rt.km.Release(key, slot)
+			return nil, 0, err
+		}
+		bins, samples, perr := placeKeyOn(ctx, rt.ms.Backend(slot), key)
+		if perr == nil {
+			rt.ms.ReportSuccess(slot)
+			rt.view.Note(slot, 1)
+			for i := range bins {
+				bins[i] += slot * rt.n
+			}
+			el := int64(time.Since(t0))
+			rt.placeLat.Record(el)
+			rt.window.Record(el)
+			return bins, samples, nil
+		}
+		// A dead caller is not evidence against the backend (see Place).
+		if ctx.Err() != nil {
+			rt.km.Release(key, slot)
+			return nil, 0, ctx.Err()
+		}
+		lastErr = perr
+		rt.failovers.Add(1)
+		rt.ms.ReportFailure(slot)
+		tried = append(tried, slot)
+		next, merr := rt.km.MoveOff(key, slot, tried)
+		if merr != nil {
+			break // no healthy bin outside the tried set remains
+		}
+		slot = next
+	}
+	rt.km.Release(key, slot)
+	if lastErr == nil {
+		return nil, 0, ErrNoBackends
+	}
+	return nil, 0, fmt.Errorf("cluster: keyed place failed on every candidate backend: %w", lastErr)
+}
+
+// placeKeyOn forwards a keyed placement, passing the key through to
+// backends that understand it (end-to-end affinity) and degrading to
+// an anonymous single place otherwise.
+func placeKeyOn(ctx context.Context, b Backend, key string) ([]int, int64, error) {
+	if kb, ok := b.(KeyedBackend); ok {
+		return kb.PlaceKey(ctx, key)
+	}
+	return b.Place(ctx, 1)
+}
+
 // without returns candidates minus slot, copying (the healthy snapshot
 // is shared and must not be mutated).
 func without(candidates []int, slot int) []int {
@@ -262,6 +375,16 @@ func without(candidates []int, slot int) []int {
 // backend is evicted the ball is unreachable until it rejoins, and
 // Remove returns ErrBackendDown.
 func (rt *Router) Remove(ctx context.Context, bin int) error {
+	return rt.RemoveKeyed(ctx, bin, "")
+}
+
+// RemoveKeyed is Remove with keyed bookkeeping: the key is forwarded
+// to the owning backend (so its shard-level keyed tier releases the
+// ball too) and a successful removal releases the ball from the
+// router's own KeyMap. Departures of balls stranded on a dead
+// backend still fail with ErrBackendDown — honest accounting, same
+// as the anonymous path.
+func (rt *Router) RemoveKeyed(ctx context.Context, bin int, key string) error {
 	if rt.draining.Load() {
 		return ErrDraining
 	}
@@ -273,12 +396,20 @@ func (rt *Router) Remove(ctx context.Context, bin int) error {
 		return ErrBackendDown
 	}
 	t0 := time.Now()
-	err := rt.ms.Backend(slot).Remove(ctx, local)
+	var err error
+	if kb, ok := rt.ms.Backend(slot).(KeyedBackend); ok && key != "" {
+		err = kb.RemoveKey(ctx, local, key)
+	} else {
+		err = rt.ms.Backend(slot).Remove(ctx, local)
+	}
 	switch {
 	case err == nil:
 		rt.ms.ReportSuccess(slot)
 		rt.view.Note(slot, -1)
 		rt.removeLat.RecordSince(t0)
+		if rt.km != nil && key != "" {
+			rt.km.Release(key, slot)
+		}
 	case errors.Is(err, serve.ErrEmptyBin):
 		// A well-formed answer from a healthy backend — the caller's
 		// books are wrong, not the backend.

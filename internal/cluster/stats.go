@@ -3,6 +3,7 @@ package cluster
 import (
 	"math"
 
+	"repro/internal/keyed"
 	"repro/internal/serve"
 )
 
@@ -63,6 +64,10 @@ type Stats struct {
 	Evictions     int64   `json:"evictions"`
 	Rejoins       int64   `json:"rejoins"`
 
+	// Keyed is the keyed placement tier's block (key→backend
+	// affinity), present when the router runs one.
+	Keyed *keyed.Stats `json:"keyed,omitempty"`
+
 	Rows []BackendRow `json:"rows"`
 }
 
@@ -83,6 +88,10 @@ func (rt *Router) Stats() Stats {
 	}
 	if st.Picks > 0 {
 		st.ProbesPerPick = float64(st.Probes) / float64(st.Picks)
+	}
+	if rt.km != nil {
+		ks := rt.km.Stats()
+		st.Keyed = &ks
 	}
 	minLoad := math.MaxInt
 	for slot := 0; slot < rt.ms.Size(); slot++ {

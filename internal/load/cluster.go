@@ -7,6 +7,7 @@ import (
 
 	ballsbins "repro"
 	"repro/internal/cluster"
+	"repro/internal/keyed"
 	"repro/internal/serve"
 )
 
@@ -37,9 +38,19 @@ type ClusterConfig struct {
 	Horizon int64
 	// Policy routes across the backends. Required.
 	Policy cluster.Policy
+	// Keyed, when non-nil, gives the router a keyed placement tier
+	// (keys → backends); each backend's dispatcher additionally runs
+	// its own keyed tier (keys → shards) regardless.
+	Keyed *keyed.Config
 	// Staleness is the router's load-view refresh window; 0 keeps the
 	// view on exact local accounting (the single-router case).
 	Staleness time.Duration
+	// FailAfter/RiseAfter forward the membership thresholds (default 2).
+	FailAfter, RiseAfter int
+	// HealthEvery enables the router's health loop — needed for
+	// kill scenarios, where eviction must happen without waiting for
+	// enough traffic failures.
+	HealthEvery time.Duration
 }
 
 // NewInprocCluster builds K in-proc backends and a router over them.
@@ -70,6 +81,10 @@ func NewInprocCluster(cfg ClusterConfig) (*ClusterTarget, error) {
 		Policy:         cfg.Policy,
 		Seed:           cfg.Seed,
 		Staleness:      cfg.Staleness,
+		HealthEvery:    cfg.HealthEvery,
+		FailAfter:      cfg.FailAfter,
+		RiseAfter:      cfg.RiseAfter,
+		Keyed:          cfg.Keyed,
 	})
 	return t, nil
 }
@@ -94,7 +109,43 @@ func (t *ClusterTarget) ReadClusterStats(context.Context) (cluster.Stats, bool, 
 	return t.R.Stats(), true, nil
 }
 
-// Close stops the router, then drains the owned backends.
+// PlaceKey implements KeyedTarget via the router's keyed tier.
+func (t *ClusterTarget) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	return t.R.PlaceKeyed(ctx, key)
+}
+
+// RemoveKey implements KeyedTarget.
+func (t *ClusterTarget) RemoveKey(ctx context.Context, bin int, key string) error {
+	return t.R.RemoveKeyed(ctx, bin, key)
+}
+
+// ReadKeyedStats implements KeyedStatsReader; ok is false when the
+// router has no keyed tier.
+func (t *ClusterTarget) ReadKeyedStats(context.Context) (keyed.Stats, bool, error) {
+	km := t.R.Keyed()
+	if km == nil {
+		return keyed.Stats{}, false, nil
+	}
+	return km.Stats(), true, nil
+}
+
+// KillBackend implements BackendKiller: it abruptly stops the
+// highest-slot still-running backend's dispatcher mid-run (the
+// in-proc analogue of kill -9: its Place/Remove/Health all fail
+// immediately, so traffic errors and health probes evict it), and
+// returns the killed slot (-1 when every backend is already dead).
+func (t *ClusterTarget) KillBackend() int {
+	for slot := len(t.dispatchers) - 1; slot >= 0; slot-- {
+		if !t.dispatchers[slot].Draining() {
+			t.dispatchers[slot].Close()
+			return slot
+		}
+	}
+	return -1
+}
+
+// Close stops the router, then drains the owned backends (Close is
+// idempotent, so an already-killed backend is fine).
 func (t *ClusterTarget) Close() {
 	t.R.Close()
 	for _, d := range t.dispatchers {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/hdrhist"
+	"repro/internal/keyed"
 	"repro/internal/serve"
 )
 
@@ -59,11 +61,40 @@ type ClusterStatsReader interface {
 	ReadClusterStats(ctx context.Context) (cs cluster.Stats, ok bool, err error)
 }
 
+// KeyedTarget is implemented by targets that accept keyed operations
+// (every built-in target does). Keyed scenarios require it.
+type KeyedTarget interface {
+	// PlaceKey places one ball for key.
+	PlaceKey(ctx context.Context, key string) (bins []int, samples int64, err error)
+	// RemoveKey removes one of key's balls from bin.
+	RemoveKey(ctx context.Context, bin int, key string) error
+}
+
+// KeyedStatsReader reports the target's keyed-tier stats block, used
+// to stamp affinity_hit_rate / keys_moved into keyed run records. ok
+// is false when the target serves no keyed tier.
+type KeyedStatsReader interface {
+	ReadKeyedStats(ctx context.Context) (ks keyed.Stats, ok bool, err error)
+}
+
+// BackendKiller is implemented by targets that can abruptly kill one
+// of their backends mid-run (the in-proc ClusterTarget) — the
+// membership-kill scenario's trigger. It returns the killed slot.
+type BackendKiller interface {
+	KillBackend() int
+}
+
 // Phase is one segment of a scenario: for Frac of the run's duration,
-// arrivals come at Rate times the configured base rate.
+// arrivals come at Rate times the configured base rate. Hot > 0
+// redirects that fraction of the phase's keyed arrivals to one
+// designated hot key (the hot-key flash). Phases describe the
+// open-loop arrival process; closed-loop runs have none, so both
+// Rate and Hot shaping are ignored there (a closed keyed-flash
+// measures plain keyed saturation).
 type Phase struct {
 	Frac float64 `json:"frac"`
 	Rate float64 `json:"rate"`
+	Hot  float64 `json:"hot,omitempty"`
 }
 
 // Scenario shapes the arrival process of an open-loop run.
@@ -76,17 +107,34 @@ type Scenario struct {
 	// ball rate still matches the configured rate.
 	BatchZipfS float64 `json:"batch_zipf_s,omitempty"`
 	BatchMax   int     `json:"batch_max,omitempty"`
+
+	// Keyed runs the scenario through the keyed placement API: every
+	// arrival is one ball for a key drawn Zipf(KeyZipfS) over a space
+	// of KeySpace keys from its own seedable stream, and its departure
+	// releases that key's ball. Requires the target to implement
+	// KeyedTarget.
+	Keyed    bool    `json:"keyed,omitempty"`
+	KeyZipfS float64 `json:"key_zipf_s,omitempty"` // default 1.2 (must be > 1)
+	KeySpace int     `json:"key_space,omitempty"`  // default 1024
+	// KeyChurnRotations > 0 rotates the key space that many times over
+	// the run: fresh keys keep arriving while earlier ones go idle —
+	// the key-churn regime (affinity under arrival/departure of the
+	// keys themselves, not just their balls).
+	KeyChurnRotations int `json:"key_churn_rotations,omitempty"`
+	// KillBackendFrac > 0 kills one backend at that fraction of the
+	// run, when the target supports it (membership-kill scenarios).
+	KillBackendFrac float64 `json:"kill_backend_frac,omitempty"`
 }
 
 // Steady is constant-rate churn for the whole run.
 func Steady() Scenario {
-	return Scenario{Name: "steady", Phases: []Phase{{1, 1}}}
+	return Scenario{Name: "steady", Phases: []Phase{{1, 1, 0}}}
 }
 
 // Ramp steps the rate from 20% to 100% in five equal phases.
 func Ramp() Scenario {
 	return Scenario{Name: "ramp", Phases: []Phase{
-		{0.2, 0.2}, {0.2, 0.4}, {0.2, 0.6}, {0.2, 0.8}, {0.2, 1},
+		{0.2, 0.2, 0}, {0.2, 0.4, 0}, {0.2, 0.6, 0}, {0.2, 0.8, 0}, {0.2, 1, 0},
 	}}
 }
 
@@ -94,7 +142,7 @@ func Ramp() Scenario {
 // of the run spiking to three times the base rate.
 func Flash() Scenario {
 	return Scenario{Name: "flash", Phases: []Phase{
-		{0.4, 0.5}, {0.2, 3}, {0.4, 0.5},
+		{0.4, 0.5, 0}, {0.2, 3, 0}, {0.4, 0.5, 0},
 	}}
 }
 
@@ -103,7 +151,7 @@ func Flash() Scenario {
 func Skew() Scenario {
 	return Scenario{
 		Name:   "skew",
-		Phases: []Phase{{1, 1}},
+		Phases: []Phase{{1, 1, 0}},
 		// s = 1.5 over [1,32]: most arrivals are single balls, the
 		// occasional one carries tens.
 		BatchZipfS: 1.5,
@@ -111,8 +159,42 @@ func Skew() Scenario {
 	}
 }
 
+// KeyedSteady is steady keyed churn: one ball per arrival for a
+// Zipf-popular key, departing after its service time.
+func KeyedSteady() Scenario {
+	return Scenario{Name: "keyed", Phases: []Phase{{1, 1, 0}},
+		Keyed: true, KeyZipfS: 1.2, KeySpace: 1024}
+}
+
+// KeyedFlash is the hot-key flash: steady keyed traffic, with the
+// middle fifth of the run sending 30% of arrivals (at 1.5× rate) to
+// one single key — the workload hot-key splitting exists for.
+func KeyedFlash() Scenario {
+	return Scenario{Name: "keyed-flash", Phases: []Phase{
+		{0.4, 1, 0}, {0.2, 1.5, 0.3}, {0.4, 1, 0},
+	}, Keyed: true, KeyZipfS: 1.2, KeySpace: 1024}
+}
+
+// KeyedChurn rotates the key space four times over the run: keys
+// themselves arrive and depart, exercising assignment-table turnover
+// under sustained traffic.
+func KeyedChurn() Scenario {
+	return Scenario{Name: "keyed-churn", Phases: []Phase{{1, 1, 0}},
+		Keyed: true, KeyZipfS: 1.2, KeySpace: 1024, KeyChurnRotations: 4}
+}
+
+// KeyedKill is keyed steady traffic with one backend killed at the
+// run's midpoint (targets implementing BackendKiller; a no-op
+// otherwise) — the membership-kill disruption scenario.
+func KeyedKill() Scenario {
+	return Scenario{Name: "keyed-kill", Phases: []Phase{{1, 1, 0}},
+		Keyed: true, KeyZipfS: 1.2, KeySpace: 1024, KillBackendFrac: 0.5}
+}
+
 // Scenarios lists the preset names ByName accepts.
-func Scenarios() []string { return []string{"steady", "ramp", "flash", "skew"} }
+func Scenarios() []string {
+	return []string{"steady", "ramp", "flash", "skew", "keyed", "keyed-flash", "keyed-churn", "keyed-kill"}
+}
 
 // ByName resolves a scenario preset.
 func ByName(name string) (Scenario, error) {
@@ -125,6 +207,14 @@ func ByName(name string) (Scenario, error) {
 		return Flash(), nil
 	case "skew":
 		return Skew(), nil
+	case "keyed", "keyed-steady":
+		return KeyedSteady(), nil
+	case "keyed-flash":
+		return KeyedFlash(), nil
+	case "keyed-churn":
+		return KeyedChurn(), nil
+	case "keyed-kill":
+		return KeyedKill(), nil
 	default:
 		return Scenario{}, fmt.Errorf("unknown scenario %q (want one of %s)",
 			name, strings.Join(Scenarios(), ", "))
@@ -214,6 +304,24 @@ type Result struct {
 	MaxBackendBalls int64   `json:"max_backend_balls"`
 	ProbesPerPick   float64 `json:"probes_per_pick"`
 	Failovers       int64   `json:"failovers"`
+
+	// Keyed-tier fields (the bbkeyed/v1 schema additions), stamped for
+	// keyed scenarios from the target's keyed stats block. Like the
+	// cluster metrics, the counters carry no omitempty — zero moved
+	// keys or a zero hit rate is a measurement, not missing data
+	// (KeyedPolicy discriminates keyed cases).
+	KeyedPolicy     string  `json:"keyed_policy,omitempty"`
+	KeySpace        int     `json:"key_space,omitempty"`
+	KeyZipfS        float64 `json:"key_zipf_s,omitempty"`
+	Keys            int64   `json:"keys"`
+	HotKeys         int64   `json:"hot_keys"`
+	AffinityHitRate float64 `json:"affinity_hit_rate"`
+	KeysMoved       int64   `json:"keys_moved"`
+	KeysShed        int64   `json:"keys_shed"`
+	MaxKeyLoad      int64   `json:"max_key_load"`
+	// KilledBackend is the slot killed mid-run, -1 when no kill fired
+	// (slot 0 is a valid victim, so absence cannot mean "none").
+	KilledBackend int `json:"killed_backend"`
 }
 
 // Run executes one generator run against the target.
@@ -229,8 +337,34 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 		return Result{}, fmt.Errorf("load: scenario %q: BatchZipfS must be > 1, got %v",
 			cfg.Scenario.Name, s)
 	}
+	if cfg.Scenario.Keyed {
+		if cfg.Scenario.KeyZipfS == 0 {
+			cfg.Scenario.KeyZipfS = 1.2
+		}
+		if cfg.Scenario.KeySpace <= 0 {
+			cfg.Scenario.KeySpace = 1024
+		}
+		if s := cfg.Scenario.KeyZipfS; s <= 1 {
+			return Result{}, fmt.Errorf("load: scenario %q: KeyZipfS must be > 1, got %v",
+				cfg.Scenario.Name, s)
+		}
+		if _, ok := target.(KeyedTarget); !ok {
+			return Result{}, fmt.Errorf("load: scenario %q is keyed but target %T has no keyed API",
+				cfg.Scenario.Name, target)
+		}
+	}
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 16384
+	}
+	var killed atomic.Int64
+	killed.Store(-1)
+	if f := cfg.Scenario.KillBackendFrac; f > 0 && f < 1 {
+		if bk, ok := target.(BackendKiller); ok {
+			tm := time.AfterFunc(time.Duration(f*float64(cfg.Duration)), func() {
+				killed.Store(int64(bk.KillBackend()))
+			})
+			defer tm.Stop()
+		}
 	}
 	var res Result
 	var err error
@@ -273,6 +407,22 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 			res.Failovers = cs.Failovers
 		}
 	}
+	if cfg.Scenario.Keyed {
+		res.KeySpace = cfg.Scenario.KeySpace
+		res.KeyZipfS = cfg.Scenario.KeyZipfS
+		if kr, ok := target.(KeyedStatsReader); ok {
+			if ks, isKeyed, kerr := kr.ReadKeyedStats(ctx); kerr == nil && isKeyed {
+				res.KeyedPolicy = ks.Policy
+				res.Keys = ks.Keys
+				res.HotKeys = ks.HotKeys
+				res.AffinityHitRate = ks.AffinityHitRate
+				res.KeysMoved = ks.MovedKeys
+				res.KeysShed = ks.ShedKeys
+				res.MaxKeyLoad = ks.MaxKeyLoad
+			}
+		}
+	}
+	res.KilledBackend = int(killed.Load())
 	return res, nil
 }
 
@@ -286,6 +436,14 @@ type sampler struct {
 	logNorm  bool
 	mean     float64 // service mean in seconds
 	meanBulk float64
+
+	// Key-popularity stream for keyed scenarios: its own seeded
+	// generator (cfg.Seed+2), so key draws are reproducible and
+	// independent of arrival timing draws.
+	keyRng   *rand.Rand
+	keyZipf  *rand.Zipf
+	keySpace int
+	churn    int
 }
 
 func newSampler(cfg Config) *sampler {
@@ -312,7 +470,32 @@ func newSampler(cfg Config) *sampler {
 		}
 		s.meanBulk = sum / probes
 	}
+	if sc := cfg.Scenario; sc.Keyed {
+		s.keyRng = rand.New(rand.NewSource(cfg.Seed + 2))
+		s.keyZipf = rand.NewZipf(s.keyRng, sc.KeyZipfS, 1, uint64(sc.KeySpace-1))
+		s.keySpace = sc.KeySpace
+		s.churn = sc.KeyChurnRotations
+	}
 	return s
+}
+
+// key draws the next arrival's key: the designated hot key with
+// probability hot, otherwise a Zipf-popular key id — shifted by the
+// churn epoch (frac = elapsed fraction of the run) so the key space
+// rotates KeyChurnRotations times over the run.
+func (s *sampler) key(frac, hot float64) string {
+	if s.keyZipf == nil {
+		return ""
+	}
+	if hot > 0 && s.keyRng.Float64() < hot {
+		return "hot"
+	}
+	id := int(s.keyZipf.Uint64())
+	if s.churn > 0 {
+		epoch := int(frac * float64(s.churn))
+		id += epoch * s.keySpace
+	}
+	return "k" + strconv.Itoa(id)
 }
 
 // gap returns the next Poisson inter-arrival time for arrival events
@@ -366,8 +549,10 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 	sleepCtx, cancelSleeps := context.WithCancel(ctx)
 	defer cancelSleeps()
 
+	kt, _ := target.(KeyedTarget)
+
 	var wg sync.WaitGroup
-	depart := func(bin int, after time.Duration) {
+	depart := func(bin int, key string, after time.Duration) {
 		defer wg.Done()
 		select {
 		case <-time.After(after):
@@ -375,18 +560,30 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 			return // departure abandoned at drain; the ball stays live
 		}
 		t0 := time.Now()
-		if err := target.Remove(ctx, bin); err != nil {
+		var err error
+		if key != "" {
+			err = kt.RemoveKey(ctx, bin, key)
+		} else {
+			err = target.Remove(ctx, bin)
+		}
+		if err != nil {
 			removeErrs.Add(1)
 			return
 		}
 		removeHist.RecordSince(t0)
 		removed.Add(1)
 	}
-	arrive := func(bulk int, services []time.Duration) {
+	arrive := func(bulk int, key string, services []time.Duration) {
 		defer wg.Done()
 		defer outstanding.Add(-1)
 		t0 := time.Now()
-		bins, _, err := target.Place(ctx, bulk)
+		var bins []int
+		var err error
+		if key != "" {
+			bins, _, err = kt.PlaceKey(ctx, key)
+		} else {
+			bins, _, err = target.Place(ctx, bulk)
+		}
 		if err != nil {
 			placeErrs.Add(1)
 			return
@@ -395,7 +592,7 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 		placed.Add(int64(len(bins)))
 		for i, bin := range bins {
 			wg.Add(1)
-			go depart(bin, services[i])
+			go depart(bin, key, services[i])
 		}
 	}
 
@@ -427,7 +624,17 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 					return Result{}, ctx.Err()
 				}
 			}
-			bulk := smp.bulk()
+			bulk := 1
+			var key string
+			if cfg.Scenario.Keyed {
+				// A keyed arrival is one ball for one key (the API
+				// refuses keyed bulks); the key draw happens here, on
+				// the single scheduler goroutine, so the key sequence
+				// is a deterministic function of the seed.
+				key = smp.key(float64(time.Since(start))/float64(cfg.Duration), ph.Hot)
+			} else {
+				bulk = smp.bulk()
+			}
 			services := make([]time.Duration, bulk)
 			for i := range services {
 				services[i] = smp.service()
@@ -438,7 +645,7 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 			}
 			outstanding.Add(1)
 			wg.Add(1)
-			go arrive(bulk, services)
+			go arrive(bulk, key, services)
 		}
 		if sleep := phaseEnd - time.Since(start); sleep > 0 {
 			select {
@@ -486,15 +693,43 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
 
+	kt, _ := target.(KeyedTarget)
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each keyed worker draws from its own seeded key stream, so
+			// runs are reproducible regardless of scheduling. Key churn
+			// applies here too: the key space rotates with elapsed time.
+			var keys *rand.Zipf
+			if sc := cfg.Scenario; sc.Keyed {
+				keys = rand.NewZipf(rand.New(rand.NewSource(cfg.Seed+100+int64(w))),
+					sc.KeyZipfS, 1, uint64(sc.KeySpace-1))
+			}
 			for runCtx.Err() == nil {
+				var key string
+				if keys != nil {
+					id := int(keys.Uint64())
+					if rot := cfg.Scenario.KeyChurnRotations; rot > 0 {
+						frac := float64(time.Since(start)) / float64(cfg.Duration)
+						if frac > 1 {
+							frac = 1
+						}
+						id += int(frac*float64(rot)) * cfg.Scenario.KeySpace
+					}
+					key = "k" + strconv.Itoa(id)
+				}
 				t0 := time.Now()
-				bins, _, err := target.Place(runCtx, 1)
+				var bins []int
+				var err error
+				if key != "" {
+					bins, _, err = kt.PlaceKey(runCtx, key)
+				} else {
+					bins, _, err = target.Place(runCtx, 1)
+				}
 				if err != nil {
 					if runCtx.Err() == nil {
 						// Transient failure: count it and keep
@@ -514,7 +749,13 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 				// The pair is the unit of work: finish the remove even
 				// if the deadline landed mid-cycle, so the run ends
 				// with the target drained back to empty.
-				if err := target.Remove(context.Background(), bins[0]); err != nil {
+				var rerr error
+				if key != "" {
+					rerr = kt.RemoveKey(context.Background(), bins[0], key)
+				} else {
+					rerr = target.Remove(context.Background(), bins[0])
+				}
+				if err := rerr; err != nil {
 					workerErrs[w]++
 					removeErrs.Add(1)
 					time.Sleep(time.Millisecond)

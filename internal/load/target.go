@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/keyed"
 	"repro/internal/serve"
 )
 
@@ -32,6 +34,25 @@ func (t InProc) Remove(ctx context.Context, bin int) error {
 // ReadStats implements StatsReader.
 func (t InProc) ReadStats(context.Context) (serve.StatsView, error) {
 	return t.D.Stats(), nil
+}
+
+// PlaceKey implements KeyedTarget.
+func (t InProc) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	bin, samples, err := t.D.PlaceKeyed(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return []int{bin}, samples, nil
+}
+
+// RemoveKey implements KeyedTarget.
+func (t InProc) RemoveKey(ctx context.Context, bin int, key string) error {
+	return t.D.RemoveKeyed(ctx, bin, key)
+}
+
+// ReadKeyedStats implements KeyedStatsReader.
+func (t InProc) ReadKeyedStats(context.Context) (keyed.Stats, bool, error) {
+	return t.D.KeyedStats(), true, nil
 }
 
 // HTTPTarget drives a bbserved instance over its HTTP API.
@@ -97,8 +118,30 @@ func (t *HTTPTarget) Place(ctx context.Context, count int) ([]int, int64, error)
 
 // Remove implements Target via POST /v1/remove.
 func (t *HTTPTarget) Remove(ctx context.Context, bin int) error {
+	return t.RemoveKey(ctx, bin, "")
+}
+
+// PlaceKey implements KeyedTarget via POST /v1/place?key=.
+func (t *HTTPTarget) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	var pr serve.PlaceResponse
+	status, err := t.post(ctx, "/v1/place?key="+url.QueryEscape(key), &pr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status != http.StatusOK {
+		return nil, 0, fmt.Errorf("load: keyed place: status %d", status)
+	}
+	return []int{pr.Bin}, pr.Samples, nil
+}
+
+// RemoveKey implements KeyedTarget via POST /v1/remove?bin=&key=.
+func (t *HTTPTarget) RemoveKey(ctx context.Context, bin int, key string) error {
+	path := fmt.Sprintf("/v1/remove?bin=%d", bin)
+	if key != "" {
+		path += "&key=" + url.QueryEscape(key)
+	}
 	var rr serve.RemoveResponse
-	status, err := t.post(ctx, fmt.Sprintf("/v1/remove?bin=%d", bin), &rr)
+	status, err := t.post(ctx, path, &rr)
 	if err != nil {
 		return err
 	}
@@ -159,4 +202,21 @@ func (t *HTTPTarget) ReadClusterStats(ctx context.Context) (cluster.Stats, bool,
 		return cluster.Stats{}, false, err
 	}
 	return sr.Cluster, sr.Cluster.Policy != "", nil
+}
+
+// ReadKeyedStats implements KeyedStatsReader: a bbproxy reports its
+// keyed tier inside the cluster block (keys → backends), a plain
+// bbserved at the top level (keys → shards).
+func (t *HTTPTarget) ReadKeyedStats(ctx context.Context) (keyed.Stats, bool, error) {
+	sr, err := t.readStatsResponse(ctx)
+	if err != nil {
+		return keyed.Stats{}, false, err
+	}
+	if sr.Cluster.Keyed != nil {
+		return *sr.Cluster.Keyed, true, nil
+	}
+	if sr.Keyed != nil {
+		return *sr.Keyed, true, nil
+	}
+	return keyed.Stats{}, false, nil
 }

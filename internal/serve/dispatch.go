@@ -34,12 +34,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	ballsbins "repro"
 	"repro/internal/hdrhist"
+	"repro/internal/keyed"
+	"repro/internal/rng"
 )
 
 // ErrDraining is returned by Place/Remove once Close has begun: the
@@ -50,6 +53,17 @@ var ErrDraining = errors.New("serve: dispatcher draining")
 // ErrEmptyBin is returned by Remove when the target bin holds no
 // balls at execution time.
 var ErrEmptyBin = errors.New("serve: remove from empty bin")
+
+// ErrKeyedUnsupported is returned by PlaceKeyed for specs whose
+// termination relies on round-robin shard evenness: the threshold
+// family splits its horizon per shard as ceil(m/P) and FixedThreshold
+// carries an absolute bound, so pinning a popular key's balls to one
+// shard could push that shard past its acceptance bound and spin its
+// combiner forever. Keyed traffic needs a fully online spec (the
+// adaptive family, greedy, single, ...), whose acceptance bound
+// tracks the shard's own load.
+var ErrKeyedUnsupported = errors.New(
+	"serve: spec cannot serve keyed traffic (shard-pinned placement would break its per-shard acceptance bound); use an online spec such as adaptive")
 
 const (
 	// DefaultQueueDepth bounds each shard's arrival queue; beyond it,
@@ -74,6 +88,11 @@ type Config struct {
 	// DefaultMaxBatch when zero.
 	QueueDepth int
 	MaxBatch   int
+	// Keyed tunes the keyed placement tier (internal/keyed) mapping
+	// keys to shards; Bins and, when zero, Policy (adaptive) and Seed
+	// (derived from Seed) are filled in by the dispatcher. nil uses
+	// all defaults.
+	Keyed *keyed.Config
 }
 
 type opKind uint8
@@ -106,6 +125,8 @@ type Dispatcher struct {
 	cfg     Config
 	queues  []chan *request
 	stats   *Stats
+	km      *keyed.KeyMap // key → shard affinity (keyed placements)
+	keyedOK bool          // spec terminates under shard-pinned traffic
 	latency *hdrhist.Hist // enqueue → completion, per request
 	// drainMu is held shared for the span of every enqueue and
 	// exclusively by Close between setting draining and closing the
@@ -138,14 +159,31 @@ func NewDispatcher(cfg Config) *Dispatcher {
 	if cfg.Horizon > 0 {
 		opts = append(opts, ballsbins.WithHorizon(cfg.Horizon))
 	}
+	kc := keyed.Config{}
+	if cfg.Keyed != nil {
+		kc = *cfg.Keyed
+	}
+	kc.Bins = cfg.Shards
+	if kc.Seed == 0 {
+		// Decoupled from the allocator's shard streams so keyed probe
+		// sequences cannot correlate with placement draws.
+		kc.Seed = rng.Mix(cfg.Seed, 0x6b657965642f7372)
+	}
 	d := &Dispatcher{
 		sa:      ballsbins.NewSharded(cfg.Spec, cfg.N, cfg.Shards, opts...),
 		cfg:     cfg,
 		queues:  make([]chan *request, cfg.Shards),
 		stats:   newStats(cfg.Shards),
+		km:      keyed.New(kc),
 		latency: hdrhist.New(),
 		closed:  make(chan struct{}),
 	}
+	// Threshold-family and fixed-bound specs reject keyed traffic (see
+	// ErrKeyedUnsupported); "threshold-retry" (BoundedRetry) is safe —
+	// its sample cap guarantees termination at any shard load.
+	name := d.sa.Name()
+	d.keyedOK = !(strings.HasPrefix(name, "fixed[") ||
+		(strings.HasPrefix(name, "threshold") && !strings.HasPrefix(name, "threshold-retry")))
 	for s := range d.queues {
 		d.queues[s] = make(chan *request, cfg.QueueDepth)
 		d.workers.Add(1)
@@ -192,6 +230,55 @@ func (d *Dispatcher) Place(ctx context.Context) (bin int, samples int64, err err
 	<-req.done
 	return req.bins[0], req.samples, nil
 }
+
+// PlaceKeyed allocates one ball for key. Instead of claiming a
+// round-robin ticket, the ball is ticketed to the key's shard (the
+// keyed tier's sticky affinity: internal/keyed assigns each key a
+// shard under the keyed policy's bounded-load rule, and repeat
+// traffic costs zero probes), so all of a key's balls share one
+// shard's locality. Keyed traffic therefore skews per-shard ball
+// counts by key popularity — bounded at the key level by the keyed
+// policy, and at the traffic level by hot-key splitting — rather
+// than obeying the round-robin evenness of anonymous placements.
+// Admission and commit semantics are exactly Place's.
+func (d *Dispatcher) PlaceKeyed(ctx context.Context, key string) (bin int, samples int64, err error) {
+	if key == "" {
+		return d.Place(ctx)
+	}
+	if !d.keyedOK {
+		return 0, 0, ErrKeyedUnsupported
+	}
+	if err := d.admit(); err != nil {
+		return 0, 0, err
+	}
+	defer d.drainMu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	shard, _, _, err := d.km.Route(key)
+	if err != nil {
+		return 0, 0, err // unreachable: serve shards never leave rotation
+	}
+	req := &request{op: opPlace, count: 1, t0: time.Now(), done: make(chan struct{})}
+	d.queues[shard] <- req
+	<-req.done
+	return req.bins[0], req.samples, nil
+}
+
+// RemoveKeyed is Remove plus keyed bookkeeping: a successful removal
+// releases one of key's balls from the bin's shard, so the keyed
+// tier's live-ball accounting (idle eviction, hot-replica balancing)
+// tracks departures.
+func (d *Dispatcher) RemoveKeyed(ctx context.Context, bin int, key string) error {
+	err := d.Remove(ctx, bin)
+	if err == nil && key != "" {
+		d.km.Release(key, d.sa.ShardOf(bin))
+	}
+	return err
+}
+
+// KeyedStats returns the keyed tier's monitoring block.
+func (d *Dispatcher) KeyedStats() keyed.Stats { return d.km.Stats() }
 
 // PlaceMany allocates count balls spread round-robin over the shards
 // (claiming count tickets at once) and returns their global bins in

@@ -8,6 +8,7 @@ import (
 
 	ballsbins "repro"
 	"repro/internal/hdrhist"
+	"repro/internal/keyed"
 )
 
 // MaxBulkPlace caps the count accepted by one POST /v1/place, bounding
@@ -26,11 +27,13 @@ type Info struct {
 
 // PlaceResponse is the body of POST /v1/place. Bin duplicates Bins[0]
 // for the count=1 case so single-ball callers need not unpack a list.
+// Key echoes the keyed placement's key, when one was given.
 type PlaceResponse struct {
-	Bin     int   `json:"bin"`
-	Bins    []int `json:"bins,omitempty"`
-	Count   int   `json:"count"`
-	Samples int64 `json:"samples"`
+	Bin     int    `json:"bin"`
+	Bins    []int  `json:"bins,omitempty"`
+	Count   int    `json:"count"`
+	Samples int64  `json:"samples"`
+	Key     string `json:"key,omitempty"`
 }
 
 // RemoveResponse is the body of POST /v1/remove.
@@ -40,12 +43,14 @@ type RemoveResponse struct {
 }
 
 // StatsResponse is the body of GET /v1/stats: the lock-free monitoring
-// view plus dispatch-latency quantiles in nanoseconds.
+// view plus dispatch-latency quantiles in nanoseconds and the keyed
+// placement tier's block (key→shard affinity).
 type StatsResponse struct {
 	Info Info `json:"info"`
 	StatsView
-	Draining  bool    `json:"draining"`
-	LatencyNs Latency `json:"dispatch_latency_ns"`
+	Draining  bool         `json:"draining"`
+	LatencyNs Latency      `json:"dispatch_latency_ns"`
+	Keyed     *keyed.Stats `json:"keyed,omitempty"`
 }
 
 // Latency summarizes a latency histogram in nanoseconds.
@@ -138,20 +143,42 @@ func (h *handler) place(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	bins, samples, err := h.d.PlaceMany(r.Context(), count)
+	key := r.URL.Query().Get("key")
+	if key != "" && count > 1 {
+		// Bulk + affinity is ambiguous: a bulk spreads round-robin
+		// across shards, a key pins its shard. Refusing is the only
+		// honest answer — silently round-robining a keyed bulk (the
+		// pre-keyed behavior) would scatter a key's balls and destroy
+		// the affinity contract without telling the caller.
+		writeError(w, http.StatusBadRequest,
+			"bulk place (count=%d) cannot carry a key: keyed placement is one ball per request; send count=1 requests for key %q", count, key)
+		return
+	}
+	var bins []int
+	var samples int64
+	if key != "" {
+		var bin int
+		bin, samples, err = h.d.PlaceKeyed(r.Context(), key)
+		bins = []int{bin}
+	} else {
+		bins, samples, err = h.d.PlaceMany(r.Context(), count)
+	}
 	if err != nil {
 		// A cancelled bulk request may still have committed part of
 		// its balls (enqueue is the commit point) — the client is gone
 		// and cannot read any body, so there is no one to report them
 		// to; they remain visible in /v1/stats like every placement.
 		status := http.StatusInternalServerError
-		if err == ErrDraining {
+		switch err {
+		case ErrDraining:
 			status = http.StatusServiceUnavailable
+		case ErrKeyedUnsupported:
+			status = http.StatusBadRequest
 		}
 		writeError(w, status, "%v", err)
 		return
 	}
-	resp := PlaceResponse{Bin: bins[0], Count: count, Samples: samples}
+	resp := PlaceResponse{Bin: bins[0], Count: count, Samples: samples, Key: key}
 	if count > 1 {
 		resp.Bins = bins
 	}
@@ -173,7 +200,7 @@ func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bin %d outside [0,%d)", bin, h.d.N())
 		return
 	}
-	switch err := h.d.Remove(r.Context(), bin); err {
+	switch err := h.d.RemoveKeyed(r.Context(), bin, r.URL.Query().Get("key")); err {
 	case nil:
 		writeJSON(w, http.StatusOK, RemoveResponse{Bin: bin, Removed: true})
 	case ErrEmptyBin:
@@ -221,11 +248,13 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	ks := h.d.KeyedStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Info:      h.info,
 		StatsView: h.d.Stats(),
 		Draining:  h.d.Draining(),
 		LatencyNs: LatencySummary(h.d.Latency()),
+		Keyed:     &ks,
 	})
 }
 
@@ -276,6 +305,13 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	g("bb_psi", "Quadratic potential of the load vector.", v.Psi)
 	g("bb_samples_per_ball", "Cumulative samples per placed ball.", v.SamplesPerBall)
 	g("bb_combining_factor", "Requests applied per combiner lock acquisition.", v.CombiningFactor)
+
+	ks := h.d.KeyedStats()
+	g("bb_keyed_keys", "Keys in the keyed placement table.", ks.Keys)
+	g("bb_keyed_hot_keys", "Keys split to replica sets.", ks.HotKeys)
+	g("bb_keyed_affinity_hit_rate", "Keyed requests answered from the affinity table.", ks.AffinityHitRate)
+	c("bb_keyed_moved_total", "Key replicas moved by failures or rebalancing.", ks.MovedKeys)
+	c("bb_keyed_shed_total", "Key replicas shed off overfull bins.", ks.ShedKeys)
 
 	fmt.Fprintf(w, "# HELP bb_shard_balls Balls per shard.\n# TYPE bb_shard_balls gauge\n")
 	for _, row := range v.Shards {
