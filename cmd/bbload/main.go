@@ -17,7 +17,9 @@
 // family (schema bbkeyed/v1): keyed (steady Zipf key popularity from
 // a seedable stream), keyed-flash (one key takes 30% of mid-run
 // traffic), keyed-churn (the key space rotates), keyed-kill (one
-// backend dies mid-run; cluster target).
+// backend dies mid-run; cluster target), keyed-restart (the routing
+// tier crash-restarts from its WAL mid-run; cluster target — stamps
+// recovery_ms, assignments_recovered, affinity_hit_rate_post_restart).
 //
 // Usage:
 //
@@ -89,6 +91,10 @@ func main() {
 
 		keySpace = flag.Int("key-space", 0, "keyed scenarios: distinct key count (0 = preset default)")
 		keyZipf  = flag.Float64("key-zipf", 0, "keyed scenarios: key popularity Zipf s > 1 (0 = preset default)")
+
+		dataDir   = flag.String("data-dir", "", "cluster target: durable keyed state root (each run gets a fresh subdirectory; empty = temp dir for restart scenarios, in-memory otherwise)")
+		snapEvery = flag.Int("snapshot-every", 0, "cluster target: journal records between snapshots (0 = default)")
+		fsyncMode = flag.String("fsync", "", "cluster target: WAL fsync policy: always, interval, never (empty = default)")
 	)
 	flag.Parse()
 
@@ -137,7 +143,8 @@ func main() {
 		}
 		for _, policy := range policyNames {
 			res, err := runOne(ctx, sf, sc, *target, *mode, *rate, *workers, *duration,
-				*service, *dist, *n, *shards, *horizon, *backends, policy, *retries, *staleness)
+				*service, *dist, *n, *shards, *horizon, *backends, policy, *retries, *staleness,
+				*dataDir, *snapEvery, *fsyncMode)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bbload:", err)
 				os.Exit(1)
@@ -154,6 +161,10 @@ func main() {
 			if res.KeyedPolicy != "" {
 				line += fmt.Sprintf("  [keyed %s: %d keys, hit %.3f, moved %d, shed %d, hot %d]",
 					res.KeyedPolicy, res.Keys, res.AffinityHitRate, res.KeysMoved, res.KeysShed, res.HotKeys)
+			}
+			if res.ProxyRestarted {
+				line += fmt.Sprintf("  [restart: recovered %d keys in %dms, post-restart hit %.3f]",
+					res.AssignmentsRecovered, res.RecoveryMs, res.AffinityHitRatePostRestart)
 			}
 			fmt.Fprintln(os.Stderr, line)
 			rep.Cases = append(rep.Cases, res)
@@ -196,7 +207,8 @@ func fmtNs(ns int64) string {
 func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 	target, mode string, rate float64, workers int, duration, service time.Duration,
 	dist string, n, shards int, horizon int64,
-	backends int, policyName string, retries int, staleness time.Duration) (load.Result, error) {
+	backends int, policyName string, retries int, staleness time.Duration,
+	dataDir string, snapEvery int, fsyncMode string) (load.Result, error) {
 
 	cfg := load.Config{
 		Scenario:    sc,
@@ -255,10 +267,28 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 		if err != nil {
 			return load.Result{}, err
 		}
+		// Restart scenarios need durable keyed state; each run gets a
+		// fresh directory so one run's WAL never replays into the next.
+		runDir := ""
+		if dataDir != "" || sc.RestartProxyFrac > 0 {
+			root := dataDir
+			if root == "" {
+				root = os.TempDir()
+			}
+			var derr error
+			runDir, derr = os.MkdirTemp(root, "bbload-wal-")
+			if derr != nil {
+				return load.Result{}, derr
+			}
+			if dataDir == "" {
+				defer os.RemoveAll(runDir)
+			}
+		}
 		ct, err := load.NewInprocCluster(load.ClusterConfig{
 			Backends: backends, Spec: spec, N: n, Shards: shards,
 			Engine: eng, Seed: sf.Seed, Horizon: horizon,
 			Policy: policy, Keyed: keyedCfg, Staleness: staleness,
+			DataDir: runDir, SnapshotEvery: snapEvery, Fsync: fsyncMode,
 		})
 		if err != nil {
 			return load.Result{}, err

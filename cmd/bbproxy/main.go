@@ -35,6 +35,14 @@
 // Backends that fail -fail-after consecutive health probes (or live
 // requests) are evicted from routing and rejoin automatically after
 // -rise-after successful probes. SIGINT/SIGTERM drain gracefully.
+//
+// With -data-dir the keyed tier is durable: every key→backend
+// mutation is journaled to a CRC-checked write-ahead log with periodic
+// compacting snapshots, a restarted proxy replays to the exact
+// pre-crash assignment before routing (healthz answers 503 while the
+// replay runs), and the SIGTERM drain writes a final snapshot so a
+// clean restart loses nothing. -fsync picks the append durability
+// policy and -snapshot-every the compaction cadence.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/keyed"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // checkedBackend defers the bin-count agreement check for a backend
@@ -141,6 +150,9 @@ func main() {
 		replicas    = flag.Int("replicas", keyed.DefaultReplicas, "keyed tier: hot-key replica set size (1 disables splitting)")
 		hotShare    = flag.Float64("hot-share", keyed.DefaultHotShare, "keyed tier: request share promoting a key to replicas (>=1 disables)")
 		maxKeys     = flag.Int("max-keys", keyed.DefaultMaxKeys, "keyed tier: affinity table capacity")
+		dataDir     = flag.String("data-dir", "", "durable keyed state directory (WAL + snapshots; empty = in-memory only)")
+		snapEvery   = flag.Int("snapshot-every", keyed.DefaultSnapshotEvery, "journal records between compacting snapshots")
+		fsync       = flag.String("fsync", wal.SyncInterval, "WAL fsync policy: always, interval, never")
 	)
 	flag.Parse()
 
@@ -223,7 +235,7 @@ func main() {
 		}
 	}
 
-	rt := cluster.NewRouter(cluster.Config{
+	rcfg := cluster.Config{
 		Backends:       bks,
 		BinsPerBackend: n,
 		Policy:         policy,
@@ -233,7 +245,40 @@ func main() {
 		FailAfter:      *failAfter,
 		RiseAfter:      *riseAfter,
 		Keyed:          keyedCfg,
+	}
+	if *dataDir != "" {
+		rcfg.KeyedStore = &keyed.StoreOptions{
+			Dir:           *dataDir,
+			SnapshotEvery: *snapEvery,
+			Fsync:         *fsync,
+		}
+	}
+
+	// Bring the listener up before recovery so healthz is observable
+	// (503 "recovering") while the WAL replays; the real handler is
+	// swapped in once the router is ready to route.
+	var handler atomic.Pointer[http.Handler]
+	var warming http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
 	})
+	handler.Store(&warming)
+	srv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	rt, rec, err := cluster.OpenRouter(rcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbproxy:", err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Fprintf(os.Stderr, "bbproxy: recovered %d keys from snapshot + %d journal records in %dms (%s)\n",
+			rec.SnapshotKeys, rec.ReplayedRecords, rec.ReplayMs, *dataDir)
+	}
 	served := rt.Policy()
 	if km := rt.Keyed(); km != nil {
 		served = "keyed[" + km.PolicyName() + "]+" + served
@@ -245,10 +290,9 @@ func main() {
 		Engine:   protocol, // the backends' protocol, for labeling
 		Seed:     *seed,
 	}
-	srv := &http.Server{Addr: *addr, Handler: cluster.NewHandler(rt, info)}
+	var real http.Handler = cluster.NewHandler(rt, info)
+	handler.Store(&real)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -267,7 +311,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "bbproxy: policy=%s backends=%d n=%d (per backend %d) listening on %s\n",
 		rt.Policy(), len(bks), rt.N(), n, *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bbproxy:", err)
 		os.Exit(1)
 	}

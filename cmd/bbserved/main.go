@@ -19,9 +19,17 @@
 //	GET  /healthz             200 ok, 503 once draining
 //	GET  /metrics             Prometheus text format
 //
+// With -data-dir the keyed tier is durable: every keyed mutation is
+// journaled to a CRC-checked write-ahead log with periodic compacting
+// snapshots, and a restarted process replays to the exact pre-crash
+// assignment before serving traffic (healthz answers 503 while the
+// replay runs). -fsync picks the append durability policy and
+// -snapshot-every the compaction cadence.
+//
 // SIGINT/SIGTERM trigger a graceful drain: the listener stops taking
 // new connections, in-flight requests finish against the draining
-// dispatcher, and the process exits once both are done.
+// dispatcher (which writes a final snapshot when durable), and the
+// process exits once both are done.
 package main
 
 import (
@@ -33,12 +41,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/keyed"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -55,6 +65,9 @@ func main() {
 		replicas    = flag.Int("replicas", keyed.DefaultReplicas, "hot-key replica set size (1 disables splitting)")
 		hotShare    = flag.Float64("hot-share", keyed.DefaultHotShare, "request share promoting a key to replicas (>=1 disables)")
 		maxKeys     = flag.Int("max-keys", keyed.DefaultMaxKeys, "keyed affinity table capacity (idle keys evicted beyond it)")
+		dataDir     = flag.String("data-dir", "", "durable keyed state directory (WAL + snapshots; empty = in-memory only)")
+		snapEvery   = flag.Int("snapshot-every", keyed.DefaultSnapshotEvery, "journal records between compacting snapshots")
+		fsync       = flag.String("fsync", wal.SyncInterval, "WAL fsync policy: always, interval, never")
 	)
 	flag.Parse()
 
@@ -74,7 +87,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	d := serve.NewDispatcher(serve.Config{
+	cfg := serve.Config{
 		Spec:       spec,
 		N:          *n,
 		Shards:     *shards,
@@ -89,7 +102,40 @@ func main() {
 			HotShare: *hotShare,
 			MaxKeys:  *maxKeys,
 		},
+	}
+	if *dataDir != "" {
+		cfg.KeyedStore = &keyed.StoreOptions{
+			Dir:           *dataDir,
+			SnapshotEvery: *snapEvery,
+			Fsync:         *fsync,
+		}
+	}
+
+	// Bring the listener up before recovery so healthz is observable
+	// (503 "recovering") while the WAL replays; the real handler is
+	// swapped in once the dispatcher is ready to serve.
+	var handler atomic.Pointer[http.Handler]
+	var warming http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
 	})
+	handler.Store(&warming)
+	srv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	d, rec, err := serve.OpenDispatcher(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbserved:", err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Fprintf(os.Stderr, "bbserved: recovered %d keys from snapshot + %d journal records in %dms (%s)\n",
+			rec.SnapshotKeys, rec.ReplayedRecords, rec.ReplayMs, *dataDir)
+	}
 	info := serve.Info{
 		Protocol: d.Name(),
 		N:        *n,
@@ -97,10 +143,9 @@ func main() {
 		Engine:   eng.String(),
 		Seed:     sf.Seed,
 	}
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(d, info)}
+	var real http.Handler = serve.NewHandler(d, info)
+	handler.Store(&real)
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -122,7 +167,7 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "bbserved: %s n=%d shards=%d engine=%s listening on %s\n",
 		info.Protocol, *n, *shards, info.Engine, *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bbserved:", err)
 		os.Exit(1)
 	}

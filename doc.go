@@ -122,6 +122,18 @@
 // threshold family's per-shard horizon split assumes round-robin
 // evenness, so bbserved refuses ?key= under threshold/fixed specs).
 //
+// The keyed assignment is durable: with -data-dir set, bbserved and
+// bbproxy journal every structural mutation to a CRC-checked
+// write-ahead log (internal/wal) with periodic compacting snapshots,
+// and a restarted process replays to the exact pre-crash key→bin
+// assignment before serving — kill -9 recovery is prefix-exact (the
+// torn tail is truncated, never reordered or invented), SIGTERM
+// drains seal a final snapshot, and the -fsync flag (always/
+// interval/never) picks the durability/latency point. The recovery
+// paths are exercised by crash-point fault injection
+// (internal/faultinject, armed via BB_CRASHPOINT) and torn-tail
+// fuzzing; see the README's Durability section.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

@@ -1,0 +1,62 @@
+// Package backoff provides seeded-jitter exponential backoff for the
+// cluster tier's retry paths (membership re-probes, load-view polls).
+//
+// The schedule is exponential with equal-jitter: attempt k waits
+// between cap(base·2ᵏ)/2 and cap(base·2ᵏ), the jitter drawn from a
+// deterministic seeded stream — so two routers never synchronize
+// their retries into a thundering herd against a recovering backend,
+// yet a fixed seed reproduces the exact wait sequence in tests.
+// Reset (called on success) restarts the schedule at the base delay.
+package backoff
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Backoff produces one retry schedule. Not safe for concurrent use;
+// give each probed target its own.
+type Backoff struct {
+	base, max time.Duration
+	r         *rng.Rand
+	attempt   int
+}
+
+// New returns a schedule rising from base to max (both required > 0;
+// max below base is raised to base). seed drives the jitter stream.
+func New(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, r: rng.New(seed)}
+}
+
+// Next returns the wait before the next retry and advances the
+// schedule: uniformly drawn from [d/2, d) where d = min(base·2ᵏ, max)
+// for the k-th consecutive failure.
+func (b *Backoff) Next() time.Duration {
+	d := b.max
+	if shift := uint(b.attempt); shift < 32 {
+		if e := b.base << shift; e < b.max {
+			d = e
+		}
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.r.Uint64n(uint64(half)))
+}
+
+// Reset restarts the schedule at the base delay — call on success.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt reports the consecutive-failure count so far.
+func (b *Backoff) Attempt() int { return b.attempt }

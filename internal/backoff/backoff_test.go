@@ -1,0 +1,83 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeterministicSequence pins the contract the cluster retry paths
+// rely on: a fixed seed reproduces the exact wait sequence, so flaky
+// backend tests and cross-router herd analysis are reproducible.
+func TestDeterministicSequence(t *testing.T) {
+	const seed = 42
+	a := New(100*time.Millisecond, 2*time.Second, seed)
+	b := New(100*time.Millisecond, 2*time.Second, seed)
+	for i := 0; i < 20; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+	c := New(100*time.Millisecond, 2*time.Second, seed+1)
+	same := 0
+	a.Reset()
+	for i := 0; i < 20; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("different seeds produced an identical 20-draw sequence")
+	}
+}
+
+// TestEnvelopeAndCap checks every draw lands in the equal-jitter
+// envelope [d/2, d) with d = min(base·2^k, max), and that the schedule
+// saturates at max instead of overflowing.
+func TestEnvelopeAndCap(t *testing.T) {
+	base, max := 50*time.Millisecond, 800*time.Millisecond
+	b := New(base, max, 7)
+	for k := 0; k < 100; k++ {
+		d := max
+		if k < 32 {
+			if e := base << uint(k); e < max {
+				d = e
+			}
+		}
+		got := b.Next()
+		if got < d/2 || got >= d {
+			t.Fatalf("attempt %d: wait %v outside [%v, %v)", k, got, d/2, d)
+		}
+	}
+}
+
+// TestReset returns the schedule to the base delay after a success.
+func TestReset(t *testing.T) {
+	base, max := 10*time.Millisecond, 10*time.Second
+	b := New(base, max, 3)
+	for i := 0; i < 8; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 8 {
+		t.Fatalf("attempt count = %d, want 8", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("attempt count after Reset = %d, want 0", b.Attempt())
+	}
+	if got := b.Next(); got < base/2 || got >= base {
+		t.Fatalf("first wait after Reset = %v, want in [%v, %v)", got, base/2, base)
+	}
+}
+
+// TestDegenerateConfig covers the defensive defaults: non-positive
+// base and max below base must still yield a sane schedule.
+func TestDegenerateConfig(t *testing.T) {
+	b := New(0, 0, 1)
+	if got := b.Next(); got <= 0 {
+		t.Fatalf("degenerate config produced non-positive wait %v", got)
+	}
+	b = New(time.Second, time.Millisecond, 1)
+	if got := b.Next(); got < time.Second/2 || got >= time.Second {
+		t.Fatalf("max<base: first wait %v outside [500ms, 1s)", got)
+	}
+}

@@ -14,7 +14,11 @@
 //   - bbkeyed/v1   — bbserve/bbcluster records plus the keyed-tier
 //     fields (keyed_policy, key_space, key_zipf_s, keys, hot_keys,
 //     affinity_hit_rate, keys_moved, keys_shed, max_key_load,
-//     killed_backend), written whenever a keyed scenario runs
+//     killed_backend); restart-scenario runs (keyed-restart)
+//     additionally stamp proxy_restarted, recovery_ms,
+//     assignments_recovered and affinity_hit_rate_post_restart —
+//     the WAL recovery columns (zero values on a restart run are
+//     measurements; proxy_restarted discriminates)
 package benchio
 
 import (

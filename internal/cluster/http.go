@@ -181,6 +181,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		c("bb_proxy_keyed_moved_total", "Key replicas moved by failures or rebalancing.", ks.MovedKeys)
 		c("bb_proxy_keyed_shed_total", "Key replicas shed off overfull bins.", ks.ShedKeys)
 	}
+	serve.WriteDurabilityMetrics(w, cs.Durability)
 
 	fmt.Fprintf(w, "# HELP bb_proxy_backend_up Backend in rotation (1) or evicted (0).\n# TYPE bb_proxy_backend_up gauge\n")
 	for _, row := range cs.Rows {

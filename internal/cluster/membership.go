@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/rng"
 )
 
 // Membership is the backend registry: a fixed list of slots, each
@@ -28,6 +31,10 @@ type Membership struct {
 	failAfter int
 	riseAfter int
 
+	// probeSeed drives the per-slot re-probe backoff jitter (set by
+	// the Router before the health loop starts; same package).
+	probeSeed uint64
+
 	evictions atomic.Int64
 	rejoins   atomic.Int64
 
@@ -47,6 +54,12 @@ type member struct {
 	// rises counts consecutive probe successes while down. Guarded by
 	// Membership.mu.
 	fails, rises int
+	// bo / nextProbe implement jittered exponential backoff for
+	// re-probing a down slot, so a recovering backend is not hammered
+	// by every health tick (and, across routers, not by all of them at
+	// once). Touched only inside probeAll rounds, which never overlap.
+	bo        *backoff.Backoff
+	nextProbe time.Time
 }
 
 // NewMembership registers the backends, all initially in rotation.
@@ -162,11 +175,19 @@ func (m *Membership) observe(slot int, ok, probe bool) {
 	}
 }
 
-// probeAll health-checks every slot concurrently, each probe bounded
-// by timeout, and folds the results into the state machines.
-func (m *Membership) probeAll(ctx context.Context, timeout time.Duration) {
+// probeAll health-checks every due slot concurrently, each probe
+// bounded by timeout, and folds the results into the state machines.
+// Up slots are always due (supervision stays fixed-interval); a down
+// slot is due only once its re-probe backoff has elapsed — failures
+// push its next probe out exponentially (with seeded jitter, capped
+// at 16 periods), and any successful probe resets the schedule.
+func (m *Membership) probeAll(ctx context.Context, timeout, every time.Duration) {
+	now := time.Now()
 	var wg sync.WaitGroup
 	for _, mem := range m.members {
+		if !mem.up.Load() && now.Before(mem.nextProbe) {
+			continue // backing off a down slot
+		}
 		wg.Add(1)
 		go func(mem *member) {
 			defer wg.Done()
@@ -177,13 +198,22 @@ func (m *Membership) probeAll(ctx context.Context, timeout time.Duration) {
 				return // shutdown, not evidence
 			}
 			m.observe(mem.slot, err == nil, true)
+			if mem.bo == nil {
+				mem.bo = backoff.New(every, 16*every, rng.Mix(m.probeSeed, uint64(mem.slot)))
+			}
+			if err == nil {
+				mem.bo.Reset()
+				mem.nextProbe = time.Time{}
+			} else if !mem.up.Load() {
+				mem.nextProbe = time.Now().Add(mem.bo.Next())
+			}
 		}(mem)
 	}
 	wg.Wait()
 }
 
-// run is the health loop: probe all backends every `every` until ctx
-// is cancelled.
+// run is the health loop: probe all due backends every `every` until
+// ctx is cancelled.
 func (m *Membership) run(ctx context.Context, every time.Duration) {
 	timeout := every
 	if timeout < 100*time.Millisecond {
@@ -196,7 +226,7 @@ func (m *Membership) run(ctx context.Context, every time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			m.probeAll(ctx, timeout)
+			m.probeAll(ctx, timeout, every)
 		}
 	}
 }

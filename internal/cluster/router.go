@@ -43,6 +43,11 @@ type Config struct {
 	// anonymous Policy. Bins and, when zero, Seed are filled in by the
 	// router. Anonymous traffic still uses Policy.
 	Keyed *keyed.Config
+	// KeyedStore, when non-nil (and Keyed is set), persists the keyed
+	// tier to a WAL directory: OpenRouter recovers the exact pre-crash
+	// key→backend assignment before routing, and Close seals it with a
+	// final compacting snapshot.
+	KeyedStore *keyed.StoreOptions
 }
 
 // Router routes place/remove traffic across the backends: the cluster
@@ -54,6 +59,7 @@ type Router struct {
 	view   *LoadView
 	policy Policy
 	km     *keyed.KeyMap // nil unless Config.Keyed was set
+	store  *keyed.Store  // nil unless Config.KeyedStore was set
 	n      int           // bins per backend
 
 	// mu serializes policy picks over the shared RNG stream (kept
@@ -86,8 +92,22 @@ type windowSummary struct {
 // NewRouter validates cfg, takes a best-effort initial load poll of
 // every backend, and starts the health and refresh loops. It panics on
 // structurally invalid configuration (no backends, missing policy) —
-// same contract as the allocator constructors.
+// same contract as the allocator constructors — and on durability I/O
+// errors; callers that can handle those use OpenRouter.
 func NewRouter(cfg Config) *Router {
+	rt, _, err := OpenRouter(cfg)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	return rt
+}
+
+// OpenRouter is NewRouter with the durability path surfaced: when
+// cfg.KeyedStore is set, the keyed tier is recovered from its WAL
+// directory before any traffic routes, and the returned RecoveryInfo
+// says what was rebuilt (nil without a store). I/O failures return an
+// error instead of panicking.
+func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 	if len(cfg.Backends) == 0 {
 		panic("cluster: NewRouter with no backends")
 	}
@@ -108,14 +128,33 @@ func NewRouter(cfg Config) *Router {
 		removeLat: hdrhist.New(),
 		window:    hdrhist.New(),
 	}
+	rt.ms.probeSeed = rng.Mix(cfg.Seed, 0x70726f6265)  // "probe"
+	rt.view.pollSeed = rng.Mix(cfg.Seed, 0x6c6f616470) // "loadp"
 	rt.windowBegan.Store(time.Now().UnixNano())
+	var rec *keyed.RecoveryInfo
 	if cfg.Keyed != nil {
 		kc := *cfg.Keyed
 		kc.Bins = len(cfg.Backends)
 		if kc.Seed == 0 {
 			kc.Seed = rng.Mix(cfg.Seed, 0x6b657965642f636c)
 		}
-		rt.km = keyed.New(kc)
+		if cfg.KeyedStore != nil {
+			store, info, err := keyed.OpenStore(kc, *cfg.KeyedStore)
+			if err != nil {
+				return nil, nil, err
+			}
+			rt.store, rt.km, rec = store, store.M, info
+			// The recovered map may remember bins as down, but this
+			// process's membership starts every slot in rotation:
+			// reconcile (SetUp is a no-op for already-up bins). A
+			// backend that is genuinely still dead is re-evicted by
+			// probes/traffic, which journals a fresh OpDown.
+			for slot := range cfg.Backends {
+				rt.km.SetUp(slot)
+			}
+		} else {
+			rt.km = keyed.New(kc)
+		}
 	}
 	// A rejoining backend may have lost or served balls we never saw:
 	// re-poll it immediately (asynchronously — onChange runs under the
@@ -164,7 +203,7 @@ func NewRouter(cfg Config) *Router {
 			rt.refreshLoop(loopCtx)
 		}()
 	}
-	return rt
+	return rt, rec, nil
 }
 
 // refreshLoop re-polls every healthy backend's stats each staleness
@@ -212,6 +251,16 @@ func (rt *Router) Policy() string { return rt.policy.Name() }
 // Keyed returns the router's KeyMap, nil when keyed routing is not
 // configured.
 func (rt *Router) Keyed() *keyed.KeyMap { return rt.km }
+
+// Durability returns the keyed tier's durability block, nil when the
+// router runs without a store.
+func (rt *Router) Durability() *keyed.DurabilityStats {
+	if rt.store == nil {
+		return nil
+	}
+	ds := rt.store.Durability()
+	return &ds
+}
 
 // Draining reports whether Close has begun.
 func (rt *Router) Draining() bool { return rt.draining.Load() }
@@ -443,10 +492,28 @@ func (rt *Router) WindowLatency() (hdrhist.Snapshot, float64) {
 
 // Close stops routing: subsequent Place/Remove return ErrDraining, the
 // background loops exit, and in-flight requests run to completion
-// against their backends. It does not close the backends themselves
-// (the proxy does not own the cluster's data). Idempotent.
+// against their backends. With a keyed store, the drained assignment
+// table is sealed with a final compacting snapshot — a TERM/restart
+// cycle loses zero assignments. It does not close the backends
+// themselves (the proxy does not own the cluster's data). Idempotent.
 func (rt *Router) Close() {
 	rt.draining.Store(true)
 	rt.cancel()
 	rt.loops.Wait()
+	if rt.store != nil {
+		rt.store.Close()
+	}
+}
+
+// Crash stops the router WITHOUT the final snapshot or log flush —
+// the crash-simulation hook restart scenarios use as the in-proc
+// analogue of kill -9: recovery from the data directory sees only
+// what the fsync policy already made durable. Idempotent.
+func (rt *Router) Crash() {
+	rt.draining.Store(true)
+	rt.cancel()
+	rt.loops.Wait()
+	if rt.store != nil {
+		rt.store.Crash()
+	}
 }

@@ -68,6 +68,10 @@ type Stats struct {
 	// affinity), present when the router runs one.
 	Keyed *keyed.Stats `json:"keyed,omitempty"`
 
+	// Durability is the keyed tier's WAL block, present when the
+	// router persists its assignments (-data-dir).
+	Durability *keyed.DurabilityStats `json:"durability,omitempty"`
+
 	Rows []BackendRow `json:"rows"`
 }
 
@@ -93,6 +97,7 @@ func (rt *Router) Stats() Stats {
 		ks := rt.km.Stats()
 		st.Keyed = &ks
 	}
+	st.Durability = rt.Durability()
 	minLoad := math.MaxInt
 	for slot := 0; slot < rt.ms.Size(); slot++ {
 		row := BackendRow{

@@ -1,0 +1,126 @@
+// Package faultinject is a crash-point fault-injection harness for
+// testing durability code. Production binaries compile it in but pay
+// only an atomic load per crash point: injection is armed exclusively
+// through the environment, so a process with no BB_CRASHPOINT set
+// never takes the slow path.
+//
+// # Arming
+//
+// Set BB_CRASHPOINT to "name", "name:kill", or "name:err", optionally
+// with a hit count: "name:kill:3" fires on the third time the named
+// point is reached. Modes:
+//
+//   - kill (default): the process exits immediately with status 125 —
+//     the in-process analogue of kill -9 at exactly that instruction.
+//     No deferred functions run, no buffers flush.
+//   - err: Hit returns ErrInjected, letting the caller exercise its
+//     error path (a failed fsync, a short write) without dying.
+//
+// Crash points are named by the code they guard; the durability layer
+// defines (see internal/wal):
+//
+//	wal.append.partial    after a partial record frame reaches the file
+//	wal.fsync             an fsync of the log file
+//	wal.snapshot.partial  after a partial snapshot tmp file is written
+//	wal.snapshot.rename   before the snapshot's atomic rename
+//	wal.snapshot.prune    between snapshot rename and old-segment prune
+//
+// Tests re-exec the binary with the variable set, wait for exit
+// status 125, and then assert recovery — see internal/wal's crash
+// tests for the pattern.
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvVar is the environment variable that arms a crash point.
+const EnvVar = "BB_CRASHPOINT"
+
+// KillStatus is the exit status used by kill-mode injections; tests
+// assert it to distinguish an injected crash from a genuine one.
+const KillStatus = 125
+
+// ErrInjected is returned by Hit in err mode.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+type plan struct {
+	point string
+	kill  bool
+	after int64 // fire on the after-th hit (1-based)
+	hits  int64
+}
+
+var (
+	once   sync.Once
+	armed  atomic.Pointer[plan]
+	exiter = os.Exit // swapped in-process by tests
+)
+
+func parseSpec(spec string) *plan {
+	p := &plan{kill: true, after: 1}
+	parts := strings.Split(spec, ":")
+	p.point = parts[0]
+	if len(parts) > 1 && parts[1] == "err" {
+		p.kill = false
+	}
+	if len(parts) > 2 {
+		if n, err := strconv.ParseInt(parts[2], 10, 64); err == nil && n > 0 {
+			p.after = n
+		}
+	}
+	return p
+}
+
+func load() *plan {
+	once.Do(func() {
+		if spec := os.Getenv(EnvVar); spec != "" {
+			armed.Store(parseSpec(spec))
+		}
+	})
+	return armed.Load()
+}
+
+// Hit marks a named crash point. With no injection armed for name it
+// returns nil at the cost of one atomic load. An armed kill-mode point
+// terminates the process with KillStatus; an err-mode point returns
+// ErrInjected exactly once (on the configured hit).
+func Hit(name string) error {
+	return HitWith(name, nil)
+}
+
+// HitWith is Hit with a prelude: fn runs only when the point is about
+// to fire — before the kill or the injected error — letting the caller
+// stage the on-disk state the crash should leave behind (e.g. flush a
+// half-written frame so the torn bytes are genuinely durable).
+func HitWith(name string, fn func()) error {
+	p := load()
+	if p == nil || p.point != name {
+		return nil
+	}
+	if atomic.AddInt64(&p.hits, 1) != p.after {
+		return nil
+	}
+	if fn != nil {
+		fn()
+	}
+	if p.kill {
+		exiter(KillStatus)
+	}
+	return ErrInjected
+}
+
+// Armed reports the crash point currently armed via the environment,
+// or "" when injection is off — for tests and diagnostics that need
+// to know whether a run is fault-injected.
+func Armed() string {
+	if p := load(); p != nil {
+		return p.point
+	}
+	return ""
+}

@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// arm installs a plan directly (bypassing the env-var parse, which is
+// sync.Once-guarded per process) and restores the previous state.
+func arm(t *testing.T, p *plan) {
+	t.Helper()
+	prev := armed.Load()
+	once.Do(func() {}) // burn the parse so load() won't overwrite us
+	armed.Store(p)
+	t.Cleanup(func() { armed.Store(prev) })
+}
+
+func TestUnarmedIsNil(t *testing.T) {
+	arm(t, nil)
+	if err := Hit("wal.fsync"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+	if got := Armed(); got != "" {
+		t.Fatalf("Armed() = %q, want empty", got)
+	}
+}
+
+func TestErrModeFiresOnce(t *testing.T) {
+	arm(t, &plan{point: "wal.fsync", kill: false, after: 2})
+	if err := Hit("wal.fsync"); err != nil {
+		t.Fatalf("hit 1 fired early: %v", err)
+	}
+	if err := Hit("wal.fsync"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 2 = %v, want ErrInjected", err)
+	}
+	if err := Hit("wal.fsync"); err != nil {
+		t.Fatalf("hit 3 fired again: %v", err)
+	}
+	if err := Hit("other.point"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestKillModeCallsExiter(t *testing.T) {
+	arm(t, &plan{point: "wal.append.partial", kill: true, after: 1})
+	var status atomic.Int64
+	status.Store(-1)
+	prev := exiter
+	exiter = func(code int) { status.Store(int64(code)) }
+	defer func() { exiter = prev }()
+	Hit("wal.append.partial")
+	if got := status.Load(); got != KillStatus {
+		t.Fatalf("exiter got status %d, want %d", got, KillStatus)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		point string
+		kill  bool
+		after int64
+	}{
+		{"wal.fsync", "wal.fsync", true, 1},
+		{"wal.fsync:kill", "wal.fsync", true, 1},
+		{"wal.fsync:err", "wal.fsync", false, 1},
+		{"wal.fsync:kill:3", "wal.fsync", true, 3},
+		{"wal.fsync:err:7", "wal.fsync", false, 7},
+		{"wal.fsync:err:bogus", "wal.fsync", false, 1},
+	}
+	for _, tc := range cases {
+		p := parseSpec(tc.spec)
+		if p.point != tc.point || p.kill != tc.kill || p.after != tc.after {
+			t.Errorf("parse %q = {%q kill=%v after=%d}, want {%q kill=%v after=%d}",
+				tc.spec, p.point, p.kill, p.after, tc.point, tc.kill, tc.after)
+		}
+	}
+}
+
+// TestHitConcurrent hammers an armed err-mode point from many
+// goroutines: exactly one must receive the injected error.
+func TestHitConcurrent(t *testing.T) {
+	arm(t, &plan{point: "p", kill: false, after: 50})
+	var injected atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if Hit("p") != nil {
+					injected.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := injected.Load(); got != 1 {
+		t.Fatalf("injected %d times, want exactly 1", got)
+	}
+}

@@ -64,3 +64,71 @@ func FuzzKeyMapInvariants(f *testing.F) {
 		checkInvariants(t, m)
 	})
 }
+
+// FuzzKeyMapRecovery is the recovery-equivalence property test: a live
+// KeyMap is driven through arbitrary route/release/down/up sequences
+// while its journal is captured byte-for-byte (with a snapshot taken
+// partway, like the Store's compaction), then a fresh map is rebuilt
+// from snapshot + journal replay and must Mirror-equal the live one —
+// the exact contract OpenStore relies on after a crash.
+func FuzzKeyMapRecovery(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint64(1))
+	f.Add([]byte{0, 10, 0, 10, 2, 1, 0, 42, 3, 1, 0, 7, 2, 0, 2, 2, 2, 3}, uint64(9))
+	f.Add([]byte{2, 0, 2, 1, 2, 2, 2, 3, 0, 1, 3, 0, 0, 2}, uint64(1234))
+	f.Fuzz(func(t *testing.T, ops []byte, seed uint64) {
+		const K = 4
+		mk := func() *KeyMap {
+			return New(Config{Bins: K, Policy: Adaptive(), Seed: seed,
+				Replicas: 2, HotShare: 0.3, HotMinHits: 16, MaxKeys: 64})
+		}
+		m := mk()
+		var journal [][]byte
+		var snapshot []byte
+		m.SetJournal(func(op Op) {
+			journal = append(journal, EncodeOp(op))
+		})
+		snapAt := len(ops) / 2 // mid-sequence compaction point
+		for i := 0; i+1 < len(ops); i += 2 {
+			if i >= snapAt && snapshot == nil {
+				if err := m.SnapshotTo(func(b []byte) error {
+					snapshot = append([]byte(nil), b...)
+					return nil
+				}); err != nil {
+					t.Fatalf("snapshot at op %d: %v", i, err)
+				}
+				journal = journal[:0] // the snapshot covers everything so far
+			}
+			op, arg := ops[i]%4, int(ops[i+1])
+			switch op {
+			case 0:
+				m.Route(fmt.Sprintf("k%d", arg%32))
+			case 1:
+				m.Release(fmt.Sprintf("k%d", arg%32), arg%K)
+			case 2:
+				m.SetDown(arg % K)
+			case 3:
+				m.SetUp(arg % K)
+			}
+		}
+
+		rebuilt := mk()
+		if snapshot != nil {
+			if err := rebuilt.RestoreSnapshot(snapshot); err != nil {
+				t.Fatalf("RestoreSnapshot: %v", err)
+			}
+		}
+		for i, raw := range journal {
+			op, err := DecodeOp(raw)
+			if err != nil {
+				t.Fatalf("journal record %d: %v", i, err)
+			}
+			if err := rebuilt.Apply(op); err != nil {
+				t.Fatalf("journal record %d (%+v): %v", i, op, err)
+			}
+		}
+		if a, b := m.Mirror(), rebuilt.Mirror(); !a.Equal(b) {
+			t.Fatalf("recovery diverged from live map:\nlive:    %+v\nrebuilt: %+v", a, b)
+		}
+		checkInvariants(t, rebuilt)
+	})
+}

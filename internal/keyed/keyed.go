@@ -136,6 +136,10 @@ type KeyMap struct {
 
 	lru *list.List // front = most recently routed key
 
+	// journal, when installed via SetJournal, receives every
+	// structural mutation under mu — the durability hook (persist.go).
+	journal func(Op)
+
 	// liveBalls mirrors Σ entry.refs incrementally, so Stats never
 	// walks the table under the routing mutex.
 	liveBalls int64
@@ -341,6 +345,7 @@ func (m *KeyMap) SetDown(bin int) (moved, shedMoves int64) {
 	}
 	m.up[bin] = false
 	m.healthy--
+	m.logOp(Op{Type: OpDown, Bin: bin})
 	if m.healthy == 0 {
 		// Nothing to move to; assignments freeze until a bin returns
 		// (Route answers ErrNoBins meanwhile; SetUp recovers them).
@@ -393,6 +398,7 @@ func (m *KeyMap) SetUp(bin int) {
 	}
 	m.up[bin] = true
 	m.healthy++
+	m.logOp(Op{Type: OpUp, Bin: bin})
 	for b := 0; b < m.cfg.Bins; b++ {
 		if !m.up[b] && m.binLoad[b] > 0 {
 			m.rebalanceBinLocked(b)
@@ -414,6 +420,7 @@ func (m *KeyMap) assignNewLocked(key string, avoid []int) (bin, probes int, err 
 	m.entries[key] = e
 	e.el = m.lru.PushFront(key)
 	m.attachLocked(e, b)
+	m.logOp(Op{Type: OpAssign, Key: key, To: b})
 	e.refs, e.hits = 1, 1
 	e.replicas[0].refs, e.replicas[0].hits = 1, 1
 	m.liveBalls++
@@ -483,6 +490,7 @@ func (m *KeyMap) attachLocked(e *entry, bin int) {
 // when no healthy bin can host it), writing off its balls.
 func (m *KeyMap) dropReplicaLocked(e *entry, ri int) {
 	rp := e.replicas[ri]
+	m.logOp(Op{Type: OpDrop, Key: e.key, From: rp.bin})
 	m.binLoad[rp.bin]--
 	m.reps--
 	before := e.refs
@@ -526,6 +534,7 @@ func (m *KeyMap) moveReplicaLocked(e *entry, ri int, avoid []int, strand bool) (
 	}
 	m.binLoad[b]++
 	m.appendBinKeyLocked(b, e.key)
+	m.logOp(Op{Type: OpMove, Key: e.key, From: from, To: b})
 	return probes, nil
 }
 
@@ -554,6 +563,7 @@ func (m *KeyMap) maybePromoteLocked(e *entry) (probes int) {
 			break // fewer healthy bins than replicas: stay partial
 		}
 		m.attachLocked(e, b)
+		m.logOp(Op{Type: OpAttach, Key: e.key, To: b})
 	}
 	if len(e.replicas) > was {
 		m.promoted++
@@ -608,6 +618,7 @@ func (m *KeyMap) shedLocked() int64 {
 			e.replicas[ri].bin = target
 			m.binLoad[target]++
 			m.appendBinKeyLocked(target, e.key)
+			m.logOp(Op{Type: OpShed, Key: e.key, From: b, To: target})
 			count++
 		}
 	}
@@ -698,6 +709,7 @@ func (m *KeyMap) evictIdleLocked() {
 
 // forgetLocked removes e from the table entirely.
 func (m *KeyMap) forgetLocked(e *entry) {
+	m.logOp(Op{Type: OpForget, Key: e.key})
 	m.liveBalls -= e.refs
 	for _, rp := range e.replicas {
 		m.binLoad[rp.bin]--

@@ -1,0 +1,521 @@
+package keyed
+
+// This file is the KeyMap's persistence surface: the mutation journal
+// (Op), the snapshot codec, structural replay (Apply), and the
+// canonical Mirror used to verify recovery equivalence. The WAL
+// machinery itself lives in internal/wal; the Store in store.go binds
+// the two.
+//
+// What is and is not durable: the journal carries every structural
+// mutation — assignments, replica attaches, moves, sheds, drops,
+// forgets, bin up/down — so replay reconstructs the exact pre-crash
+// assignment: same key→bin replica sets, same per-bin residency
+// order (which makes future sheds deterministic), same bin health.
+// Ephemeral per-process state is deliberately NOT durable: live-ball
+// refs die with the process's balls, traffic counters (hits, probes,
+// moved, …) restart at zero, per-key probe-stream positions restart
+// at the stream head, and the recently-routed (LRU) order is
+// approximated by snapshot order. None of that affects where an
+// existing key routes.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// OpType enumerates journaled mutations.
+type OpType byte
+
+// Journal record types. The numeric values are the on-disk encoding;
+// never renumber.
+const (
+	// OpAssign: first-contact assignment of Key to bin To.
+	OpAssign OpType = 1
+	// OpAttach: hot-key promotion attached bin To to Key's replica set.
+	OpAttach OpType = 2
+	// OpMove: Key's replica on From re-probed to To (failover,
+	// rebalance, defensive repair).
+	OpMove OpType = 3
+	// OpShed: Key's replica on From shed to To to restore the bound.
+	OpShed OpType = 4
+	// OpDrop: Key's replica on From was removed (no healthy host).
+	OpDrop OpType = 5
+	// OpForget: Key was evicted from the table entirely.
+	OpForget OpType = 6
+	// OpDown / OpUp: bin Bin changed health. The moves a SetDown
+	// causes are journaled separately (as OpMove/OpShed), so replay
+	// applies records structurally and never re-probes.
+	OpDown OpType = 7
+	OpUp   OpType = 8
+)
+
+// Op is one journaled KeyMap mutation.
+type Op struct {
+	Type     OpType
+	Key      string
+	From, To int
+	Bin      int
+}
+
+// EncodeOp renders op in the journal's byte format:
+// [1B type][bin fields as uvarint][uvarint key len][key bytes].
+func EncodeOp(op Op) []byte {
+	b := make([]byte, 1, 1+2*binary.MaxVarintLen64+len(op.Key))
+	b[0] = byte(op.Type)
+	switch op.Type {
+	case OpAssign, OpAttach:
+		b = binary.AppendUvarint(b, uint64(op.To))
+	case OpMove, OpShed:
+		b = binary.AppendUvarint(b, uint64(op.From))
+		b = binary.AppendUvarint(b, uint64(op.To))
+	case OpDrop:
+		b = binary.AppendUvarint(b, uint64(op.From))
+	case OpForget:
+	case OpDown, OpUp:
+		b = binary.AppendUvarint(b, uint64(op.Bin))
+	}
+	switch op.Type {
+	case OpDown, OpUp:
+	default:
+		b = binary.AppendUvarint(b, uint64(len(op.Key)))
+		b = append(b, op.Key...)
+	}
+	return b
+}
+
+var errTruncatedOp = errors.New("keyed: truncated journal op")
+
+// DecodeOp parses one journal record. It never panics: malformed
+// input returns an error (the WAL's CRC makes this unreachable for
+// real logs; fuzzing reaches it on purpose).
+func DecodeOp(b []byte) (Op, error) {
+	if len(b) == 0 {
+		return Op{}, errTruncatedOp
+	}
+	op := Op{Type: OpType(b[0])}
+	b = b[1:]
+	next := func() (int, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 || v > 1<<31 {
+			return 0, errTruncatedOp
+		}
+		b = b[n:]
+		return int(v), nil
+	}
+	var err error
+	switch op.Type {
+	case OpAssign, OpAttach:
+		op.To, err = next()
+	case OpMove, OpShed:
+		if op.From, err = next(); err == nil {
+			op.To, err = next()
+		}
+	case OpDrop:
+		op.From, err = next()
+	case OpForget:
+	case OpDown, OpUp:
+		op.Bin, err = next()
+	default:
+		return Op{}, fmt.Errorf("keyed: unknown journal op type %d", op.Type)
+	}
+	if err != nil {
+		return Op{}, err
+	}
+	switch op.Type {
+	case OpDown, OpUp:
+		if len(b) != 0 {
+			return Op{}, errTruncatedOp
+		}
+	default:
+		kl, kerr := next()
+		if kerr != nil || kl != len(b) {
+			return Op{}, errTruncatedOp
+		}
+		op.Key = string(b)
+	}
+	return op, nil
+}
+
+// SetJournal installs fn to receive every structural mutation, called
+// synchronously under the KeyMap's mutex (so journal order IS
+// mutation order). Install it on a freshly recovered map before any
+// traffic; replay via Apply must happen first, since Apply does not
+// re-journal only because no journal is installed yet.
+func (m *KeyMap) SetJournal(fn func(Op)) {
+	m.mu.Lock()
+	m.journal = fn
+	m.mu.Unlock()
+}
+
+func (m *KeyMap) logOp(op Op) {
+	if m.journal != nil {
+		m.journal(op)
+	}
+}
+
+// Apply replays one journaled mutation structurally — no probing, no
+// journaling, no traffic accounting. It is the recovery path: a valid
+// journal applies without error; an op that does not fit the current
+// state (wrong directory, mixed configs) returns an error naming it.
+func (m *KeyMap) Apply(op Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bad := func(what string) error {
+		return fmt.Errorf("keyed: replay %s: op %d key %q from %d to %d bin %d", what, op.Type, op.Key, op.From, op.To, op.Bin)
+	}
+	checkBin := func(b int) bool { return b >= 0 && b < m.cfg.Bins }
+	switch op.Type {
+	case OpAssign:
+		if m.entries[op.Key] != nil || !checkBin(op.To) {
+			return bad("assign")
+		}
+		e := &entry{key: op.Key, r: rng.New(keyStream(m.cfg.Seed, op.Key))}
+		m.entries[op.Key] = e
+		e.el = m.lru.PushFront(op.Key)
+		m.attachLocked(e, op.To)
+	case OpAttach:
+		e := m.entries[op.Key]
+		if e == nil || !checkBin(op.To) {
+			return bad("attach")
+		}
+		m.attachLocked(e, op.To)
+	case OpMove, OpShed:
+		e := m.entries[op.Key]
+		if e == nil || !checkBin(op.From) || !checkBin(op.To) {
+			return bad("move")
+		}
+		ri := replicaIndex(e, op.From)
+		if ri < 0 {
+			return bad("move source")
+		}
+		m.binLoad[op.From]--
+		e.replicas[ri].bin = op.To
+		e.replicas[ri].refs = 0
+		m.binLoad[op.To]++
+		m.appendBinKeyLocked(op.To, op.Key)
+	case OpDrop:
+		e := m.entries[op.Key]
+		if e == nil || !checkBin(op.From) {
+			return bad("drop")
+		}
+		ri := replicaIndex(e, op.From)
+		if ri < 0 {
+			return bad("drop source")
+		}
+		m.dropReplicaLocked(e, ri)
+	case OpForget:
+		e := m.entries[op.Key]
+		if e == nil {
+			return bad("forget")
+		}
+		m.forgetLocked(e)
+	case OpDown:
+		if !checkBin(op.Bin) {
+			return bad("down")
+		}
+		if m.up[op.Bin] {
+			m.up[op.Bin] = false
+			m.healthy--
+		}
+	case OpUp:
+		if !checkBin(op.Bin) {
+			return bad("up")
+		}
+		if !m.up[op.Bin] {
+			m.up[op.Bin] = true
+			m.healthy++
+		}
+	default:
+		return bad("unknown op")
+	}
+	return nil
+}
+
+// Snapshot format: a version byte, the identity triple (bins, seed,
+// policy name) guarding against pointing a differently-configured
+// process at the directory, the bin health bitmap, the entries in
+// recently-routed order with their replica bin lists, and the
+// canonical per-bin residency order.
+const snapVersion = 1
+
+// EncodeSnapshotLocked renders the full durable state. Callers hold
+// m.mu (see SnapshotTo).
+func (m *KeyMap) encodeSnapshotLocked() []byte {
+	b := []byte{snapVersion}
+	b = binary.AppendUvarint(b, uint64(m.cfg.Bins))
+	b = binary.AppendUvarint(b, m.cfg.Seed)
+	name := m.cfg.Policy.Name()
+	b = binary.AppendUvarint(b, uint64(len(name)))
+	b = append(b, name...)
+	for bin := 0; bin < m.cfg.Bins; bin++ {
+		if m.up[bin] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.entries)))
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		e := m.entries[el.Value.(string)]
+		b = binary.AppendUvarint(b, uint64(len(e.key)))
+		b = append(b, e.key...)
+		b = binary.AppendUvarint(b, uint64(len(e.replicas)))
+		for _, rp := range e.replicas {
+			b = binary.AppendUvarint(b, uint64(rp.bin))
+		}
+	}
+	for bin := 0; bin < m.cfg.Bins; bin++ {
+		keys := m.canonicalBinKeysLocked(bin)
+		b = binary.AppendUvarint(b, uint64(len(keys)))
+		for _, k := range keys {
+			b = binary.AppendUvarint(b, uint64(len(k)))
+			b = append(b, k...)
+		}
+	}
+	return b
+}
+
+// canonicalBinKeysLocked is bin's residency list with tombstones
+// (moved or evicted occurrences) filtered out and each resident key
+// reduced to its LAST occurrence — the one popRecentLocked would pop
+// first. Earlier occurrences are stale history: a key that left the
+// bin and came back appends a fresh occurrence, and whether its old
+// one was physically removed (live pop / rebalance) or left behind as
+// a tombstone (journal replay) must not change the canonical state.
+// Two maps with equal canonical lists shed identically.
+func (m *KeyMap) canonicalBinKeysLocked(bin int) []string {
+	raw := m.binKeys[bin]
+	var keys []string
+	var seen map[string]bool
+	for i := len(raw) - 1; i >= 0; i-- {
+		k := raw[i]
+		if e := m.entries[k]; e == nil || replicaIndex(e, bin) < 0 {
+			continue
+		}
+		if seen[k] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}
+
+// SnapshotTo encodes the map's durable state and hands it to write
+// while still holding the map's mutex, so the snapshot is exactly
+// consistent with the journal position write observes — no mutation
+// can slip between encode and persist. write must not call back into
+// the map.
+func (m *KeyMap) SnapshotTo(write func(data []byte) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return write(m.encodeSnapshotLocked())
+}
+
+// RestoreSnapshot loads a snapshot into a freshly constructed KeyMap
+// (it errors on a non-empty one). The snapshot's identity triple must
+// match the map's configuration.
+func (m *KeyMap) RestoreSnapshot(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.entries) != 0 {
+		return errors.New("keyed: RestoreSnapshot on non-empty map")
+	}
+	r := snapReader{b: data}
+	if v := r.byte(); v != snapVersion {
+		return fmt.Errorf("keyed: snapshot version %d not supported", v)
+	}
+	bins := int(r.uvarint())
+	seed := r.uvarint()
+	policy := r.str()
+	if r.err != nil {
+		return r.err
+	}
+	if bins != m.cfg.Bins || seed != m.cfg.Seed || policy != m.cfg.Policy.Name() {
+		return fmt.Errorf("keyed: snapshot identity (bins=%d seed=%d policy=%q) does not match config (bins=%d seed=%d policy=%q)",
+			bins, seed, policy, m.cfg.Bins, m.cfg.Seed, m.cfg.Policy.Name())
+	}
+	healthy := 0
+	for bin := 0; bin < bins; bin++ {
+		up := r.byte() != 0
+		m.up[bin] = up
+		if up {
+			healthy++
+		}
+	}
+	m.healthy = healthy
+	n := int(r.uvarint())
+	if r.err != nil {
+		return r.err
+	}
+	for i := 0; i < n; i++ {
+		key := r.str()
+		reps := int(r.uvarint())
+		if r.err != nil || reps < 1 || reps > bins {
+			return fmt.Errorf("keyed: corrupt snapshot entry %d", i)
+		}
+		e := &entry{key: key, r: rng.New(keyStream(m.cfg.Seed, key))}
+		for j := 0; j < reps; j++ {
+			bin := int(r.uvarint())
+			if r.err != nil || bin < 0 || bin >= bins {
+				return fmt.Errorf("keyed: corrupt snapshot replica for %q", key)
+			}
+			e.replicas = append(e.replicas, replica{bin: bin})
+			m.binLoad[bin]++
+			m.reps++
+		}
+		if len(e.replicas) > 1 {
+			m.hotCount++
+		}
+		if m.entries[key] != nil {
+			return fmt.Errorf("keyed: duplicate snapshot key %q", key)
+		}
+		m.entries[key] = e
+		// Entries are encoded most-recently-routed first; appending
+		// keeps that order.
+		e.el = m.lru.PushBack(key)
+	}
+	for bin := 0; bin < bins; bin++ {
+		cnt := int(r.uvarint())
+		if r.err != nil || cnt < 0 || cnt > len(data) {
+			return fmt.Errorf("keyed: corrupt snapshot residency list for bin %d", bin)
+		}
+		keys := make([]string, 0, cnt)
+		for j := 0; j < cnt; j++ {
+			keys = append(keys, r.str())
+		}
+		if r.err != nil {
+			return r.err
+		}
+		m.binKeys[bin] = keys
+	}
+	return r.err
+}
+
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) byte() byte {
+	if r.err != nil || len(r.b) == 0 {
+		r.err = errors.New("keyed: truncated snapshot")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = errors.New("keyed: truncated snapshot")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)) {
+		r.err = errors.New("keyed: truncated snapshot")
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+// Mirror is the canonical durable state of a KeyMap: everything
+// recovery promises to reproduce exactly. Two maps with equal Mirrors
+// route every known key identically and shed identically under
+// pressure. Ephemeral state (live-ball refs, traffic counters,
+// probe-stream positions, LRU order) is excluded by design — see the
+// file comment.
+type Mirror struct {
+	Bins    int
+	Policy  string
+	Up      []bool
+	Healthy int
+	// Keys maps each key to its replica bin list in replica order.
+	Keys map[string][]int
+	// BinKeys is the canonical (tombstone-free) residency order per
+	// bin — the state that makes shedding deterministic.
+	BinKeys [][]string
+}
+
+// Mirror captures the map's canonical durable state.
+func (m *KeyMap) Mirror() Mirror {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mir := Mirror{
+		Bins:    m.cfg.Bins,
+		Policy:  m.cfg.Policy.Name(),
+		Up:      append([]bool(nil), m.up...),
+		Healthy: m.healthy,
+		Keys:    make(map[string][]int, len(m.entries)),
+		BinKeys: make([][]string, m.cfg.Bins),
+	}
+	for k, e := range m.entries {
+		bins := make([]int, len(e.replicas))
+		for i, rp := range e.replicas {
+			bins[i] = rp.bin
+		}
+		mir.Keys[k] = bins
+	}
+	for bin := 0; bin < m.cfg.Bins; bin++ {
+		mir.BinKeys[bin] = m.canonicalBinKeysLocked(bin)
+	}
+	return mir
+}
+
+// Equal reports whether two Mirrors describe the same durable state.
+func (a Mirror) Equal(b Mirror) bool {
+	if a.Bins != b.Bins || a.Policy != b.Policy || a.Healthy != b.Healthy || len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Up {
+		if a.Up[i] != b.Up[i] {
+			return false
+		}
+	}
+	for k, bins := range a.Keys {
+		other, ok := b.Keys[k]
+		if !ok || len(bins) != len(other) {
+			return false
+		}
+		for i := range bins {
+			if bins[i] != other[i] {
+				return false
+			}
+		}
+	}
+	for bin := range a.BinKeys {
+		if len(a.BinKeys[bin]) != len(b.BinKeys[bin]) {
+			return false
+		}
+		for i := range a.BinKeys[bin] {
+			if a.BinKeys[bin][i] != b.BinKeys[bin][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,279 @@
+package keyed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func TestEncodeDecodeOpRoundtrip(t *testing.T) {
+	ops := []Op{
+		{Type: OpAssign, Key: "user:42", To: 3},
+		{Type: OpAssign, Key: "", To: 0},
+		{Type: OpAttach, Key: "hot", To: 7},
+		{Type: OpMove, Key: "k", From: 1, To: 2},
+		{Type: OpShed, Key: "shed-me", From: 9, To: 0},
+		{Type: OpDrop, Key: "gone", From: 4},
+		{Type: OpForget, Key: "bye"},
+		{Type: OpDown, Bin: 5},
+		{Type: OpUp, Bin: 0},
+	}
+	for _, want := range ops {
+		got, err := DecodeOp(EncodeOp(want))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("roundtrip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeOpRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{0},            // unknown type 0
+		{99},           // unknown type
+		{byte(OpAssign)},                  // missing bin
+		{byte(OpAssign), 3},               // missing key length
+		{byte(OpAssign), 3, 5, 'a'},       // key shorter than declared
+		{byte(OpAssign), 3, 1, 'a', 'b'},  // trailing bytes
+		{byte(OpDown), 1, 0},              // trailing bytes on binary op
+		{byte(OpMove), 1},                 // missing To
+		{byte(OpForget), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // overflowing uvarint
+	}
+	for _, b := range bad {
+		if op, err := DecodeOp(b); err == nil {
+			t.Fatalf("DecodeOp(%v) accepted as %+v", b, op)
+		}
+	}
+}
+
+// journalPair builds a KeyMap whose ops feed a replica via Apply, the
+// core recovery-equivalence harness: every mutation to live is
+// replayed structurally into rep, and their Mirrors must stay equal.
+func journalPair(seed uint64) (live, rep *KeyMap, replayErr *error) {
+	cfg := Config{Bins: 4, Policy: Adaptive(), Seed: seed,
+		Replicas: 2, HotShare: 0.3, HotMinHits: 16, MaxKeys: 64}
+	live, rep = New(cfg), New(cfg)
+	var err error
+	replayErr = &err
+	live.SetJournal(func(op Op) {
+		// Decode what would hit the disk, then apply — the full path.
+		decoded, derr := DecodeOp(EncodeOp(op))
+		if derr != nil {
+			err = derr
+			return
+		}
+		if aerr := rep.Apply(decoded); aerr != nil && err == nil {
+			err = aerr
+		}
+	})
+	return live, rep, replayErr
+}
+
+func TestJournalReplayTracksLive(t *testing.T) {
+	live, rep, replayErr := journalPair(11)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i%37)
+		if _, _, _, err := live.Route(key); err != nil {
+			t.Fatalf("route %s: %v", key, err)
+		}
+		// Down one bin at a time and restore it before the next, so the
+		// map always has healthy bins while still journaling OpDown,
+		// OpUp, and the failover moves they trigger.
+		if i%20 == 10 {
+			live.SetDown(i / 20 % 4)
+		}
+		if i%20 == 19 {
+			live.SetUp(i / 20 % 4)
+		}
+	}
+	if *replayErr != nil {
+		t.Fatalf("replay error: %v", *replayErr)
+	}
+	if a, b := live.Mirror(), rep.Mirror(); !a.Equal(b) {
+		t.Fatalf("mirror diverged after journal replay:\nlive: %+v\nrep:  %+v", a, b)
+	}
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	cfg := Config{Bins: 8, Policy: Adaptive(), Seed: 5,
+		Replicas: 3, HotShare: 0.1, HotMinHits: 4, MaxKeys: 128}
+	m := New(cfg)
+	for i := 0; i < 300; i++ {
+		m.Route(fmt.Sprintf("k%d", i%90))
+	}
+	m.SetDown(2)
+	for i := 0; i < 100; i++ {
+		m.Route(fmt.Sprintf("k%d", i%90))
+	}
+
+	var snap []byte
+	if err := m.SnapshotTo(func(b []byte) error { snap = b; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(cfg)
+	if err := m2.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if a, b := m.Mirror(), m2.Mirror(); !a.Equal(b) {
+		t.Fatalf("snapshot roundtrip diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	checkInvariants(t, m2)
+
+	// Two maps restored from the same snapshot share both durable and
+	// ephemeral state, so they must route every known key identically.
+	m3 := New(cfg)
+	if err := m3.RestoreSnapshot(snap); err != nil {
+		t.Fatalf("RestoreSnapshot (second copy): %v", err)
+	}
+	for i := 0; i < 90; i++ {
+		key := fmt.Sprintf("k%d", i)
+		b2, _, _, e2 := m2.Route(key)
+		b3, _, _, e3 := m3.Route(key)
+		if b2 != b3 || (e2 == nil) != (e3 == nil) {
+			t.Fatalf("restored twins route %s to %d (%v) vs %d (%v)", key, b2, e2, b3, e3)
+		}
+	}
+}
+
+func TestRestoreSnapshotRejects(t *testing.T) {
+	cfg := Config{Bins: 4, Policy: Adaptive(), Seed: 1}
+	m := New(cfg)
+	m.Route("a")
+	var snap []byte
+	m.SnapshotTo(func(b []byte) error { snap = b; return nil })
+
+	// Non-empty target.
+	full := New(cfg)
+	full.Route("x")
+	if err := full.RestoreSnapshot(snap); err == nil {
+		t.Fatal("RestoreSnapshot on a non-empty map accepted")
+	}
+	// Identity mismatches.
+	for _, other := range []Config{
+		{Bins: 5, Policy: Adaptive(), Seed: 1},
+		{Bins: 4, Policy: Adaptive(), Seed: 2},
+		{Bins: 4, Policy: Hash(), Seed: 1},
+	} {
+		if err := New(other).RestoreSnapshot(snap); err == nil {
+			t.Fatalf("snapshot accepted under mismatched config %+v", other)
+		}
+	}
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(snap); cut++ {
+		New(cfg).RestoreSnapshot(snap[:cut])
+	}
+	// Arbitrary corruption must error or restore something sane, never panic.
+	for i := 0; i < len(snap); i++ {
+		mutated := append([]byte(nil), snap...)
+		mutated[i] ^= 0x55
+		New(cfg).RestoreSnapshot(mutated)
+	}
+}
+
+func TestStoreRecoversExactState(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Bins: 4, Policy: Adaptive(), Seed: 9,
+		Replicas: 2, HotShare: 0.3, HotMinHits: 8, MaxKeys: 64}
+	open := func() (*Store, *RecoveryInfo) {
+		s, info, err := OpenStore(cfg, StoreOptions{Dir: dir, Fsync: wal.SyncAlways})
+		if err != nil {
+			t.Fatalf("OpenStore: %v", err)
+		}
+		return s, info
+	}
+
+	s, info := open()
+	if info.SnapshotKeys != 0 || info.ReplayedRecords != 0 {
+		t.Fatalf("fresh store recovered %+v", info)
+	}
+	for i := 0; i < 150; i++ {
+		s.M.Route(fmt.Sprintf("k%d", i%40))
+		if i == 70 {
+			s.M.SetDown(1)
+		}
+	}
+	want := s.M.Mirror()
+
+	// Crash (no final snapshot): SyncAlways means every journaled op is
+	// durable, so recovery must be mirror-exact.
+	s.Crash()
+	s2, info2 := open()
+	if info2.ReplayedRecords == 0 {
+		t.Fatal("crash recovery replayed nothing")
+	}
+	if got := s2.M.Mirror(); !got.Equal(want) {
+		t.Fatalf("post-crash mirror diverged:\n%+v\nvs\n%+v", got, want)
+	}
+
+	// More traffic, then a clean Close: final snapshot, empty journal.
+	for i := 0; i < 50; i++ {
+		s2.M.Route(fmt.Sprintf("x%d", i))
+	}
+	want2 := s2.M.Mirror()
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s3, info3 := open()
+	defer s3.Close()
+	if info3.ReplayedRecords != 0 {
+		t.Fatalf("clean shutdown still replayed %d records", info3.ReplayedRecords)
+	}
+	if info3.SnapshotKeys == 0 {
+		t.Fatal("clean shutdown lost the snapshot")
+	}
+	if got := s3.M.Mirror(); !got.Equal(want2) {
+		t.Fatalf("post-Close mirror diverged:\n%+v\nvs\n%+v", got, want2)
+	}
+}
+
+func TestStoreAutoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Bins: 4, Policy: Adaptive(), Seed: 3, MaxKeys: 4096}
+	s, _, err := OpenStore(cfg, StoreOptions{Dir: dir, SnapshotEvery: 32, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		s.M.Route(fmt.Sprintf("k%d", i))
+	}
+	deadline := 200 // ~2s of 10ms polls for the background snapshot loop
+	for ; deadline > 0; deadline-- {
+		if s.Durability().Snapshots > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ds := s.Durability()
+	if ds.Snapshots == 0 {
+		t.Fatalf("no auto-snapshot after 400 records with SnapshotEvery=32: %+v", ds)
+	}
+	if ds.AppendErrors != 0 {
+		t.Fatalf("append errors: %d", ds.AppendErrors)
+	}
+	s.Close()
+}
+
+func TestStoreDurabilityStats(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Bins: 2, Policy: Hash(), Seed: 1}
+	s, _, err := OpenStore(cfg, StoreOptions{Dir: dir, Fsync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.M.Route("a")
+	s.M.Route("b")
+	ds := s.Durability()
+	if ds.Records != 2 || ds.LogBytes == 0 || ds.Fsync != wal.SyncAlways {
+		t.Fatalf("durability stats: %+v", ds)
+	}
+	if ds.LastFsyncAgeMs < 0 {
+		t.Fatal("no fsync recorded under SyncAlways")
+	}
+}

@@ -3,6 +3,7 @@ package load
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	ballsbins "repro"
@@ -19,9 +20,23 @@ import (
 // without pretending to have cluster parallelism.
 type ClusterTarget struct {
 	R *cluster.Router
+	// mu guards R across RestartProxy (which crashes and rebuilds the
+	// router mid-run); operations take the read lock, so during the
+	// rebuild they block rather than error — the in-proc analogue of
+	// clients retrying against a restarting proxy.
+	mu sync.RWMutex
+	// rcfg rebuilds the router after a crash (restart scenarios).
+	rcfg cluster.Config
 	// dispatchers are owned by the target when built via
 	// NewInprocCluster; Close drains them.
 	dispatchers []*serve.Dispatcher
+}
+
+// router returns the current router under the read lock.
+func (t *ClusterTarget) router() *cluster.Router {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.R
 }
 
 // ClusterConfig parameterizes NewInprocCluster.
@@ -51,6 +66,11 @@ type ClusterConfig struct {
 	// kill scenarios, where eviction must happen without waiting for
 	// enough traffic failures.
 	HealthEvery time.Duration
+	// DataDir, when set, makes the router's keyed tier durable (WAL +
+	// snapshots in that directory) — required for restart scenarios.
+	DataDir       string
+	SnapshotEvery int
+	Fsync         string
 }
 
 // NewInprocCluster builds K in-proc backends and a router over them.
@@ -75,7 +95,7 @@ func NewInprocCluster(cfg ClusterConfig) (*ClusterTarget, error) {
 		t.dispatchers = append(t.dispatchers, d)
 		backends[i] = &cluster.InprocBackend{D: d, Label: fmt.Sprintf("inproc-%d", i)}
 	}
-	t.R = cluster.NewRouter(cluster.Config{
+	t.rcfg = cluster.Config{
 		Backends:       backends,
 		BinsPerBackend: cfg.N,
 		Policy:         cfg.Policy,
@@ -85,48 +105,84 @@ func NewInprocCluster(cfg ClusterConfig) (*ClusterTarget, error) {
 		FailAfter:      cfg.FailAfter,
 		RiseAfter:      cfg.RiseAfter,
 		Keyed:          cfg.Keyed,
-	})
+	}
+	if cfg.DataDir != "" {
+		t.rcfg.KeyedStore = &keyed.StoreOptions{
+			Dir:           cfg.DataDir,
+			SnapshotEvery: cfg.SnapshotEvery,
+			Fsync:         cfg.Fsync,
+		}
+	}
+	rt, _, err := cluster.OpenRouter(t.rcfg)
+	if err != nil {
+		return nil, err
+	}
+	t.R = rt
 	return t, nil
 }
 
 // Place implements Target via the router.
 func (t *ClusterTarget) Place(ctx context.Context, count int) ([]int, int64, error) {
-	return t.R.Place(ctx, count)
+	return t.router().Place(ctx, count)
 }
 
 // Remove implements Target via the router.
 func (t *ClusterTarget) Remove(ctx context.Context, bin int) error {
-	return t.R.Remove(ctx, bin)
+	return t.router().Remove(ctx, bin)
 }
 
 // ReadStats implements StatsReader with the router's flattened view.
 func (t *ClusterTarget) ReadStats(context.Context) (serve.StatsView, error) {
-	return t.R.StatsView(), nil
+	return t.router().StatsView(), nil
 }
 
 // ReadClusterStats implements ClusterStatsReader.
 func (t *ClusterTarget) ReadClusterStats(context.Context) (cluster.Stats, bool, error) {
-	return t.R.Stats(), true, nil
+	return t.router().Stats(), true, nil
 }
 
 // PlaceKey implements KeyedTarget via the router's keyed tier.
 func (t *ClusterTarget) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
-	return t.R.PlaceKeyed(ctx, key)
+	return t.router().PlaceKeyed(ctx, key)
 }
 
 // RemoveKey implements KeyedTarget.
 func (t *ClusterTarget) RemoveKey(ctx context.Context, bin int, key string) error {
-	return t.R.RemoveKeyed(ctx, bin, key)
+	return t.router().RemoveKeyed(ctx, bin, key)
 }
 
 // ReadKeyedStats implements KeyedStatsReader; ok is false when the
 // router has no keyed tier.
 func (t *ClusterTarget) ReadKeyedStats(context.Context) (keyed.Stats, bool, error) {
-	km := t.R.Keyed()
+	km := t.router().Keyed()
 	if km == nil {
 		return keyed.Stats{}, false, nil
 	}
 	return km.Stats(), true, nil
+}
+
+// RestartProxy implements ProxyRestarter: it crashes the router
+// without flushing (the in-proc analogue of kill -9 on a bbproxy —
+// the WAL tail is whatever made it to the OS), rebuilds it from the
+// same data directory, and reports the recovery cost. Operations
+// issued during the rebuild block on the lock rather than erroring.
+// Requires a DataDir-configured target.
+func (t *ClusterTarget) RestartProxy() (recoveryMs int64, recovered int64, err error) {
+	if t.rcfg.KeyedStore == nil {
+		return 0, 0, fmt.Errorf("load: RestartProxy needs a DataDir-configured cluster")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.R.Crash()
+	rt, rec, err := cluster.OpenRouter(t.rcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.R = rt
+	if km := rt.Keyed(); km != nil {
+		recovered = km.Stats().Keys
+	}
+	return rec.ReplayMs, recovered, nil
 }
 
 // KillBackend implements BackendKiller: it abruptly stops the
@@ -147,7 +203,7 @@ func (t *ClusterTarget) KillBackend() int {
 // Close stops the router, then drains the owned backends (Close is
 // idempotent, so an already-killed backend is fine).
 func (t *ClusterTarget) Close() {
-	t.R.Close()
+	t.router().Close()
 	for _, d := range t.dispatchers {
 		d.Close()
 	}

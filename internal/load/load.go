@@ -84,6 +84,15 @@ type BackendKiller interface {
 	KillBackend() int
 }
 
+// ProxyRestarter is implemented by targets that can crash and restart
+// their routing tier mid-run from durable state (the in-proc
+// ClusterTarget with a DataDir) — the restart scenario's trigger. It
+// reports the recovery replay time and the number of key assignments
+// reconstructed.
+type ProxyRestarter interface {
+	RestartProxy() (recoveryMs int64, recovered int64, err error)
+}
+
 // Phase is one segment of a scenario: for Frac of the run's duration,
 // arrivals come at Rate times the configured base rate. Hot > 0
 // redirects that fraction of the phase's keyed arrivals to one
@@ -124,6 +133,10 @@ type Scenario struct {
 	// KillBackendFrac > 0 kills one backend at that fraction of the
 	// run, when the target supports it (membership-kill scenarios).
 	KillBackendFrac float64 `json:"kill_backend_frac,omitempty"`
+	// RestartProxyFrac > 0 crash-restarts the routing tier from its
+	// durable state at that fraction of the run, when the target
+	// supports it (WAL recovery scenarios).
+	RestartProxyFrac float64 `json:"restart_proxy_frac,omitempty"`
 }
 
 // Steady is constant-rate churn for the whole run.
@@ -191,9 +204,18 @@ func KeyedKill() Scenario {
 		Keyed: true, KeyZipfS: 1.2, KeySpace: 1024, KillBackendFrac: 0.5}
 }
 
+// KeyedRestart is keyed steady traffic with the routing tier
+// crash-restarted from its WAL at the run's midpoint (targets
+// implementing ProxyRestarter; a no-op otherwise) — the durability
+// disruption scenario: affinity should survive the restart.
+func KeyedRestart() Scenario {
+	return Scenario{Name: "keyed-restart", Phases: []Phase{{1, 1, 0}},
+		Keyed: true, KeyZipfS: 1.2, KeySpace: 1024, RestartProxyFrac: 0.5}
+}
+
 // Scenarios lists the preset names ByName accepts.
 func Scenarios() []string {
-	return []string{"steady", "ramp", "flash", "skew", "keyed", "keyed-flash", "keyed-churn", "keyed-kill"}
+	return []string{"steady", "ramp", "flash", "skew", "keyed", "keyed-flash", "keyed-churn", "keyed-kill", "keyed-restart"}
 }
 
 // ByName resolves a scenario preset.
@@ -215,6 +237,8 @@ func ByName(name string) (Scenario, error) {
 		return KeyedChurn(), nil
 	case "keyed-kill":
 		return KeyedKill(), nil
+	case "keyed-restart":
+		return KeyedRestart(), nil
 	default:
 		return Scenario{}, fmt.Errorf("unknown scenario %q (want one of %s)",
 			name, strings.Join(Scenarios(), ", "))
@@ -322,6 +346,19 @@ type Result struct {
 	// KilledBackend is the slot killed mid-run, -1 when no kill fired
 	// (slot 0 is a valid victim, so absence cannot mean "none").
 	KilledBackend int `json:"killed_backend"`
+
+	// Restart-scenario fields, stamped when a mid-run proxy
+	// crash-restart fired: the WAL recovery replay time, the key
+	// assignments reconstructed from snapshot + journal, and the
+	// affinity hit rate measured after the restart (the restored
+	// KeyMap's counters start at zero, so the end-of-run hit rate
+	// covers exactly the post-restart window). ProxyRestarted
+	// discriminates: a recovery of 0ms/0 keys is a measurement on a
+	// restart run, absent data otherwise.
+	ProxyRestarted             bool    `json:"proxy_restarted,omitempty"`
+	RecoveryMs                 int64   `json:"recovery_ms"`
+	AssignmentsRecovered       int64   `json:"assignments_recovered"`
+	AffinityHitRatePostRestart float64 `json:"affinity_hit_rate_post_restart"`
 }
 
 // Run executes one generator run against the target.
@@ -362,6 +399,20 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 		if bk, ok := target.(BackendKiller); ok {
 			tm := time.AfterFunc(time.Duration(f*float64(cfg.Duration)), func() {
 				killed.Store(int64(bk.KillBackend()))
+			})
+			defer tm.Stop()
+		}
+	}
+	var restarted atomic.Bool
+	var recoveryMs, recovered atomic.Int64
+	if f := cfg.Scenario.RestartProxyFrac; f > 0 && f < 1 {
+		if pr, ok := target.(ProxyRestarter); ok {
+			tm := time.AfterFunc(time.Duration(f*float64(cfg.Duration)), func() {
+				if ms, n, rerr := pr.RestartProxy(); rerr == nil {
+					recoveryMs.Store(ms)
+					recovered.Store(n)
+					restarted.Store(true)
+				}
 			})
 			defer tm.Stop()
 		}
@@ -423,6 +474,12 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 		}
 	}
 	res.KilledBackend = int(killed.Load())
+	if restarted.Load() {
+		res.ProxyRestarted = true
+		res.RecoveryMs = recoveryMs.Load()
+		res.AssignmentsRecovered = recovered.Load()
+		res.AffinityHitRatePostRestart = res.AffinityHitRate
+	}
 	return res, nil
 }
 

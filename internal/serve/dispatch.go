@@ -93,6 +93,11 @@ type Config struct {
 	// (derived from Seed) are filled in by the dispatcher. nil uses
 	// all defaults.
 	Keyed *keyed.Config
+	// KeyedStore, when non-nil, persists the keyed tier to a WAL
+	// directory (see keyed.OpenStore): OpenDispatcher recovers the
+	// exact pre-crash key→shard assignment before returning, and
+	// Close writes a final compacting snapshot.
+	KeyedStore *keyed.StoreOptions
 }
 
 type opKind uint8
@@ -126,6 +131,7 @@ type Dispatcher struct {
 	queues  []chan *request
 	stats   *Stats
 	km      *keyed.KeyMap // key → shard affinity (keyed placements)
+	store   *keyed.Store  // nil unless Config.KeyedStore was set
 	keyedOK bool          // spec terminates under shard-pinned traffic
 	latency *hdrhist.Hist // enqueue → completion, per request
 	// drainMu is held shared for the span of every enqueue and
@@ -141,8 +147,22 @@ type Dispatcher struct {
 
 // NewDispatcher builds the sharded allocator and starts one combiner
 // goroutine per shard. It panics on invalid Config (same rules as
-// ballsbins.NewSharded).
+// ballsbins.NewSharded) and on durability I/O errors — callers that
+// can handle those use OpenDispatcher.
 func NewDispatcher(cfg Config) *Dispatcher {
+	d, _, err := OpenDispatcher(cfg)
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
+	return d
+}
+
+// OpenDispatcher is NewDispatcher with the durability path surfaced:
+// when cfg.KeyedStore is set, the keyed tier is recovered from its
+// WAL directory before the dispatcher accepts traffic, and the
+// returned RecoveryInfo says what was rebuilt (nil without a store).
+// I/O failures return an error instead of panicking.
+func OpenDispatcher(cfg Config) (*Dispatcher, *keyed.RecoveryInfo, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
 	}
@@ -169,12 +189,26 @@ func NewDispatcher(cfg Config) *Dispatcher {
 		// sequences cannot correlate with placement draws.
 		kc.Seed = rng.Mix(cfg.Seed, 0x6b657965642f7372)
 	}
+	var km *keyed.KeyMap
+	var store *keyed.Store
+	var rec *keyed.RecoveryInfo
+	if cfg.KeyedStore != nil {
+		var err error
+		store, rec, err = keyed.OpenStore(kc, *cfg.KeyedStore)
+		if err != nil {
+			return nil, nil, err
+		}
+		km = store.M
+	} else {
+		km = keyed.New(kc)
+	}
 	d := &Dispatcher{
 		sa:      ballsbins.NewSharded(cfg.Spec, cfg.N, cfg.Shards, opts...),
 		cfg:     cfg,
 		queues:  make([]chan *request, cfg.Shards),
 		stats:   newStats(cfg.Shards),
-		km:      keyed.New(kc),
+		km:      km,
+		store:   store,
 		latency: hdrhist.New(),
 		closed:  make(chan struct{}),
 	}
@@ -193,7 +227,7 @@ func NewDispatcher(cfg Config) *Dispatcher {
 		d.workers.Wait()
 		close(d.closed)
 	}()
-	return d
+	return d, rec, nil
 }
 
 // Allocator exposes the underlying ShardedAllocator for consistent
@@ -279,6 +313,16 @@ func (d *Dispatcher) RemoveKeyed(ctx context.Context, bin int, key string) error
 
 // KeyedStats returns the keyed tier's monitoring block.
 func (d *Dispatcher) KeyedStats() keyed.Stats { return d.km.Stats() }
+
+// Durability returns the keyed tier's durability block, nil when the
+// dispatcher runs without a store.
+func (d *Dispatcher) Durability() *keyed.DurabilityStats {
+	if d.store == nil {
+		return nil
+	}
+	ds := d.store.Durability()
+	return &ds
+}
 
 // PlaceMany allocates count balls spread round-robin over the shards
 // (claiming count tickets at once) and returns their global bins in
@@ -366,7 +410,9 @@ func (d *Dispatcher) Draining() bool { return d.draining.Load() }
 
 // Close drains the dispatcher: new arrivals are refused with
 // ErrDraining, every already-enqueued request is executed and its
-// caller released, then the combiners exit. Close blocks until the
+// caller released, then the combiners exit. With a keyed store, the
+// drained state is sealed with a final compacting snapshot — a
+// TERM/restart cycle loses zero assignments. Close blocks until the
 // drain completes and is idempotent.
 func (d *Dispatcher) Close() {
 	if d.draining.CompareAndSwap(false, true) {
@@ -377,6 +423,9 @@ func (d *Dispatcher) Close() {
 		d.drainMu.Unlock()
 	}
 	<-d.closed
+	if d.store != nil {
+		d.store.Close()
+	}
 }
 
 // combine is shard s's combiner loop: block for one request, then

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -51,6 +52,10 @@ type StatsResponse struct {
 	Draining  bool         `json:"draining"`
 	LatencyNs Latency      `json:"dispatch_latency_ns"`
 	Keyed     *keyed.Stats `json:"keyed,omitempty"`
+	// Durability is the keyed tier's WAL block (log bytes, records
+	// since snapshot, fsync age, recovery replay time); omitted when
+	// the process runs without -data-dir.
+	Durability *keyed.DurabilityStats `json:"durability,omitempty"`
 }
 
 // Latency summarizes a latency histogram in nanoseconds.
@@ -250,11 +255,12 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 	}
 	ks := h.d.KeyedStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Info:      h.info,
-		StatsView: h.d.Stats(),
-		Draining:  h.d.Draining(),
-		LatencyNs: LatencySummary(h.d.Latency()),
-		Keyed:     &ks,
+		Info:       h.info,
+		StatsView:  h.d.Stats(),
+		Draining:   h.d.Draining(),
+		LatencyNs:  LatencySummary(h.d.Latency()),
+		Keyed:      &ks,
+		Durability: h.d.Durability(),
 	})
 }
 
@@ -312,6 +318,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	g("bb_keyed_affinity_hit_rate", "Keyed requests answered from the affinity table.", ks.AffinityHitRate)
 	c("bb_keyed_moved_total", "Key replicas moved by failures or rebalancing.", ks.MovedKeys)
 	c("bb_keyed_shed_total", "Key replicas shed off overfull bins.", ks.ShedKeys)
+	WriteDurabilityMetrics(w, h.d.Durability())
 
 	fmt.Fprintf(w, "# HELP bb_shard_balls Balls per shard.\n# TYPE bb_shard_balls gauge\n")
 	for _, row := range v.Shards {
@@ -333,3 +340,31 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func trimFloat(q float64) string { return strconv.FormatFloat(q, 'g', -1, 64) }
+
+// WriteDurabilityMetrics renders the keyed tier's WAL block as
+// bb_wal_* Prometheus series. Shared by bbserved and bbproxy (via
+// internal/cluster) so the durability series cannot drift between
+// tiers; a nil block (no -data-dir) writes nothing.
+func WriteDurabilityMetrics(w io.Writer, ds *keyed.DurabilityStats) {
+	if ds == nil {
+		return
+	}
+	g := func(name, help string, value any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, value)
+	}
+	c := func(name, help string, value int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, value)
+	}
+	g("bb_wal_log_bytes", "Bytes across live WAL segments.", ds.LogBytes)
+	c("bb_wal_records_total", "Journal records appended this process lifetime.", ds.Records)
+	g("bb_wal_records_since_snapshot", "Journal records since the last compacting snapshot.", ds.RecordsSinceSnapshot)
+	c("bb_wal_snapshots_total", "Compacting snapshots written this process lifetime.", ds.Snapshots)
+	fsyncAge := float64(-1)
+	if ds.LastFsyncAgeMs >= 0 {
+		fsyncAge = float64(ds.LastFsyncAgeMs) / 1e3
+	}
+	g("bb_wal_last_fsync_age_seconds", "Age of the last fsync (-1 before any).", fsyncAge)
+	g("bb_wal_recovery_replay_seconds", "Wall time of boot recovery (snapshot decode + journal replay).", float64(ds.RecoveryReplayMs)/1e3)
+	c("bb_wal_recovered_records_total", "Journal records replayed at boot.", ds.RecoveredRecords)
+	c("bb_wal_append_errors_total", "Journal appends that failed after their mutation applied.", ds.AppendErrors)
+}

@@ -1,0 +1,124 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALTornTail is the torn-write recovery fuzzer: it builds a known
+// log, then truncates it at an arbitrary byte offset and XORs an
+// arbitrary byte, and asserts the recovery contract — replay never
+// panics, recovers an exact prefix of the original records, and the
+// reopened log accepts appends that survive a further clean reopen.
+func FuzzWALTornTail(f *testing.F) {
+	// Build one pristine segment to derive corpus mutations from.
+	base := f.TempDir()
+	l, _, err := Open(base, Options{Fsync: SyncAlways})
+	if err != nil {
+		f.Fatal(err)
+	}
+	const records = 16
+	for i := 0; i < records; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	l.Close(nil)
+	segs, _ := filepath.Glob(filepath.Join(base, segPrefix+"*"+segSuffix))
+	if len(segs) != 1 {
+		f.Fatalf("segments = %v", segs)
+	}
+	pristine, err := os.ReadFile(segs[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+
+	f.Add(uint16(0), uint16(0), byte(0))                      // empty file
+	f.Add(uint16(len(pristine)), uint16(0), byte(0))          // intact
+	f.Add(uint16(len(pristine)-1), uint16(0), byte(0))        // torn last byte
+	f.Add(uint16(frameHeader+3), uint16(0), byte(0))          // torn first payload
+	f.Add(uint16(len(pristine)), uint16(5), byte(0xff))       // corrupt first CRC
+	f.Add(uint16(len(pristine)), uint16(frameHeader), byte(1)) // corrupt first payload
+
+	f.Fuzz(func(t *testing.T, cut uint16, flipAt uint16, flipWith byte) {
+		data := append([]byte(nil), pristine...)
+		if int(cut) < len(data) {
+			data = data[:cut]
+		}
+		if len(data) > 0 {
+			data[int(flipAt)%len(data)] ^= flipWith
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		l, rec, err := Open(dir, Options{})
+		if err != nil {
+			// Recovery may fail only on real I/O errors, which a byte
+			// mutation cannot cause.
+			t.Fatalf("Open on mutated log errored: %v", err)
+		}
+		// Prefix-exact: every recovered record matches the original at
+		// its position; no reordering, no invention.
+		if len(rec.Records) > records {
+			t.Fatalf("recovered %d records from a %d-record log", len(rec.Records), records)
+		}
+		for i, r := range rec.Records {
+			want := fmt.Sprintf("payload-%02d", i)
+			if string(r.Data) != want || r.Seq != uint64(i+1) {
+				t.Fatalf("record %d = (%d, %q), want (%d, %q)", i, r.Seq, r.Data, i+1, want)
+			}
+		}
+		// The log must be appendable after recovery, and the appended
+		// record must survive a clean reopen right after the prefix.
+		next := uint64(len(rec.Records) + 1)
+		seq, err := l.Append([]byte("post-recovery"))
+		if err != nil || seq != next {
+			t.Fatalf("Append = (%d, %v), want (%d, nil)", seq, err, next)
+		}
+		if err := l.Close(nil); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		_, rec2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if n := len(rec2.Records); n != len(rec.Records)+1 {
+			t.Fatalf("second recovery found %d records, want %d", n, len(rec.Records)+1)
+		}
+		if got := rec2.Records[len(rec2.Records)-1]; !bytes.Equal(got.Data, []byte("post-recovery")) {
+			t.Fatalf("appended record did not survive reopen: %q", got.Data)
+		}
+		if rec2.TornBytes != 0 {
+			t.Fatalf("second recovery torn again: %d bytes", rec2.TornBytes)
+		}
+	})
+}
+
+// FuzzSnapshotBytes feeds arbitrary bytes as a snapshot file: recovery
+// must either reject it (fall through to no snapshot) or accept a
+// checksum-valid one, never panic.
+func FuzzSnapshotBytes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+	f.Add(append([]byte(snapMagic), make([]byte, 12)...))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, snapPrefix+"000000000000002a"+snapSuffix), blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer l.Close(nil)
+		if rec.Snapshot != nil && rec.SnapshotSeq != 0x2a {
+			t.Fatalf("accepted snapshot with wrong seq %d", rec.SnapshotSeq)
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func appendN(t *testing.T, l *Log, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, rec *Recovery, from, to int) {
+	t.Helper()
+	if len(rec.Records) != to-from {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), to-from)
+	}
+	for i, r := range rec.Records {
+		want := fmt.Sprintf("rec-%04d", from+i)
+		if string(r.Data) != want {
+			t.Fatalf("record %d = %q, want %q", i, r.Data, want)
+		}
+	}
+}
+
+func TestAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Options{Fsync: SyncAlways})
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	appendN(t, l, 0, 50)
+	if err := l.Close(nil); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openT(t, dir, Options{Fsync: SyncAlways})
+	defer l2.Close(nil)
+	wantRecords(t, rec2, 0, 50)
+	if rec2.Records[0].Seq != 1 || rec2.Records[49].Seq != 50 {
+		t.Fatalf("seq range [%d,%d], want [1,50]", rec2.Records[0].Seq, rec2.Records[49].Seq)
+	}
+	// Appends must extend the recovered prefix.
+	seq, err := l2.Append([]byte("rec-0050"))
+	if err != nil || seq != 51 {
+		t.Fatalf("post-recovery Append = (%d, %v), want (51, nil)", seq, err)
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 30)
+	if err := l.WriteSnapshot([]byte("state@30")); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	appendN(t, l, 30, 40)
+	st := l.Stats()
+	if st.Snapshots != 1 || st.RecordsSinceSnapshot != 10 {
+		t.Fatalf("stats after snapshot: %+v", st)
+	}
+	l.Close(nil)
+
+	// Old segments are pruned: the directory holds one snapshot and the
+	// post-snapshot segment only.
+	var segs, snaps int
+	ents, _ := os.ReadDir(dir)
+	for _, de := range ents {
+		switch {
+		case strings.HasSuffix(de.Name(), segSuffix):
+			segs++
+		case strings.HasSuffix(de.Name(), snapSuffix):
+			snaps++
+		}
+	}
+	if snaps != 1 || segs != 1 {
+		t.Fatalf("after compaction: %d snapshots, %d segments (want 1, 1)", snaps, segs)
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close(nil)
+	if !bytes.Equal(rec.Snapshot, []byte("state@30")) || rec.SnapshotSeq != 30 {
+		t.Fatalf("snapshot = %q seq %d, want state@30 seq 30", rec.Snapshot, rec.SnapshotSeq)
+	}
+	wantRecords(t, rec, 30, 40)
+}
+
+// TestCrashBetweenSnapshotAndPrune simulates the dangerous window: the
+// new snapshot is durably renamed into place but the old segments were
+// never pruned. Replay must skip the pre-snapshot records (validated,
+// already covered) and recover exactly the post-snapshot suffix.
+func TestCrashBetweenSnapshotAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 20)
+	// Write the snapshot by hand next to the un-pruned log, exactly what
+	// a crash between rename and prune leaves (the faultinject point
+	// wal.snapshot.prune produces this state in the subprocess tests).
+	l.mu.Lock()
+	seq := l.lastSeq
+	l.mu.Unlock()
+	if err := writeRawSnapshot(dir, seq, []byte("state@20")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close(nil)
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close(nil)
+	if !bytes.Equal(rec.Snapshot, []byte("state@20")) || rec.SnapshotSeq != 20 {
+		t.Fatalf("snapshot = %q seq %d", rec.Snapshot, rec.SnapshotSeq)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("replayed %d pre-snapshot records, want 0", len(rec.Records))
+	}
+	if seq, err := l2.Append([]byte("x")); err != nil || seq != 21 {
+		t.Fatalf("Append = (%d, %v), want (21, nil)", seq, err)
+	}
+}
+
+// writeRawSnapshot writes a valid snapshot file directly (test helper
+// for crash-state construction).
+func writeRawSnapshot(dir string, seq uint64, data []byte) error {
+	l := &Log{dir: dir}
+	buf := make([]byte, len(snapMagic)+12+len(data))
+	copy(buf, snapMagic)
+	off := len(snapMagic)
+	putU64(buf[off:], seq)
+	putU32(buf[off+8:], crc32.ChecksumIEEE(data))
+	copy(buf[off+12:], data)
+	return os.WriteFile(l.snapPath(seq), buf, 0o644)
+}
+
+// TestUnreadableSnapshotFallsBack corrupts the newest snapshot and
+// checks recovery uses the older one plus the longer log replay.
+func TestUnreadableSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 10)
+	if err := writeRawSnapshot(dir, 5, []byte("older")); err != nil {
+		t.Fatal(err)
+	}
+	// Newer snapshot with a corrupted payload byte.
+	if err := writeRawSnapshot(dir, 8, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	p := (&Log{dir: dir}).snapPath(8)
+	b, _ := os.ReadFile(p)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(p, b, 0o644)
+	l.Close(nil)
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close(nil)
+	if !bytes.Equal(rec.Snapshot, []byte("older")) || rec.SnapshotSeq != 5 {
+		t.Fatalf("fell back to %q seq %d, want older seq 5", rec.Snapshot, rec.SnapshotSeq)
+	}
+	wantRecords(t, rec, 5, 10)
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 10)
+	l.Close(nil)
+
+	// Append garbage to the segment: recovery must keep the 10 valid
+	// records, drop the garbage, and truncate the file back.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	f, _ := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("garbage garbage garbage"))
+	f.Close()
+
+	l2, rec := openT(t, dir, Options{})
+	wantRecords(t, rec, 0, 10)
+	if rec.TornBytes != int64(len("garbage garbage garbage")) {
+		t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, len("garbage garbage garbage"))
+	}
+	// The torn bytes are physically gone: append + reopen yields a clean
+	// contiguous log.
+	if seq, err := l2.Append([]byte("rec-0010")); err != nil || seq != 11 {
+		t.Fatalf("Append = (%d, %v), want (11, nil)", seq, err)
+	}
+	l2.Close(nil)
+	l3, rec3 := openT(t, dir, Options{})
+	defer l3.Close(nil)
+	wantRecords(t, rec3, 0, 11)
+	if rec3.TornBytes != 0 {
+		t.Fatalf("second recovery still torn: %d bytes", rec3.TornBytes)
+	}
+}
+
+// TestOversizedLengthRejected: a torn length prefix must not drive a
+// giant allocation — the frame is treated as corruption.
+func TestOversizedLengthRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 3)
+	l.Close(nil)
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	f, _ := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	var hdr [frameHeader]byte
+	putU32(hdr[0:], uint32(MaxRecord+1))
+	putU64(hdr[8:], 4)
+	f.Write(hdr[:])
+	f.Close()
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close(nil)
+	wantRecords(t, rec, 0, 3)
+	if rec.TornBytes != frameHeader {
+		t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, frameHeader)
+	}
+}
+
+func TestFsyncModes(t *testing.T) {
+	for _, mode := range []string{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openT(t, dir, Options{Fsync: mode})
+			appendN(t, l, 0, 5)
+			if err := l.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			st := l.Stats()
+			if st.Fsync != mode || st.Records != 5 {
+				t.Fatalf("stats: %+v", st)
+			}
+			if st.LastFsyncAgeMs < 0 {
+				t.Fatal("LastFsyncAgeMs sentinel after explicit Sync")
+			}
+			l.Close(nil)
+			_, rec := openT(t, dir, Options{Fsync: mode})
+			wantRecords(t, rec, 0, 5)
+		})
+	}
+	if _, _, err := Open(t.TempDir(), Options{Fsync: "bogus"}); err == nil {
+		t.Fatal("bogus fsync mode accepted")
+	}
+}
+
+func TestCloseFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendN(t, l, 0, 7)
+	if err := l.Close(func() []byte { return []byte("final") }); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec := openT(t, dir, Options{})
+	if !bytes.Equal(rec.Snapshot, []byte("final")) || rec.SnapshotSeq != 7 {
+		t.Fatalf("final snapshot = %q seq %d", rec.Snapshot, rec.SnapshotSeq)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("clean shutdown left %d records to replay", len(rec.Records))
+	}
+	// Close is idempotent and later ops fail cleanly.
+	if err := l.Close(nil); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestAbortKeepsSyncedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 12)
+	l.Abort()
+	_, rec := openT(t, dir, Options{})
+	wantRecords(t, rec, 0, 12)
+}
+
+func TestMultiSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Fsync: SyncAlways})
+	appendN(t, l, 0, 10)
+	if err := l.WriteSnapshot([]byte("s@10")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, 20)
+	if err := l.WriteSnapshot([]byte("s@20")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 20, 25)
+	st := l.Stats()
+	if st.Snapshots != 2 {
+		t.Fatalf("snapshots = %d, want 2", st.Snapshots)
+	}
+	l.Close(nil)
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close(nil)
+	if !bytes.Equal(rec.Snapshot, []byte("s@20")) || rec.SnapshotSeq != 20 {
+		t.Fatalf("snapshot %q seq %d", rec.Snapshot, rec.SnapshotSeq)
+	}
+	wantRecords(t, rec, 20, 25)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
