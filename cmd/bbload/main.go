@@ -43,6 +43,14 @@
 // server's configuration governs) and the run is labeled from the
 // server's /v1/stats info; pointing at a bbproxy stamps the cluster
 // fields from its aggregated stats.
+//
+// URL targets take -transport wire to drive the server's binary wire
+// listener (discovered from the probe's info.wire_addr) instead of
+// HTTP, and -conns to cap connections (wire pool size; HTTP max
+// concurrent connections — -conns 1 is the single-connection
+// configuration the transport-gap bench records). Either transport
+// stamps the transport, client_coalescing_factor and
+// client_bytes_per_op columns into the record.
 package main
 
 import (
@@ -59,6 +67,7 @@ import (
 	"repro/internal/keyed"
 	"repro/internal/load"
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 // report is the bbserve/v1 (or bbcluster/v1) schema: the shared
@@ -72,6 +81,8 @@ func main() {
 	sf := cli.RegisterSpec(flag.CommandLine)
 	var (
 		target    = flag.String("target", "inproc", `target: "inproc", "cluster", or a base URL like http://127.0.0.1:8080`)
+		transport = flag.String("transport", "http", "URL-target transport: http, or wire (the server's advertised -wire-addr listener)")
+		conns     = flag.Int("conns", 0, "URL-target connection cap: wire pool size (0 = 1) / max concurrent HTTP conns (0 = unlimited)")
 		mode      = flag.String("mode", "open", "load mode: open or closed")
 		scenarios = flag.String("scenarios", "steady", "comma-separated scenario presets: "+strings.Join(load.Scenarios(), ", "))
 		rate      = flag.Float64("rate", 2000, "open-loop offered ball rate per second")
@@ -100,6 +111,10 @@ func main() {
 
 	if *dist != "exp" && *dist != "lognormal" {
 		fmt.Fprintln(os.Stderr, "bbload: -dist must be exp or lognormal")
+		os.Exit(2)
+	}
+	if *transport != "http" && *transport != "wire" {
+		fmt.Fprintln(os.Stderr, "bbload: -transport must be http or wire")
 		os.Exit(2)
 	}
 
@@ -142,7 +157,7 @@ func main() {
 			}
 		}
 		for _, policy := range policyNames {
-			res, err := runOne(ctx, sf, sc, *target, *mode, *rate, *workers, *duration,
+			res, err := runOne(ctx, sf, sc, *target, *transport, *conns, *mode, *rate, *workers, *duration,
 				*service, *dist, *n, *shards, *horizon, *backends, policy, *retries, *staleness,
 				*dataDir, *snapEvery, *fsyncMode)
 			if err != nil {
@@ -205,7 +220,7 @@ func fmtNs(ns int64) string {
 }
 
 func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
-	target, mode string, rate float64, workers int, duration, service time.Duration,
+	target, transport string, conns int, mode string, rate float64, workers int, duration, service time.Duration,
 	dist string, n, shards int, horizon int64,
 	backends int, policyName string, retries int, staleness time.Duration,
 	dataDir string, snapEvery int, fsyncMode string) (load.Result, error) {
@@ -299,14 +314,35 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 		protocol = spec.Name()
 		n = ct.R.N() // total bins across the cluster
 	default:
-		ht := load.NewHTTPTarget(strings.TrimSuffix(target, "/"))
-		if info, err := ht.ReadInfo(ctx); err == nil {
-			protocol = info.Protocol
-			n, shards = info.N, info.Shards
-		} else {
+		base := strings.TrimSuffix(target, "/")
+		ht := load.NewHTTPTargetConns(base, conns)
+		info, err := ht.ReadInfo(ctx)
+		if err != nil {
 			return load.Result{}, fmt.Errorf("probe %s: %w", target, err)
 		}
-		tgt = ht
+		protocol = info.Protocol
+		n, shards = info.N, info.Shards
+		if transport == "wire" {
+			// The HTTP probe above doubles as wire discovery: the server
+			// advertises its -wire-addr in the stats info block.
+			addr, werr := wire.ResolveAddr(base, info.WireAddr)
+			if werr != nil {
+				return load.Result{}, fmt.Errorf("%s: %w (is it running with -wire-addr?)", base, werr)
+			}
+			wconns := conns
+			if wconns <= 0 {
+				wconns = 1
+			}
+			wt, werr := load.NewWireTarget(addr, wconns)
+			if werr != nil {
+				return load.Result{}, werr
+			}
+			defer wt.Close()
+			tgt = wt
+			label = "wire"
+		} else {
+			tgt = ht
+		}
 	}
 
 	res, err := load.Run(ctx, cfg, tgt)

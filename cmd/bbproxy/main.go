@@ -36,6 +36,13 @@
 // requests) are evicted from routing and rejoin automatically after
 // -rise-after successful probes. SIGINT/SIGTERM drain gracefully.
 //
+// With -wire-addr the proxy serves the binary wire protocol
+// (internal/wire) alongside HTTP, and by default (-wire-backends) it
+// also dials any backend that advertises a wire listener in its
+// /v1/stats info over wire instead of HTTP — the startup probe doubles
+// as discovery, HTTP stays as the fallback, and health/failover/
+// eviction are transport-agnostic.
+//
 // With -data-dir the keyed tier is durable: every key→backend
 // mutation is journaled to a CRC-checked write-ahead log with periodic
 // compacting snapshots, a restarted proxy replays to the exact
@@ -50,6 +57,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,6 +70,7 @@ import (
 	"repro/internal/keyed"
 	"repro/internal/serve"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // checkedBackend defers the bin-count agreement check for a backend
@@ -136,6 +145,8 @@ func (c *checkedBackend) Health(ctx context.Context) error {
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = HTTP only)")
+		wireDial    = flag.Bool("wire-backends", true, "dial backends over the wire protocol when they advertise one")
 		backends    = flag.String("backends", "", "comma-separated backend base URLs (required)")
 		policyName  = flag.String("policy", "greedy", "routing policy: "+strings.Join(cluster.Policies(), ", ")+", or keyed[P] with P one of "+strings.Join(keyed.Policies(), ", "))
 		d           = flag.Int("d", 2, "choices per pick (greedy)")
@@ -203,6 +214,7 @@ func main() {
 	// corrupt the numbering.
 	hbs := make([]*cluster.HTTPBackend, len(urls))
 	verified := make([]bool, len(urls))
+	wireAddrs := make([]string, len(urls))
 	n, protocol := 0, ""
 	probeCtx, cancelProbe := context.WithTimeout(context.Background(), 10*time.Second)
 	for i, u := range urls {
@@ -213,6 +225,7 @@ func main() {
 			continue
 		}
 		verified[i] = true
+		wireAddrs[i] = info.WireAddr
 		if n == 0 {
 			n, protocol = info.N, info.Protocol
 		} else if info.N != n {
@@ -228,10 +241,24 @@ func main() {
 	}
 	bks := make([]cluster.Backend, len(urls))
 	for i, hb := range hbs {
-		if verified[i] {
-			bks[i] = hb
-		} else {
+		switch {
+		case !verified[i]:
+			// Down at startup: HTTP with a deferred bin-count check.
+			// (No wire address is known for it either — it rejoins over
+			// HTTP; the advertised wire listener is a startup upgrade.)
 			bks[i] = &checkedBackend{HTTPBackend: hb, wantN: n}
+		case *wireDial && wireAddrs[i] != "":
+			wb, err := cluster.NewWireBackend(hb, wireAddrs[i], n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bbproxy: backend %s advertises wire %q but dial failed (%v) — falling back to HTTP\n",
+					hb.Name(), wireAddrs[i], err)
+				bks[i] = hb
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "bbproxy: backend %s dialed over wire (%s)\n", hb.Name(), wireAddrs[i])
+			bks[i] = wb
+		default:
+			bks[i] = hb
 		}
 	}
 
@@ -270,6 +297,17 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	// Reserve the proxy's wire listener early; serving starts once the
+	// router is ready (queued dials wait in the backlog).
+	var wireLn net.Listener
+	if *wireAddr != "" {
+		wireLn, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbproxy:", err)
+			os.Exit(1)
+		}
+	}
+
 	rt, rec, err := cluster.OpenRouter(rcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbproxy:", err)
@@ -289,8 +327,20 @@ func main() {
 		Shards:   len(bks),
 		Engine:   protocol, // the backends' protocol, for labeling
 		Seed:     *seed,
+		WireAddr: *wireAddr,
 	}
-	var real http.Handler = cluster.NewHandler(rt, info)
+	var ws *wire.Server
+	if wireLn != nil {
+		wh := cluster.NewRouterWire(rt, info)
+		ws = wire.NewServer(wh, wire.ServerOptions{})
+		wh.BindServer(ws)
+		go func() {
+			if err := ws.Serve(wireLn); err != nil {
+				fmt.Fprintln(os.Stderr, "bbproxy: wire:", err)
+			}
+		}()
+	}
+	var real http.Handler = cluster.NewHandlerWire(rt, info, ws)
 	handler.Store(&real)
 
 	done := make(chan struct{})
@@ -302,6 +352,9 @@ func main() {
 		// still answers, so upstream balancers can observe the drain),
 		// then stop the listener, letting in-flight proxying finish.
 		rt.Close()
+		if ws != nil {
+			ws.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

@@ -17,7 +17,13 @@
 //	GET  /v1/stats            lock-free monitoring view (+ keyed block)
 //	GET  /v1/snapshot         lock-all consistent snapshot
 //	GET  /healthz             200 ok, 503 once draining
-//	GET  /metrics             Prometheus text format
+//	GET  /metrics             Prometheus text format (+ bb_wire_* series)
+//
+// With -wire-addr the same operations are additionally served over the
+// binary streaming wire protocol (internal/wire): persistent
+// connections, CRC-guarded frames, pipelined out-of-order replies. The
+// address is advertised in /v1/stats info.wire_addr so clients
+// (bbload -transport wire, bbproxy) discover it from the HTTP probe.
 //
 // With -data-dir the keyed tier is durable: every keyed mutation is
 // journaled to a CRC-checked write-ahead log with periodic compacting
@@ -37,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,12 +56,14 @@ import (
 	"repro/internal/keyed"
 	"repro/internal/serve"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 func main() {
 	sf := cli.RegisterSpec(flag.CommandLine)
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = HTTP only)")
 		n           = flag.Int("n", 100000, "number of bins")
 		shards      = flag.Int("shards", 8, "allocator shards (parallel dispatch lanes)")
 		horizon     = flag.Int64("horizon", 0, "declared total balls (threshold family)")
@@ -127,6 +136,18 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	// Reserve the wire listener early too, but only start serving it
+	// once the dispatcher is ready (queued dials wait in the backlog —
+	// the wire protocol has no "recovering" page to show).
+	var wireLn net.Listener
+	if *wireAddr != "" {
+		wireLn, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbserved:", err)
+			os.Exit(1)
+		}
+	}
+
 	d, rec, err := serve.OpenDispatcher(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbserved:", err)
@@ -142,8 +163,20 @@ func main() {
 		Shards:   *shards,
 		Engine:   eng.String(),
 		Seed:     sf.Seed,
+		WireAddr: *wireAddr,
 	}
-	var real http.Handler = serve.NewHandler(d, info)
+	var ws *wire.Server
+	if wireLn != nil {
+		wh := serve.NewDispatcherWire(d, info)
+		ws = wire.NewServer(wh, wire.ServerOptions{})
+		wh.BindServer(ws)
+		go func() {
+			if err := ws.Serve(wireLn); err != nil {
+				fmt.Fprintln(os.Stderr, "bbserved: wire:", err)
+			}
+		}()
+	}
+	var real http.Handler = serve.NewHandlerWire(d, info, ws)
 	handler.Store(&real)
 
 	done := make(chan struct{})
@@ -158,6 +191,11 @@ func main() {
 		// Everything already enqueued completes. Then stop the
 		// listener, letting in-flight HTTP requests finish.
 		d.Close()
+		if ws != nil {
+			// Wire conns see CodeDraining on new work during the drain
+			// window above; now drop them and the wire listener.
+			ws.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -165,8 +203,12 @@ func main() {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "bbserved: %s n=%d shards=%d engine=%s listening on %s\n",
-		info.Protocol, *n, *shards, info.Engine, *addr)
+	wireNote := ""
+	if *wireAddr != "" {
+		wireNote = " wire=" + *wireAddr
+	}
+	fmt.Fprintf(os.Stderr, "bbserved: %s n=%d shards=%d engine=%s listening on %s%s\n",
+		info.Protocol, *n, *shards, info.Engine, *addr, wireNote)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "bbserved:", err)
 		os.Exit(1)

@@ -134,6 +134,24 @@
 // (internal/faultinject, armed via BB_CRASHPOINT) and torn-tail
 // fuzzing; see the README's Durability section.
 //
+// # Wire protocol
+//
+// Both serving tiers also speak a binary streaming protocol
+// (internal/wire, enabled with -wire-addr) that closes the throughput
+// gap between the in-proc dispatcher and JSON-over-HTTP: persistent
+// connections carrying length-prefixed CRC-32-guarded frames (the
+// WAL's framing idiom), request IDs for out-of-order pipelining, and
+// batch coalescing on both ends of the socket — concurrent callers'
+// requests are packed into one write/syscall per flush, the
+// client-side twin of the dispatcher's arrival combining. Typed error
+// codes map 1:1 onto the HTTP status semantics, the STATS message
+// returns the exact /v1/stats document, and bbproxy transparently
+// dials backends over wire when they advertise a listener (HTTP
+// remains the fallback; failover is transport-agnostic). bbload
+// -transport wire drives every scenario over it and stamps the
+// coalescing factor and bytes/op into the bench records; see the
+// README's Wire protocol section.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

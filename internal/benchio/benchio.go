@@ -8,7 +8,11 @@
 //
 //   - bbbench/v1   — cmd/bbbench engine grid (ns/ball, speedups)
 //   - bbserve/v1   — cmd/bbload serving runs (throughput, latency
-//     quantiles, end-state)
+//     quantiles, end-state); records additionally stamp the transport
+//     columns when driving a remote target: transport ("http" or
+//     "wire"), client_coalescing_factor (requests packed per socket
+//     write — 1.0 for HTTP) and client_bytes_per_op (socket bytes per
+//     operation, both directions)
 //   - bbcluster/v1 — bbserve/v1 plus the cluster-routing fields
 //     (policy, backends, cluster_gap, probes_per_pick, failovers)
 //   - bbkeyed/v1   — bbserve/bbcluster records plus the keyed-tier

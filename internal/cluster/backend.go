@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"time"
 
+	"repro/internal/netutil"
 	"repro/internal/serve"
 )
 
@@ -78,12 +79,9 @@ type HTTPBackend struct {
 // NewHTTPBackend returns a backend for the bbserved at base (e.g.
 // "http://127.0.0.1:8081"), with its own connection pool.
 func NewHTTPBackend(base string) *HTTPBackend {
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConns = 256
-	tr.MaxIdleConnsPerHost = 256
 	return &HTTPBackend{
 		base:   base,
-		client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		client: &http.Client{Transport: netutil.PooledTransport(256, 0), Timeout: 30 * time.Second},
 	}
 }
 

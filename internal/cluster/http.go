@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/serve"
+	"repro/internal/wire"
 )
 
 // StatsResponse is the body of the proxy's GET /v1/stats: the same
@@ -23,11 +24,15 @@ type StatsResponse struct {
 	WindowLatencyNs serve.Latency `json:"window_latency_ns"`
 	WindowSec       float64       `json:"window_sec,omitempty"`
 	Cluster         Stats         `json:"cluster"`
+	// Wire is the proxy's binary-protocol server block; omitted when
+	// the proxy runs without -wire-addr.
+	Wire *wire.Stats `json:"wire,omitempty"`
 }
 
 type handler struct {
 	rt   *Router
 	info serve.Info
+	ws   *wire.Server // nil when wire serving is off
 }
 
 // NewHandler mounts the proxy API over a router — the same surface as
@@ -40,7 +45,14 @@ type handler struct {
 //	                          no backend is healthy
 //	GET  /metrics             Prometheus text format
 func NewHandler(rt *Router, info serve.Info) http.Handler {
-	h := &handler{rt: rt, info: info}
+	return NewHandlerWire(rt, info, nil)
+}
+
+// NewHandlerWire is NewHandler for a proxy that also serves the binary
+// protocol: the wire server's counters join /v1/stats (wire block) and
+// /metrics (bb_wire_* series). ws may be nil.
+func NewHandlerWire(rt *Router, info serve.Info, ws *wire.Server) http.Handler {
+	h := &handler{rt: rt, info: info, ws: ws}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", h.place)
 	mux.HandleFunc("POST /v1/remove", h.remove)
@@ -122,17 +134,28 @@ func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
-	win, secs := h.rt.WindowLatency()
-	cs := h.rt.Stats() // one aggregation pass serves both blocks
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Info:            h.info,
+	writeJSON(w, http.StatusOK, BuildStatsResponse(h.rt, h.info, h.ws))
+}
+
+// BuildStatsResponse assembles the proxy's /v1/stats document — the
+// single source for both transports (HTTP handler and wire adapter).
+func BuildStatsResponse(rt *Router, info serve.Info, ws *wire.Server) StatsResponse {
+	win, secs := rt.WindowLatency()
+	cs := rt.Stats() // one aggregation pass serves both blocks
+	resp := StatsResponse{
+		Info:            info,
 		StatsView:       cs.View(),
-		Draining:        h.rt.Draining(),
-		LatencyNs:       serve.LatencySummary(h.rt.PlaceLatency()),
+		Draining:        rt.Draining(),
+		LatencyNs:       serve.LatencySummary(rt.PlaceLatency()),
 		WindowLatencyNs: serve.LatencySummary(win),
 		WindowSec:       secs,
 		Cluster:         cs,
-	})
+	}
+	if ws != nil {
+		s := ws.Stats()
+		resp.Wire = &s
+	}
+	return resp
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
@@ -182,6 +205,9 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		c("bb_proxy_keyed_shed_total", "Key replicas shed off overfull bins.", ks.ShedKeys)
 	}
 	serve.WriteDurabilityMetrics(w, cs.Durability)
+	if h.ws != nil {
+		wire.WriteMetrics(w, h.ws.Stats())
+	}
 
 	fmt.Fprintf(w, "# HELP bb_proxy_backend_up Backend in rotation (1) or evicted (0).\n# TYPE bb_proxy_backend_up gauge\n")
 	for _, row := range cs.Rows {

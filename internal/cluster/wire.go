@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// RouterWire adapts a Router to wire.Handler so bbproxy serves the
+// binary protocol with exactly the HTTP tier's semantics (same bounds,
+// same error mapping, same stats document).
+type RouterWire struct {
+	rt   *Router
+	info serve.Info
+	ws   atomic.Pointer[wire.Server]
+}
+
+// NewRouterWire wraps rt for wire serving. Call BindServer once the
+// wire.Server exists so STATS replies include the wire block.
+func NewRouterWire(rt *Router, info serve.Info) *RouterWire {
+	return &RouterWire{rt: rt, info: info}
+}
+
+// BindServer attaches the serving wire.Server whose counters the STATS
+// reply reports.
+func (h *RouterWire) BindServer(ws *wire.Server) { h.ws.Store(ws) }
+
+// routeErr maps routing errors onto wire codes — the same mapping the
+// proxy's HTTP handler uses for status codes.
+func routeErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrDraining):
+		return &wire.Error{Code: wire.CodeDraining, Msg: err.Error()}
+	case errors.Is(err, ErrNoBackends):
+		return &wire.Error{Code: wire.CodeNoBackends, Msg: err.Error()}
+	case errors.Is(err, ErrBackendDown):
+		return &wire.Error{Code: wire.CodeBackendDown, Msg: err.Error()}
+	case errors.Is(err, serve.ErrEmptyBin):
+		return &wire.Error{Code: wire.CodeEmptyBin, Msg: err.Error()}
+	case errors.Is(err, serve.ErrKeyedUnsupported):
+		return &wire.Error{Code: wire.CodeKeyedUnsupported, Msg: err.Error()}
+	}
+	return err
+}
+
+// Place implements wire.Handler.
+func (h *RouterWire) Place(ctx context.Context, count int) ([]int, int64, error) {
+	if count < 1 || count > serve.MaxBulkPlace {
+		return nil, 0, &wire.Error{
+			Code: wire.CodeBadRequest,
+			Msg:  fmt.Sprintf("count must be in [1,%d], got %d", serve.MaxBulkPlace, count),
+		}
+	}
+	bins, samples, err := h.rt.Place(ctx, count)
+	return bins, samples, routeErr(err)
+}
+
+// PlaceKeyed implements wire.Handler.
+func (h *RouterWire) PlaceKeyed(ctx context.Context, key string) ([]int, int64, error) {
+	if key == "" {
+		return nil, 0, &wire.Error{Code: wire.CodeBadRequest, Msg: "empty key"}
+	}
+	bins, samples, err := h.rt.PlaceKeyed(ctx, key)
+	return bins, samples, routeErr(err)
+}
+
+// Remove implements wire.Handler on global bin numbers (slot·n +
+// local), exactly like the proxy's /v1/remove.
+func (h *RouterWire) Remove(ctx context.Context, bin int, key string) error {
+	if bin < 0 || bin >= h.rt.N() {
+		return &wire.Error{
+			Code: wire.CodeBadRequest,
+			Msg:  fmt.Sprintf("bin %d outside [0,%d)", bin, h.rt.N()),
+		}
+	}
+	return routeErr(h.rt.RemoveKeyed(ctx, bin, key))
+}
+
+// StatsJSON implements wire.Handler with the exact proxy /v1/stats
+// document.
+func (h *RouterWire) StatsJSON(ctx context.Context) ([]byte, error) {
+	return json.Marshal(BuildStatsResponse(h.rt, h.info, h.ws.Load()))
+}
+
+// Hello implements wire.Handler for the n-agreement handshake.
+func (h *RouterWire) Hello() wire.Hello {
+	return wire.Hello{
+		Protocol: h.info.Protocol,
+		N:        h.info.N,
+		Shards:   h.info.Shards,
+	}
+}
+
+// Draining implements wire.Handler, mirroring the proxy's /healthz
+// drain bit (backend health stays with the router's membership).
+func (h *RouterWire) Draining() bool { return h.rt.Draining() }
+
+// WireBackend drives a bbserved over the binary protocol when the
+// backend advertises a wire listener. Routing semantics are identical
+// to HTTPBackend — wire codes map back onto the same sentinel errors —
+// so failover and eviction behave the same on either transport. The
+// HTTP backend is retained for construction fallback and naming.
+type WireBackend struct {
+	hb *HTTPBackend
+	wc *wire.Client
+}
+
+// NewWireBackend dials the wire listener advertised by the backend at
+// base. wantN > 0 enforces n-agreement from the HELLO handshake alone.
+// A dial or agreement failure returns an error; callers typically fall
+// back to the HTTP backend and log.
+func NewWireBackend(hb *HTTPBackend, wireAddr string, wantN int) (*WireBackend, error) {
+	addr, err := wire.ResolveAddr(hb.Name(), wireAddr)
+	if err != nil {
+		return nil, err
+	}
+	wc, err := wire.Dial(addr, wire.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if hello := wc.Hello(); wantN > 0 && hello.N != wantN {
+		wc.Close()
+		return nil, fmt.Errorf("cluster: backend %s serves n=%d, want %d", hb.Name(), hello.N, wantN)
+	}
+	return &WireBackend{hb: hb, wc: wc}, nil
+}
+
+// Name implements Backend: the HTTP base URL, so membership rows and
+// logs name the backend the same on either transport.
+func (b *WireBackend) Name() string { return b.hb.Name() }
+
+// wireErr maps typed wire errors back onto the sentinel errors the
+// router's failover logic matches on.
+func wireErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch wire.ErrCode(err) {
+	case wire.CodeEmptyBin:
+		return serve.ErrEmptyBin
+	case wire.CodeDraining:
+		return serve.ErrDraining
+	case wire.CodeKeyedUnsupported:
+		return serve.ErrKeyedUnsupported
+	}
+	return err
+}
+
+// Place implements Backend.
+func (b *WireBackend) Place(ctx context.Context, count int) ([]int, int64, error) {
+	bins, samples, err := b.wc.Place(ctx, count)
+	return bins, samples, wireErr(err)
+}
+
+// Remove implements Backend.
+func (b *WireBackend) Remove(ctx context.Context, bin int) error {
+	return wireErr(b.wc.Remove(ctx, bin, ""))
+}
+
+// PlaceKey implements KeyedBackend.
+func (b *WireBackend) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	bins, samples, err := b.wc.PlaceKeyed(ctx, key)
+	return bins, samples, wireErr(err)
+}
+
+// RemoveKey implements KeyedBackend.
+func (b *WireBackend) RemoveKey(ctx context.Context, bin int, key string) error {
+	return wireErr(b.wc.Remove(ctx, bin, key))
+}
+
+// Stats implements Backend over a wire STATS request (the same JSON
+// document /v1/stats serves).
+func (b *WireBackend) Stats(ctx context.Context) (serve.StatsView, error) {
+	body, err := b.wc.StatsJSON(ctx)
+	if err != nil {
+		return serve.StatsView{}, wireErr(err)
+	}
+	var sr serve.StatsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return serve.StatsView{}, fmt.Errorf("cluster: decode wire stats from %s: %w", b.Name(), err)
+	}
+	return sr.StatsView, nil
+}
+
+// Health implements Backend via wire PING, which reports draining just
+// like GET /healthz.
+func (b *WireBackend) Health(ctx context.Context) error {
+	return wireErr(b.wc.Ping(ctx))
+}
+
+// Close tears down the wire connection pool.
+func (b *WireBackend) Close() error { return b.wc.Close() }

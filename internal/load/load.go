@@ -77,6 +77,22 @@ type KeyedStatsReader interface {
 	ReadKeyedStats(ctx context.Context) (ks keyed.Stats, ok bool, err error)
 }
 
+// TransportStats describes a network target's client-side transport
+// efficiency: which transport ran, how many requests were coalesced
+// into each socket write, and the socket bytes each operation cost.
+type TransportStats struct {
+	Transport        string
+	CoalescingFactor float64
+	BytesPerOp       float64
+}
+
+// TransportStatsReader is implemented by network targets (HTTPTarget,
+// WireTarget) so runs can be stamped with transport columns. ok is
+// false for in-proc targets, which have no transport.
+type TransportStatsReader interface {
+	ReadTransportStats() (ts TransportStats, ok bool)
+}
+
 // BackendKiller is implemented by targets that can abruptly kill one
 // of their backends mid-run (the in-proc ClusterTarget) — the
 // membership-kill scenario's trigger. It returns the killed slot.
@@ -313,6 +329,16 @@ type Result struct {
 	FinalGap     int     `json:"final_gap,omitempty"`
 	Combining    float64 `json:"combining_factor,omitempty"`
 
+	// Transport columns, stamped for network targets: which transport
+	// carried the run ("http" or "wire" — empty for in-proc targets,
+	// which discriminates these cases), the client-side coalescing
+	// factor (requests per socket write; 1 by definition for HTTP),
+	// and measured socket bytes per operation. No omitempty on the
+	// numerics — Transport tells real zeros from missing data.
+	Transport        string  `json:"transport,omitempty"`
+	ClientCoalescing float64 `json:"client_coalescing_factor"`
+	ClientBytesPerOp float64 `json:"client_bytes_per_op"`
+
 	// Cluster-mode fields, stamped when the target fronts a routing
 	// tier: the policy that routed, the backend count, the end-of-run
 	// cross-backend ball gap (the routing tier's headline balance
@@ -445,6 +471,13 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 			res.FinalMaxLoad = v.MaxLoad
 			res.FinalGap = v.Gap
 			res.Combining = v.CombiningFactor
+		}
+	}
+	if tr, ok := target.(TransportStatsReader); ok {
+		if ts, isNet := tr.ReadTransportStats(); isNet {
+			res.Transport = ts.Transport
+			res.ClientCoalescing = ts.CoalescingFactor
+			res.ClientBytesPerOp = ts.BytesPerOp
 		}
 	}
 	if cr, ok := target.(ClusterStatsReader); ok {

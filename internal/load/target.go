@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/keyed"
+	"repro/internal/netutil"
 	"repro/internal/serve"
 )
 
@@ -59,18 +61,43 @@ func (t InProc) ReadKeyedStats(context.Context) (keyed.Stats, bool, error) {
 type HTTPTarget struct {
 	Base   string // e.g. "http://127.0.0.1:8080"
 	Client *http.Client
+
+	bytes netutil.ByteCounter
+	ops   atomic.Int64
 }
 
 // NewHTTPTarget returns a target for the server at base with a client
 // tuned for many concurrent keep-alive connections.
 func NewHTTPTarget(base string) *HTTPTarget {
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConns = 512
-	tr.MaxIdleConnsPerHost = 512
-	return &HTTPTarget{
-		Base:   base,
-		Client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	return NewHTTPTargetConns(base, 0)
+}
+
+// NewHTTPTargetConns is NewHTTPTarget with a hard cap on concurrent
+// connections; conns=1 forces every request through one socket — the
+// honest single-connection baseline the wire transport is measured
+// against. conns=0 means unlimited.
+func NewHTTPTargetConns(base string, conns int) *HTTPTarget {
+	t := &HTTPTarget{Base: base}
+	tr := netutil.PooledTransport(512, conns)
+	netutil.CountConns(tr, &t.bytes)
+	t.Client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	return t
+}
+
+// ReadTransportStats implements TransportStatsReader. HTTP does one
+// request per write, so the coalescing factor is definitionally 1;
+// bytes/op is measured at the socket (headers included), which is the
+// point of the comparison.
+func (t *HTTPTarget) ReadTransportStats() (TransportStats, bool) {
+	ops := t.ops.Load()
+	if ops == 0 {
+		return TransportStats{Transport: "http"}, true
 	}
+	return TransportStats{
+		Transport:        "http",
+		CoalescingFactor: 1,
+		BytesPerOp:       float64(t.bytes.Total()) / float64(ops),
+	}, true
 }
 
 func (t *HTTPTarget) post(ctx context.Context, path string, v any) (int, error) {
@@ -78,6 +105,7 @@ func (t *HTTPTarget) post(ctx context.Context, path string, v any) (int, error) 
 	if err != nil {
 		return 0, err
 	}
+	t.ops.Add(1)
 	resp, err := t.Client.Do(req)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,122 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/keyed"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// WireTarget drives a bbserved or bbproxy over the binary wire
+// protocol — the -transport wire sibling of HTTPTarget. Every scenario
+// runs unmodified on either transport; the STATS request returns the
+// same JSON document as GET /v1/stats, so the stats readers share
+// HTTPTarget's decode shape.
+type WireTarget struct {
+	C *wire.Client
+}
+
+// NewWireTarget dials a wire listener at addr (host:port) with a pool
+// of conns connections (1 = the single-connection headline mode).
+func NewWireTarget(addr string, conns int) (*WireTarget, error) {
+	c, err := wire.Dial(addr, wire.ClientOptions{Conns: conns})
+	if err != nil {
+		return nil, err
+	}
+	return &WireTarget{C: c}, nil
+}
+
+// Close tears down the connection pool.
+func (t *WireTarget) Close() error { return t.C.Close() }
+
+// Place implements Target.
+func (t *WireTarget) Place(ctx context.Context, count int) ([]int, int64, error) {
+	return t.C.Place(ctx, count)
+}
+
+// Remove implements Target, mapping the empty-bin code back to the
+// sentinel the generators count, like HTTPTarget maps the 409.
+func (t *WireTarget) Remove(ctx context.Context, bin int) error {
+	return wireRemoveErr(t.C.Remove(ctx, bin, ""))
+}
+
+// PlaceKey implements KeyedTarget.
+func (t *WireTarget) PlaceKey(ctx context.Context, key string) ([]int, int64, error) {
+	return t.C.PlaceKeyed(ctx, key)
+}
+
+// RemoveKey implements KeyedTarget.
+func (t *WireTarget) RemoveKey(ctx context.Context, bin int, key string) error {
+	return wireRemoveErr(t.C.Remove(ctx, bin, key))
+}
+
+func wireRemoveErr(err error) error {
+	if err != nil && wire.ErrCode(err) == wire.CodeEmptyBin {
+		return serve.ErrEmptyBin
+	}
+	return err
+}
+
+func (t *WireTarget) readStatsResponse(ctx context.Context) (statsEnvelope, error) {
+	body, err := t.C.StatsJSON(ctx)
+	if err != nil {
+		return statsEnvelope{}, err
+	}
+	var sr statsEnvelope
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return statsEnvelope{}, fmt.Errorf("load: decode wire stats: %w", err)
+	}
+	return sr, nil
+}
+
+// ReadStats implements StatsReader.
+func (t *WireTarget) ReadStats(ctx context.Context) (serve.StatsView, error) {
+	sr, err := t.readStatsResponse(ctx)
+	return sr.StatsView, err
+}
+
+// ReadInfo mirrors HTTPTarget.ReadInfo for run labeling.
+func (t *WireTarget) ReadInfo(ctx context.Context) (serve.Info, error) {
+	sr, err := t.readStatsResponse(ctx)
+	return sr.Info, err
+}
+
+// ReadClusterStats implements ClusterStatsReader (a bbproxy's wire
+// STATS carries the same cluster block as its HTTP stats).
+func (t *WireTarget) ReadClusterStats(ctx context.Context) (cluster.Stats, bool, error) {
+	sr, err := t.readStatsResponse(ctx)
+	if err != nil {
+		return cluster.Stats{}, false, err
+	}
+	return sr.Cluster, sr.Cluster.Policy != "", nil
+}
+
+// ReadKeyedStats implements KeyedStatsReader.
+func (t *WireTarget) ReadKeyedStats(ctx context.Context) (keyed.Stats, bool, error) {
+	sr, err := t.readStatsResponse(ctx)
+	if err != nil {
+		return keyed.Stats{}, false, err
+	}
+	if sr.Cluster.Keyed != nil {
+		return *sr.Cluster.Keyed, true, nil
+	}
+	if sr.Keyed != nil {
+		return *sr.Keyed, true, nil
+	}
+	return keyed.Stats{}, false, nil
+}
+
+// ReadTransportStats implements TransportStatsReader from the wire
+// client's own counters.
+func (t *WireTarget) ReadTransportStats() (TransportStats, bool) {
+	s := t.C.Stats()
+	return TransportStats{
+		Transport:        "wire",
+		CoalescingFactor: s.CoalescingFactor,
+		BytesPerOp:       s.BytesPerOp,
+	}, true
+}

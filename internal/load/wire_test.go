@@ -1,0 +1,211 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	ballsbins "repro"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// startWireServer wraps a fresh same-config dispatcher in a wire server
+// on a loopback listener and returns a WireTarget dialed into it.
+func startWireServer(t *testing.T, d *serve.Dispatcher, info serve.Info) *WireTarget {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := serve.NewDispatcherWire(d, info)
+	ws := wire.NewServer(wh, wire.ServerOptions{})
+	wh.BindServer(ws)
+	go ws.Serve(ln)
+	t.Cleanup(func() { ws.Close() })
+	wt, err := NewWireTarget(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wt.Close() })
+	return wt
+}
+
+// transcript drives a deterministic op script against a target and
+// returns every reply it saw.
+func transcript(t *testing.T, tgt interface {
+	Target
+	KeyedTarget
+}) []string {
+	t.Helper()
+	ctx := context.Background()
+	var out []string
+	var held []int
+	for i := 0; i < 300; i++ {
+		switch {
+		case i%5 == 3:
+			key := fmt.Sprintf("k%02d", i%16)
+			bins, samples, err := tgt.PlaceKey(ctx, key)
+			if err != nil {
+				t.Fatalf("op %d PlaceKey: %v", i, err)
+			}
+			out = append(out, fmt.Sprintf("pk %s %v %d", key, bins, samples))
+		default:
+			count := i%4 + 1
+			bins, samples, err := tgt.Place(ctx, count)
+			if err != nil {
+				t.Fatalf("op %d Place: %v", i, err)
+			}
+			out = append(out, fmt.Sprintf("p %d %v %d", count, bins, samples))
+			held = append(held, bins[0])
+		}
+		if i%7 == 6 && len(held) > 0 {
+			bin := held[0]
+			held = held[1:]
+			if err := tgt.Remove(ctx, bin); err != nil {
+				t.Fatalf("op %d Remove(%d): %v", i, bin, err)
+			}
+			out = append(out, fmt.Sprintf("r %d", bin))
+		}
+	}
+	return out
+}
+
+// TestTransportEquivalence is the correctness half of the wire-speedup
+// claim: the same seed and the same deterministic op sequence must
+// yield byte-identical placements and matching /v1/stats books whether
+// driven over JSON/HTTP or the binary wire protocol.
+func TestTransportEquivalence(t *testing.T) {
+	info := serve.Info{Protocol: "adaptive", N: 64, Shards: 4}
+	mk := func() *serve.Dispatcher {
+		d := serve.NewDispatcher(serve.Config{Spec: ballsbins.Adaptive(), N: 64, Shards: 4, Seed: 1})
+		t.Cleanup(d.Close)
+		return d
+	}
+
+	dh := mk()
+	srv := httptest.NewServer(serve.NewHandler(dh, info))
+	t.Cleanup(srv.Close)
+	ht := NewHTTPTarget(srv.URL)
+
+	dw := mk()
+	wt := startWireServer(t, dw, info)
+
+	hlog := transcript(t, ht)
+	wlog := transcript(t, wt)
+	if len(hlog) != len(wlog) {
+		t.Fatalf("transcript lengths differ: http %d, wire %d", len(hlog), len(wlog))
+	}
+	for i := range hlog {
+		if hlog[i] != wlog[i] {
+			t.Fatalf("op %d diverged:\n  http: %s\n  wire: %s", i, hlog[i], wlog[i])
+		}
+	}
+
+	ctx := context.Background()
+	hs, err := ht.ReadStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := wt.ReadStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency and combining are timing-dependent; the books and the load
+	// shape must match exactly.
+	type books struct {
+		Balls, Placed, Removed, Samples int64
+		MaxLoad, MinLoad, Gap           int
+		Psi                             float64
+	}
+	hb := books{hs.Balls, hs.Placed, hs.Removed, hs.Samples, hs.MaxLoad, hs.MinLoad, hs.Gap, hs.Psi}
+	wb := books{ws.Balls, ws.Placed, ws.Removed, ws.Samples, ws.MaxLoad, ws.MinLoad, ws.Gap, ws.Psi}
+	if !reflect.DeepEqual(hb, wb) {
+		t.Fatalf("stats diverged:\n  http: %+v\n  wire: %+v", hb, wb)
+	}
+
+	// The error surfaces must agree too: removing from an empty bin is
+	// serve.ErrEmptyBin on both transports.
+	emptyBin := -1
+	for b := 0; b < 64; b++ {
+		if err := ht.Remove(ctx, b); err != nil {
+			emptyBin = b
+			break
+		}
+	}
+	if emptyBin >= 0 {
+		// Mirror the successful removes so the books stay aligned, then
+		// compare the sentinel.
+		for b := 0; b < emptyBin; b++ {
+			if err := wt.Remove(ctx, b); err != nil {
+				t.Fatalf("wire Remove(%d) failed where http succeeded: %v", b, err)
+			}
+		}
+		herr := ht.Remove(ctx, emptyBin)
+		werr := wt.Remove(ctx, emptyBin)
+		if herr == nil || werr == nil || herr.Error() != werr.Error() {
+			t.Fatalf("empty-bin sentinel diverged: http %v, wire %v", herr, werr)
+		}
+	}
+}
+
+// TestWireTargetRun drives the full load generator over the wire
+// transport end to end and checks the new transport columns stamp.
+func TestWireTargetRun(t *testing.T) {
+	d := serve.NewDispatcher(serve.Config{Spec: ballsbins.Adaptive(), N: 64, Shards: 4, Seed: 1})
+	t.Cleanup(d.Close)
+	wt := startWireServer(t, d, serve.Info{Protocol: "adaptive", N: 64, Shards: 4})
+
+	res, err := Run(context.Background(), Config{
+		Scenario:    Flash(),
+		Mode:        "open",
+		Rate:        1000,
+		Duration:    300 * time.Millisecond,
+		ServiceMean: 10 * time.Millisecond,
+		Seed:        5,
+	}, wt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Placed == 0 || res.Errors != 0 {
+		t.Fatalf("placed %d errors %d", res.Placed, res.Errors)
+	}
+	if res.FinalBalls != res.Placed-res.Removed {
+		t.Errorf("final balls %d, placed-removed %d", res.FinalBalls, res.Placed-res.Removed)
+	}
+	if res.Transport != "wire" {
+		t.Errorf("transport stamp = %q, want wire", res.Transport)
+	}
+	if res.ClientBytesPerOp <= 0 || res.ClientCoalescing < 1 {
+		t.Errorf("transport columns: bytes/op %v, coalescing %v", res.ClientBytesPerOp, res.ClientCoalescing)
+	}
+}
+
+// TestHTTPTransportColumns checks the HTTP side of the new envelope
+// columns: transport "http", coalescing pinned at 1, measured bytes/op.
+func TestHTTPTransportColumns(t *testing.T) {
+	d := serve.NewDispatcher(serve.Config{Spec: ballsbins.Adaptive(), N: 64, Shards: 4, Seed: 1})
+	t.Cleanup(d.Close)
+	srv := httptest.NewServer(serve.NewHandler(d, serve.Info{Protocol: "adaptive", N: 64, Shards: 4}))
+	t.Cleanup(srv.Close)
+
+	res, err := Run(context.Background(), Config{
+		Mode:     "closed",
+		Workers:  2,
+		Duration: 200 * time.Millisecond,
+		Seed:     1,
+	}, NewHTTPTarget(srv.URL))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Transport != "http" || res.ClientCoalescing != 1 {
+		t.Errorf("transport stamp = %q coalescing %v, want http/1", res.Transport, res.ClientCoalescing)
+	}
+	if res.ClientBytesPerOp <= 0 {
+		t.Errorf("bytes/op %v, want > 0 from the counting transport", res.ClientBytesPerOp)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	ballsbins "repro"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
+	"repro/internal/wire"
 )
 
 // MaxBulkPlace caps the count accepted by one POST /v1/place, bounding
@@ -24,6 +25,11 @@ type Info struct {
 	Shards   int    `json:"shards"`
 	Engine   string `json:"engine"`
 	Seed     uint64 `json:"seed"`
+	// WireAddr advertises the binary wire-protocol listener (the
+	// -wire-addr flag value), empty when wire serving is off. Peers
+	// that see it (bbproxy, bbload -transport wire) may dial it
+	// instead of HTTP; see wire.ResolveAddr for host-less values.
+	WireAddr string `json:"wire_addr,omitempty"`
 }
 
 // PlaceResponse is the body of POST /v1/place. Bin duplicates Bins[0]
@@ -56,6 +62,10 @@ type StatsResponse struct {
 	// since snapshot, fsync age, recovery replay time); omitted when
 	// the process runs without -data-dir.
 	Durability *keyed.DurabilityStats `json:"durability,omitempty"`
+	// Wire is the binary protocol's server block (conns, frames,
+	// reply batching); omitted when the process runs without
+	// -wire-addr.
+	Wire *wire.Stats `json:"wire,omitempty"`
 }
 
 // Latency summarizes a latency histogram in nanoseconds.
@@ -82,6 +92,7 @@ type SnapshotResponse struct {
 type handler struct {
 	d    *Dispatcher
 	info Info
+	ws   *wire.Server // nil when wire serving is off
 }
 
 // NewHandler mounts the serving API over a dispatcher:
@@ -93,7 +104,14 @@ type handler struct {
 //	GET  /healthz             200 ok, 503 once draining
 //	GET  /metrics             Prometheus text format
 func NewHandler(d *Dispatcher, info Info) http.Handler {
-	h := &handler{d: d, info: info}
+	return NewHandlerWire(d, info, nil)
+}
+
+// NewHandlerWire is NewHandler for a process that also serves the
+// binary protocol: the wire server's counters join /v1/stats (wire
+// block) and /metrics (bb_wire_* series). ws may be nil.
+func NewHandlerWire(d *Dispatcher, info Info, ws *wire.Server) http.Handler {
+	h := &handler{d: d, info: info, ws: ws}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", h.place)
 	mux.HandleFunc("POST /v1/remove", h.remove)
@@ -253,15 +271,27 @@ func (h *handler) stats(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	ks := h.d.KeyedStats()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Info:       h.info,
-		StatsView:  h.d.Stats(),
-		Draining:   h.d.Draining(),
-		LatencyNs:  LatencySummary(h.d.Latency()),
+	writeJSON(w, http.StatusOK, BuildStatsResponse(h.d, h.info, h.ws))
+}
+
+// BuildStatsResponse assembles the /v1/stats document. It is the
+// single source for both transports: the HTTP stats handler and the
+// wire adapter's STATS reply marshal exactly this.
+func BuildStatsResponse(d *Dispatcher, info Info, ws *wire.Server) StatsResponse {
+	ks := d.KeyedStats()
+	resp := StatsResponse{
+		Info:       info,
+		StatsView:  d.Stats(),
+		Draining:   d.Draining(),
+		LatencyNs:  LatencySummary(d.Latency()),
 		Keyed:      &ks,
-		Durability: h.d.Durability(),
-	})
+		Durability: d.Durability(),
+	}
+	if ws != nil {
+		s := ws.Stats()
+		resp.Wire = &s
+	}
+	return resp
 }
 
 func (h *handler) snapshot(w http.ResponseWriter, r *http.Request) {
@@ -319,6 +349,9 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	c("bb_keyed_moved_total", "Key replicas moved by failures or rebalancing.", ks.MovedKeys)
 	c("bb_keyed_shed_total", "Key replicas shed off overfull bins.", ks.ShedKeys)
 	WriteDurabilityMetrics(w, h.d.Durability())
+	if h.ws != nil {
+		wire.WriteMetrics(w, h.ws.Stats())
+	}
 
 	fmt.Fprintf(w, "# HELP bb_shard_balls Balls per shard.\n# TYPE bb_shard_balls gauge\n")
 	for _, row := range v.Shards {
