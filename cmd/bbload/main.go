@@ -58,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -181,7 +182,35 @@ func main() {
 				line += fmt.Sprintf("  [restart: recovered %d keys in %dms, post-restart hit %.3f]",
 					res.AssignmentsRecovered, res.RecoveryMs, res.AffinityHitRatePostRestart)
 			}
+			if len(res.StageP99Ns) > 0 {
+				stages := make([]string, 0, len(res.StageP99Ns))
+				for stage := range res.StageP99Ns {
+					stages = append(stages, stage)
+				}
+				sort.Strings(stages)
+				parts := make([]string, len(stages))
+				for i, stage := range stages {
+					parts[i] = stage + " " + fmtNs(res.StageP99Ns[stage])
+				}
+				line += "  [stage p99: " + strings.Join(parts, ", ") + "]"
+			}
 			fmt.Fprintln(os.Stderr, line)
+			for i, so := range res.SlowOps {
+				if i >= 3 {
+					fmt.Fprintf(os.Stderr, "bbload:   ... %d more slow ops in the JSON record\n", len(res.SlowOps)-i)
+					break
+				}
+				detail := "not retained server-side"
+				if so.ServerNs > 0 {
+					var sp []string
+					for _, s := range so.Stages {
+						sp = append(sp, s.Stage+" "+fmtNs(s.DurationNs))
+					}
+					detail = fmt.Sprintf("server %s (%s: %s)", fmtNs(so.ServerNs), so.Hop, strings.Join(sp, " + "))
+				}
+				fmt.Fprintf(os.Stderr, "bbload:   slow %s %s client %s  %s\n",
+					so.Op, so.Trace, fmtNs(so.ClientNs), detail)
+			}
 			rep.Cases = append(rep.Cases, res)
 		}
 	}
@@ -338,6 +367,9 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 				return load.Result{}, werr
 			}
 			defer wt.Close()
+			// The probe target doubles as the trace reader: GET /v1/trace
+			// has no wire verb, so the slow-op join rides HTTP.
+			wt.Probe = ht
 			tgt = wt
 			label = "wire"
 		} else {

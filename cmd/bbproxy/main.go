@@ -57,8 +57,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,6 +70,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wal"
 	"repro/internal/wire"
@@ -97,9 +100,8 @@ func (c *checkedBackend) verify(ctx context.Context) error {
 	}
 	if info.N != c.wantN {
 		if c.warned.CompareAndSwap(false, true) {
-			fmt.Fprintf(os.Stderr,
-				"bbproxy: backend %s serves n=%d, cluster expects n=%d — refusing to route to it\n",
-				c.Name(), info.N, c.wantN)
+			slog.Warn("backend bin count mismatch, refusing to route to it",
+				"backend", c.Name(), "backend_n", info.N, "cluster_n", c.wantN)
 		}
 		return fmt.Errorf("bbproxy: bin count mismatch on %s: %d != %d", c.Name(), info.N, c.wantN)
 	}
@@ -164,8 +166,25 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable keyed state directory (WAL + snapshots; empty = in-memory only)")
 		snapEvery   = flag.Int("snapshot-every", keyed.DefaultSnapshotEvery, "journal records between compacting snapshots")
 		fsync       = flag.String("fsync", wal.SyncInterval, "WAL fsync policy: always, interval, never")
+		debugAddr   = flag.String("debug-addr", "", "net/http/pprof listen address (empty = off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "trace ops at or above this latency (0 = default 10ms)")
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N ops into the trace ring (0 = default 1024)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbproxy:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "bbproxy")
+	slog.SetDefault(logger)
+	fatal := func(err error, code int) {
+		logger.Error("fatal", "err", err)
+		os.Exit(code)
+	}
 
 	var urls []string
 	for _, tok := range strings.Split(*backends, ",") {
@@ -174,8 +193,7 @@ func main() {
 		}
 	}
 	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "bbproxy: -backends is required (comma-separated base URLs)")
-		os.Exit(2)
+		fatal(errors.New("-backends is required (comma-separated base URLs)"), 2)
 	}
 
 	// A "keyed[P]" (or "keyed-P") policy enables the keyed placement
@@ -188,8 +206,7 @@ func main() {
 	if inner, ok := keyed.SplitName(*policyName); ok {
 		kp, err := keyed.PolicyByName(inner, *d, *retries, *horizon)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bbproxy:", err)
-			os.Exit(2)
+			fatal(err, 2)
 		}
 		keyedCfg = &keyed.Config{
 			Policy:   kp,
@@ -201,8 +218,7 @@ func main() {
 	}
 	policy, err := cluster.PolicyByName(anonName, anonD, *retries, *bound, *horizon)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bbproxy:", err)
-		os.Exit(2)
+		fatal(err, 2)
 	}
 
 	// Probe the backends for their configuration: every backend must
@@ -221,7 +237,7 @@ func main() {
 		hbs[i] = cluster.NewHTTPBackend(u)
 		info, err := hbs[i].Info(probeCtx)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bbproxy: backend %s unreachable at startup: %v\n", u, err)
+			logger.Warn("backend unreachable at startup", "backend", u, "err", err)
 			continue
 		}
 		verified[i] = true
@@ -229,15 +245,12 @@ func main() {
 		if n == 0 {
 			n, protocol = info.N, info.Protocol
 		} else if info.N != n {
-			fmt.Fprintf(os.Stderr, "bbproxy: backend %s serves n=%d, others n=%d — all backends must match\n",
-				u, info.N, n)
-			os.Exit(2)
+			fatal(fmt.Errorf("backend %s serves n=%d, others n=%d — all backends must match", u, info.N, n), 2)
 		}
 	}
 	cancelProbe()
 	if n == 0 {
-		fmt.Fprintln(os.Stderr, "bbproxy: no backend answered the startup probe")
-		os.Exit(1)
+		fatal(errors.New("no backend answered the startup probe"), 1)
 	}
 	bks := make([]cluster.Backend, len(urls))
 	for i, hb := range hbs {
@@ -250,12 +263,12 @@ func main() {
 		case *wireDial && wireAddrs[i] != "":
 			wb, err := cluster.NewWireBackend(hb, wireAddrs[i], n)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "bbproxy: backend %s advertises wire %q but dial failed (%v) — falling back to HTTP\n",
-					hb.Name(), wireAddrs[i], err)
+				logger.Warn("wire dial failed, falling back to HTTP",
+					"backend", hb.Name(), "wire_addr", wireAddrs[i], "err", err)
 				bks[i] = hb
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "bbproxy: backend %s dialed over wire (%s)\n", hb.Name(), wireAddrs[i])
+			logger.Info("backend dialed over wire", "backend", hb.Name(), "wire_addr", wireAddrs[i])
 			bks[i] = wb
 		default:
 			bks[i] = hb
@@ -272,6 +285,8 @@ func main() {
 		FailAfter:      *failAfter,
 		RiseAfter:      *riseAfter,
 		Keyed:          keyedCfg,
+		Obs:            obs.Options{SlowThreshold: *traceSlow, SampleEvery: *traceSample},
+		Logger:         logger,
 	}
 	if *dataDir != "" {
 		rcfg.KeyedStore = &keyed.StoreOptions{
@@ -303,19 +318,22 @@ func main() {
 	if *wireAddr != "" {
 		wireLn, err = net.Listen("tcp", *wireAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bbproxy:", err)
-			os.Exit(1)
+			fatal(err, 1)
 		}
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
 	}
 
 	rt, rec, err := cluster.OpenRouter(rcfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bbproxy:", err)
-		os.Exit(1)
+		fatal(err, 1)
 	}
 	if rec != nil {
-		fmt.Fprintf(os.Stderr, "bbproxy: recovered %d keys from snapshot + %d journal records in %dms (%s)\n",
-			rec.SnapshotKeys, rec.ReplayedRecords, rec.ReplayMs, *dataDir)
+		logger.Info("recovered keyed state",
+			"snapshot_keys", rec.SnapshotKeys, "journal_records", rec.ReplayedRecords,
+			"replay_ms", rec.ReplayMs, "dir", *dataDir)
 	}
 	served := rt.Policy()
 	if km := rt.Keyed(); km != nil {
@@ -332,11 +350,11 @@ func main() {
 	var ws *wire.Server
 	if wireLn != nil {
 		wh := cluster.NewRouterWire(rt, info)
-		ws = wire.NewServer(wh, wire.ServerOptions{})
+		ws = wire.NewServer(wh, wire.ServerOptions{Logger: logger})
 		wh.BindServer(ws)
 		go func() {
 			if err := ws.Serve(wireLn); err != nil {
-				fmt.Fprintln(os.Stderr, "bbproxy: wire:", err)
+				logger.Error("wire server exited", "err", err)
 			}
 		}()
 	}
@@ -347,7 +365,7 @@ func main() {
 	go func() {
 		defer close(done)
 		sig := <-stop
-		fmt.Fprintf(os.Stderr, "bbproxy: %v, draining\n", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 		// Flip to draining first (healthz goes 503 while the listener
 		// still answers, so upstream balancers can observe the drain),
 		// then stop the listener, letting in-flight proxying finish.
@@ -358,16 +376,31 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "bbproxy: shutdown:", err)
+			logger.Error("http shutdown", "err", err)
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "bbproxy: policy=%s backends=%d n=%d (per backend %d) listening on %s\n",
-		rt.Policy(), len(bks), rt.N(), n, *addr)
+	logger.Info("listening",
+		"policy", rt.Policy(), "backends", len(bks), "n", rt.N(), "per_backend", n,
+		"addr", *addr, "wire_addr", *wireAddr, "debug_addr", *debugAddr)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "bbproxy:", err)
-		os.Exit(1)
+		fatal(err, 1)
 	}
 	<-done
-	fmt.Fprintln(os.Stderr, "bbproxy: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// serveDebug exposes net/http/pprof on its own mux/listener so profile
+// endpoints never ride the public API surface.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug server listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug server exited", "err", err)
+	}
 }

@@ -36,6 +36,10 @@
 // new connections, in-flight requests finish against the draining
 // dispatcher (which writes a final snapshot when durable), and the
 // process exits once both are done.
+//
+// Observability: -debug-addr serves net/http/pprof; -trace-slow and
+// -trace-sample tune the request-trace recorder behind GET /v1/trace;
+// -log-level and -log-format control the structured (log/slog) output.
 package main
 
 import (
@@ -43,8 +47,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +60,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wal"
 	"repro/internal/wire"
@@ -64,6 +71,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = HTTP only)")
+		debugAddr   = flag.String("debug-addr", "", "net/http/pprof listen address (empty = off)")
 		n           = flag.Int("n", 100000, "number of bins")
 		shards      = flag.Int("shards", 8, "allocator shards (parallel dispatch lanes)")
 		horizon     = flag.Int64("horizon", 0, "declared total balls (threshold family)")
@@ -77,23 +85,36 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durable keyed state directory (WAL + snapshots; empty = in-memory only)")
 		snapEvery   = flag.Int("snapshot-every", keyed.DefaultSnapshotEvery, "journal records between compacting snapshots")
 		fsync       = flag.String("fsync", wal.SyncInterval, "WAL fsync policy: always, interval, never")
+		traceSlow   = flag.Duration("trace-slow", 0, "trace ops at or above this latency (0 = default 10ms)")
+		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N ops into the trace ring (0 = default 1024)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
 	flag.Parse()
 
-	spec, err := sf.Spec()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbserved:", err)
 		os.Exit(2)
+	}
+	logger = logger.With("component", "bbserved")
+	slog.SetDefault(logger)
+	fatal := func(err error, code int) {
+		logger.Error("fatal", "err", err)
+		os.Exit(code)
+	}
+
+	spec, err := sf.Spec()
+	if err != nil {
+		fatal(err, 2)
 	}
 	eng, err := sf.Engine()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bbserved:", err)
-		os.Exit(2)
+		fatal(err, 2)
 	}
 	kp, err := keyed.PolicyByName(*keyedPolicy, sf.D, *retries, *horizon)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bbserved:", err)
-		os.Exit(2)
+		fatal(err, 2)
 	}
 
 	cfg := serve.Config{
@@ -111,6 +132,7 @@ func main() {
 			HotShare: *hotShare,
 			MaxKeys:  *maxKeys,
 		},
+		Obs: obs.Options{SlowThreshold: *traceSlow, SampleEvery: *traceSample},
 	}
 	if *dataDir != "" {
 		cfg.KeyedStore = &keyed.StoreOptions{
@@ -143,19 +165,22 @@ func main() {
 	if *wireAddr != "" {
 		wireLn, err = net.Listen("tcp", *wireAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bbserved:", err)
-			os.Exit(1)
+			fatal(err, 1)
 		}
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
 	}
 
 	d, rec, err := serve.OpenDispatcher(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bbserved:", err)
-		os.Exit(1)
+		fatal(err, 1)
 	}
 	if rec != nil {
-		fmt.Fprintf(os.Stderr, "bbserved: recovered %d keys from snapshot + %d journal records in %dms (%s)\n",
-			rec.SnapshotKeys, rec.ReplayedRecords, rec.ReplayMs, *dataDir)
+		logger.Info("recovered keyed state",
+			"snapshot_keys", rec.SnapshotKeys, "journal_records", rec.ReplayedRecords,
+			"replay_ms", rec.ReplayMs, "dir", *dataDir)
 	}
 	info := serve.Info{
 		Protocol: d.Name(),
@@ -168,11 +193,11 @@ func main() {
 	var ws *wire.Server
 	if wireLn != nil {
 		wh := serve.NewDispatcherWire(d, info)
-		ws = wire.NewServer(wh, wire.ServerOptions{})
+		ws = wire.NewServer(wh, wire.ServerOptions{Logger: logger})
 		wh.BindServer(ws)
 		go func() {
 			if err := ws.Serve(wireLn); err != nil {
-				fmt.Fprintln(os.Stderr, "bbserved: wire:", err)
+				logger.Error("wire server exited", "err", err)
 			}
 		}()
 	}
@@ -183,7 +208,7 @@ func main() {
 	go func() {
 		defer close(done)
 		sig := <-stop
-		fmt.Fprintf(os.Stderr, "bbserved: %v, draining\n", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 		// Drain the dispatcher first, while the listener still
 		// accepts: from this point /healthz answers 503 and place/
 		// remove answer 503, so load balancers can observe the drain
@@ -199,20 +224,31 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "bbserved: shutdown:", err)
+			logger.Error("http shutdown", "err", err)
 		}
 	}()
 
-	wireNote := ""
-	if *wireAddr != "" {
-		wireNote = " wire=" + *wireAddr
-	}
-	fmt.Fprintf(os.Stderr, "bbserved: %s n=%d shards=%d engine=%s listening on %s%s\n",
-		info.Protocol, *n, *shards, info.Engine, *addr, wireNote)
+	logger.Info("listening",
+		"protocol", info.Protocol, "n", *n, "shards", *shards, "engine", info.Engine,
+		"addr", *addr, "wire_addr", *wireAddr, "debug_addr", *debugAddr)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "bbserved:", err)
-		os.Exit(1)
+		fatal(err, 1)
 	}
 	<-done
-	fmt.Fprintln(os.Stderr, "bbserved: drained, bye")
+	logger.Info("drained, bye")
+}
+
+// serveDebug exposes net/http/pprof on its own mux/listener so profile
+// endpoints never ride the public API surface.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug server listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug server exited", "err", err)
+	}
 }

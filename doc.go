@@ -152,6 +152,24 @@
 // coalescing factor and bytes/op into the bench records; see the
 // README's Wire protocol section.
 //
+// # Observability
+//
+// The serving stack is traced end to end (internal/obs): every
+// operation carries an allocation-free Capture whose stage spans
+// (queue/apply on bbserved, probe/forward on bbproxy) sum to the op
+// total, and slow or head-sampled ops are retained — with attrs like
+// probes, failovers, and load-view staleness at pick time — in a
+// lock-free ring served by GET /v1/trace on both daemons. One trace
+// id names an op across every hop: minted at the first capturing
+// tier, it propagates in the X-BB-Trace HTTP header and as the wire
+// protocol's optional trailing field (the HELLO v1→v2 bump; v1 peers
+// are unaffected). Stage durations also feed bb_stage_* histogram
+// series on /metrics next to bb_go_* runtime gauges, -debug-addr
+// serves net/http/pprof, and both daemons log through log/slog
+// (-log-level, -log-format). bbload joins its slowest client ops
+// against /v1/trace to print per-stage server breakdowns; see the
+// README's Observability section.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/netutil"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -92,6 +93,11 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, v any) (int, 
 	req, err := http.NewRequestWithContext(ctx, method, b.base+path, nil)
 	if err != nil {
 		return 0, err
+	}
+	if id := obs.TraceFrom(ctx); id != 0 {
+		// Propagate the request's trace downstream so the backend's
+		// spans land under the same trace id.
+		req.Header.Set(obs.Header, obs.FormatTrace(id))
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {

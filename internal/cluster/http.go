@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
@@ -27,6 +29,8 @@ type StatsResponse struct {
 	// Wire is the proxy's binary-protocol server block; omitted when
 	// the proxy runs without -wire-addr.
 	Wire *wire.Stats `json:"wire,omitempty"`
+	// Obs is the routing hop's per-stage latency decomposition.
+	Obs map[string]obs.StageSummary `json:"obs,omitempty"`
 }
 
 type handler struct {
@@ -57,9 +61,16 @@ func NewHandlerWire(rt *Router, info serve.Info, ws *wire.Server) http.Handler {
 	mux.HandleFunc("POST /v1/place", h.place)
 	mux.HandleFunc("POST /v1/remove", h.remove)
 	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /v1/trace", rt.Obs().TraceHandler())
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
+}
+
+// traceCtx lifts an inbound X-BB-Trace header into the request context
+// so the router records its spans under the caller's trace id.
+func traceCtx(r *http.Request) context.Context {
+	return obs.WithTrace(r.Context(), obs.ParseTrace(r.Header.Get(obs.Header)))
 }
 
 // writeJSON/writeError delegate to the serve helpers so the two HTTP
@@ -86,10 +97,11 @@ func (h *handler) place(w http.ResponseWriter, r *http.Request) {
 	}
 	var bins []int
 	var samples int64
+	ctx := traceCtx(r)
 	if key != "" {
-		bins, samples, err = h.rt.PlaceKeyed(r.Context(), key)
+		bins, samples, err = h.rt.PlaceKeyed(ctx, key)
 	} else {
-		bins, samples, err = h.rt.Place(r.Context(), count)
+		bins, samples, err = h.rt.Place(ctx, count)
 	}
 	if err != nil {
 		status := http.StatusBadGateway
@@ -121,7 +133,7 @@ func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bin %d outside [0,%d)", bin, h.rt.N())
 		return
 	}
-	switch err := h.rt.RemoveKeyed(r.Context(), bin, r.URL.Query().Get("key")); {
+	switch err := h.rt.RemoveKeyed(traceCtx(r), bin, r.URL.Query().Get("key")); {
 	case err == nil:
 		writeJSON(w, http.StatusOK, serve.RemoveResponse{Bin: bin, Removed: true})
 	case errors.Is(err, serve.ErrEmptyBin):
@@ -150,6 +162,7 @@ func BuildStatsResponse(rt *Router, info serve.Info, ws *wire.Server) StatsRespo
 		WindowLatencyNs: serve.LatencySummary(win),
 		WindowSec:       secs,
 		Cluster:         cs,
+		Obs:             rt.Obs().StageSummaries(),
 	}
 	if ws != nil {
 		s := ws.Stats()
@@ -237,4 +250,8 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "bb_proxy_place_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
 	fmt.Fprintf(w, "bb_proxy_place_latency_seconds_count %d\n", lat.Count)
+
+	h.rt.Obs().WriteStageMetrics(w)
+	obs.WritePickStaleness(w, h.rt.PickStaleness())
+	obs.WriteRuntimeMetrics(w)
 }

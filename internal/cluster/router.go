@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
@@ -48,6 +50,12 @@ type Config struct {
 	// key→backend assignment before routing, and Close seals it with a
 	// final compacting snapshot.
 	KeyedStore *keyed.StoreOptions
+	// Obs tunes the router's trace recorder (hop defaults to "proxy");
+	// the zero value enables it with package defaults.
+	Obs obs.Options
+	// Logger receives structured membership and lifecycle events
+	// (default slog.Default).
+	Logger *slog.Logger
 }
 
 // Router routes place/remove traffic across the backends: the cluster
@@ -70,6 +78,13 @@ type Router struct {
 	picks     atomic.Int64
 	probes    atomic.Int64
 	failovers atomic.Int64
+
+	obs    *obs.Recorder
+	logger *slog.Logger
+	// pickStaleness records, per pick, how old the chosen backend's
+	// polled load was (milliseconds) — the routing tier's staleness-at-
+	// decision distribution. Picks of never-polled backends are skipped.
+	pickStaleness *hdrhist.Hist
 
 	placeLat  *hdrhist.Hist
 	removeLat *hdrhist.Hist
@@ -117,16 +132,27 @@ func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 	if cfg.Policy == nil {
 		panic("cluster: NewRouter with nil Policy")
 	}
+	obsOpts := cfg.Obs
+	if obsOpts.Hop == "" {
+		obsOpts.Hop = "proxy"
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	rt := &Router{
-		cfg:       cfg,
-		ms:        NewMembership(cfg.Backends, cfg.FailAfter, cfg.RiseAfter),
-		view:      NewLoadView(len(cfg.Backends)),
-		policy:    cfg.Policy,
-		n:         cfg.BinsPerBackend,
-		rnd:       rng.New(cfg.Seed),
-		placeLat:  hdrhist.New(),
-		removeLat: hdrhist.New(),
-		window:    hdrhist.New(),
+		cfg:           cfg,
+		ms:            NewMembership(cfg.Backends, cfg.FailAfter, cfg.RiseAfter),
+		view:          NewLoadView(len(cfg.Backends)),
+		policy:        cfg.Policy,
+		n:             cfg.BinsPerBackend,
+		rnd:           rng.New(cfg.Seed),
+		obs:           obs.NewRecorder(obsOpts),
+		logger:        logger,
+		pickStaleness: hdrhist.New(),
+		placeLat:      hdrhist.New(),
+		removeLat:     hdrhist.New(),
+		window:        hdrhist.New(),
 	}
 	rt.ms.probeSeed = rng.Mix(cfg.Seed, 0x70726f6265)  // "probe"
 	rt.view.pollSeed = rng.Mix(cfg.Seed, 0x6c6f616470) // "loadp"
@@ -169,15 +195,24 @@ func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 			if up {
 				rt.km.SetUp(slot)
 			} else {
+				t0 := time.Now()
+				before := rt.km.Stats().MovedKeys
 				rt.km.SetDown(slot)
+				c := rt.obs.BeginAt(0, "rebalance", t0)
+				c.Attr("slot", int64(slot))
+				c.Attr("keys_moved", rt.km.Stats().MovedKeys-before)
+				c.End(nil)
 			}
 		}
 		if up {
+			rt.logger.Info("cluster: backend rejoined, forcing load re-poll", "slot", slot)
 			go func() {
 				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 				defer cancel()
 				_ = rt.view.Refresh(ctx, slot, rt.ms.Backend(slot))
 			}()
+		} else {
+			rt.logger.Warn("cluster: backend evicted", "slot", slot)
 		}
 	}
 
@@ -265,14 +300,30 @@ func (rt *Router) Durability() *keyed.DurabilityStats {
 // Draining reports whether Close has begun.
 func (rt *Router) Draining() bool { return rt.draining.Load() }
 
-// pick runs one policy decision under the RNG lock.
-func (rt *Router) pick(healthy []int, count int) int {
+// pick runs one policy decision under the RNG lock. Alongside the
+// chosen slot it returns the probes spent and the staleness of the
+// load information the decision saw (-1 when the slot was never
+// polled, i.e. the view ran on local accounting alone).
+func (rt *Router) pick(healthy []int, count int) (slot int, probes int, staleMs int64) {
 	rt.mu.Lock()
-	slot, probes := rt.policy.Pick(rt.rnd, rt.view, healthy, count)
+	slot, probes = rt.policy.Pick(rt.rnd, rt.view, healthy, count)
 	rt.mu.Unlock()
 	rt.picks.Add(1)
 	rt.probes.Add(int64(probes))
-	return slot
+	return slot, probes, rt.noteStaleness(slot)
+}
+
+// noteStaleness records how old slot's polled load is right now into
+// the pick-staleness histogram and returns it in milliseconds (-1 and
+// no record when the slot has never been polled).
+func (rt *Router) noteStaleness(slot int) int64 {
+	_, age, ok := rt.view.Polled(slot)
+	if !ok {
+		return -1
+	}
+	ms := age.Milliseconds()
+	rt.pickStaleness.Record(ms)
+	return ms
 }
 
 // Place routes count balls to one policy-chosen backend and returns
@@ -289,14 +340,39 @@ func (rt *Router) Place(ctx context.Context, count int) ([]int, int64, error) {
 		return nil, 0, ErrDraining
 	}
 	t0 := time.Now()
+	upstream := obs.TraceFrom(ctx)
+	c := rt.obs.BeginAt(upstream, "place", t0)
+	if id := c.Trace(); id != upstream {
+		// Head-sampled here: propagate the minted id downstream so the
+		// serve hop records its spans under the same trace.
+		ctx = obs.WithTrace(ctx, id)
+	}
+	var probesTotal, failovers int
+	staleMs := int64(-1)
+	finish := func(err error) {
+		c.Attr("count", int64(count))
+		c.Attr("probes", int64(probesTotal))
+		c.Attr("failovers", int64(failovers))
+		if staleMs >= 0 {
+			c.Attr("staleness_ms_at_pick", staleMs)
+		}
+		c.End(err)
+	}
 	candidates := rt.ms.Healthy()
 	var lastErr error
 	for len(candidates) > 0 {
 		if err := ctx.Err(); err != nil {
+			finish(err)
 			return nil, 0, err
 		}
-		slot := rt.pick(candidates, count)
+		pickStart := time.Now()
+		slot, probes, ms := rt.pick(candidates, count)
+		c.Stage("probe", pickStart)
+		probesTotal += probes
+		staleMs = ms
+		fwdStart := time.Now()
 		bins, samples, err := rt.ms.Backend(slot).Place(ctx, count)
+		c.Stage("forward", fwdStart)
 		if err == nil {
 			rt.ms.ReportSuccess(slot)
 			rt.view.Note(slot, int64(count))
@@ -306,6 +382,7 @@ func (rt *Router) Place(ctx context.Context, count int) ([]int, int64, error) {
 			el := int64(time.Since(t0))
 			rt.placeLat.Record(el)
 			rt.window.Record(el)
+			finish(nil)
 			return bins, samples, nil
 		}
 		// A dead caller is not evidence against the backend: when the
@@ -313,17 +390,22 @@ func (rt *Router) Place(ctx context.Context, count int) ([]int, int64, error) {
 		// return it without reporting or failing over — otherwise two
 		// client disconnects could evict a healthy backend.
 		if ctx.Err() != nil {
+			finish(ctx.Err())
 			return nil, 0, ctx.Err()
 		}
 		lastErr = err
+		failovers++
 		rt.failovers.Add(1)
 		rt.ms.ReportFailure(slot)
 		candidates = without(candidates, slot)
 	}
 	if lastErr == nil {
+		finish(ErrNoBackends)
 		return nil, 0, ErrNoBackends
 	}
-	return nil, 0, fmt.Errorf("cluster: place failed on every healthy backend: %w", lastErr)
+	err := fmt.Errorf("cluster: place failed on every healthy backend: %w", lastErr)
+	finish(err)
+	return nil, 0, err
 }
 
 // PlaceKeyed routes one ball for key to the key's assigned backend —
@@ -345,13 +427,34 @@ func (rt *Router) PlaceKeyed(ctx context.Context, key string) ([]int, int64, err
 		return nil, 0, ErrDraining
 	}
 	t0 := time.Now()
+	upstream := obs.TraceFrom(ctx)
+	c := rt.obs.BeginAt(upstream, "place", t0)
+	if id := c.Trace(); id != upstream {
+		ctx = obs.WithTrace(ctx, id)
+	}
+	var failovers int
+	staleMs := int64(-1)
 	// Keyed decisions and their probes are accounted in the keyed
 	// stats block, not in picks/probes — mixing them would corrupt
 	// probes_per_pick, whose denominator is anonymous policy picks.
-	slot, _, _, err := rt.km.Route(key)
+	slot, keyProbes, hit, err := rt.km.Route(key)
+	c.Stage("probe", t0)
+	c.Attr("key_probes", int64(keyProbes))
+	if hit {
+		c.Attr("key_hit", 1)
+	}
+	finish := func(err error) {
+		c.Attr("failovers", int64(failovers))
+		if staleMs >= 0 {
+			c.Attr("staleness_ms_at_pick", staleMs)
+		}
+		c.End(err)
+	}
 	if err != nil {
+		finish(ErrNoBackends)
 		return nil, 0, ErrNoBackends
 	}
+	staleMs = rt.noteStaleness(slot)
 	// Route counted the incoming ball against the key; every exit that
 	// does NOT place it must release that ref, or a failed request
 	// would leave the key looking busy forever (immune to idle
@@ -361,9 +464,12 @@ func (rt *Router) PlaceKeyed(ctx context.Context, key string) ([]int, int64, err
 	for len(tried) <= rt.ms.Size() {
 		if err := ctx.Err(); err != nil {
 			rt.km.Release(key, slot)
+			finish(err)
 			return nil, 0, err
 		}
+		fwdStart := time.Now()
 		bins, samples, perr := placeKeyOn(ctx, rt.ms.Backend(slot), key)
+		c.Stage("forward", fwdStart)
 		if perr == nil {
 			rt.ms.ReportSuccess(slot)
 			rt.view.Note(slot, 1)
@@ -373,14 +479,17 @@ func (rt *Router) PlaceKeyed(ctx context.Context, key string) ([]int, int64, err
 			el := int64(time.Since(t0))
 			rt.placeLat.Record(el)
 			rt.window.Record(el)
+			finish(nil)
 			return bins, samples, nil
 		}
 		// A dead caller is not evidence against the backend (see Place).
 		if ctx.Err() != nil {
 			rt.km.Release(key, slot)
+			finish(ctx.Err())
 			return nil, 0, ctx.Err()
 		}
 		lastErr = perr
+		failovers++
 		rt.failovers.Add(1)
 		rt.ms.ReportFailure(slot)
 		tried = append(tried, slot)
@@ -392,9 +501,12 @@ func (rt *Router) PlaceKeyed(ctx context.Context, key string) ([]int, int64, err
 	}
 	rt.km.Release(key, slot)
 	if lastErr == nil {
+		finish(ErrNoBackends)
 		return nil, 0, ErrNoBackends
 	}
-	return nil, 0, fmt.Errorf("cluster: keyed place failed on every candidate backend: %w", lastErr)
+	err = fmt.Errorf("cluster: keyed place failed on every candidate backend: %w", lastErr)
+	finish(err)
+	return nil, 0, err
 }
 
 // placeKeyOn forwards a keyed placement, passing the key through to
@@ -445,12 +557,19 @@ func (rt *Router) RemoveKeyed(ctx context.Context, bin int, key string) error {
 		return ErrBackendDown
 	}
 	t0 := time.Now()
+	upstream := obs.TraceFrom(ctx)
+	c := rt.obs.BeginAt(upstream, "remove", t0)
+	if id := c.Trace(); id != upstream {
+		ctx = obs.WithTrace(ctx, id)
+	}
 	var err error
 	if kb, ok := rt.ms.Backend(slot).(KeyedBackend); ok && key != "" {
 		err = kb.RemoveKey(ctx, local, key)
 	} else {
 		err = rt.ms.Backend(slot).Remove(ctx, local)
 	}
+	c.Stage("forward", t0)
+	defer c.End(err)
 	switch {
 	case err == nil:
 		rt.ms.ReportSuccess(slot)
@@ -473,6 +592,13 @@ func (rt *Router) RemoveKeyed(ctx context.Context, bin int, key string) error {
 	}
 	return err
 }
+
+// Obs returns the router's trace recorder.
+func (rt *Router) Obs() *obs.Recorder { return rt.obs }
+
+// PickStaleness returns the staleness-at-pick distribution snapshot
+// (milliseconds of load-view age at each routing decision).
+func (rt *Router) PickStaleness() hdrhist.Snapshot { return rt.pickStaleness.Snapshot() }
 
 // PlaceLatency returns the cumulative place-latency snapshot.
 func (rt *Router) PlaceLatency() hdrhist.Snapshot { return rt.placeLat.Snapshot() }

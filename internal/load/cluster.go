@@ -9,6 +9,7 @@ import (
 	ballsbins "repro"
 	"repro/internal/cluster"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -159,6 +160,18 @@ func (t *ClusterTarget) ReadKeyedStats(context.Context) (keyed.Stats, bool, erro
 		return keyed.Stats{}, false, nil
 	}
 	return km.Stats(), true, nil
+}
+
+// ReadTrace implements TraceReader from the router's recorder — the
+// routing hop's view (probe/forward spans), not the backends'.
+func (t *ClusterTarget) ReadTrace(context.Context) (obs.TraceResponse, bool, error) {
+	r := t.router().Obs()
+	return obs.TraceResponse{Hop: r.Hop(), Ops: r.Ops(0)}, true, nil
+}
+
+// ReadStageStats implements StageStatsReader.
+func (t *ClusterTarget) ReadStageStats(context.Context) (map[string]obs.StageSummary, bool, error) {
+	return t.router().Obs().StageSummaries(), true, nil
 }
 
 // RestartProxy implements ProxyRestarter: it crashes the router

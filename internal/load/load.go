@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -385,6 +386,14 @@ type Result struct {
 	RecoveryMs                 int64   `json:"recovery_ms"`
 	AssignmentsRecovered       int64   `json:"assignments_recovered"`
 	AffinityHitRatePostRestart float64 `json:"affinity_hit_rate_post_restart"`
+
+	// Observability columns: the run's top-10 slowest client-timed
+	// operations joined against the target's trace ring (SlowOps, when
+	// the target exposes one), and the server's per-stage p99 latency
+	// decomposition (queue/apply on a bbserved, probe/forward on a
+	// bbproxy).
+	SlowOps    []SlowOp         `json:"slow_ops,omitempty"`
+	StageP99Ns map[string]int64 `json:"stage_p99_ns,omitempty"`
 }
 
 // Run executes one generator run against the target.
@@ -443,6 +452,7 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 			defer tm.Stop()
 		}
 	}
+	slow := &slowTracker{}
 	var res Result
 	var err error
 	switch cfg.Mode {
@@ -453,12 +463,12 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 		if cfg.ServiceMean <= 0 {
 			return Result{}, fmt.Errorf("load: open loop needs a positive service mean")
 		}
-		res, err = runOpen(ctx, cfg, target)
+		res, err = runOpen(ctx, cfg, target, slow)
 	case "closed":
 		if cfg.Workers <= 0 {
 			return Result{}, fmt.Errorf("load: closed loop needs workers > 0")
 		}
-		res, err = runClosed(ctx, cfg, target)
+		res, err = runClosed(ctx, cfg, target, slow)
 	default:
 		return Result{}, fmt.Errorf("load: unknown mode %q (want open or closed)", cfg.Mode)
 	}
@@ -512,6 +522,16 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 		res.RecoveryMs = recoveryMs.Load()
 		res.AssignmentsRecovered = recovered.Load()
 		res.AffinityHitRatePostRestart = res.AffinityHitRate
+	}
+	if sr, ok := target.(StageStatsReader); ok {
+		if m, isObs, serr := sr.ReadStageStats(ctx); serr == nil && isObs {
+			res.StageP99Ns = stageP99(m)
+		}
+	}
+	if tr, ok := target.(TraceReader); ok {
+		if doc, isTraced, terr := tr.ReadTrace(ctx); terr == nil && isTraced {
+			res.SlowOps = slow.join(doc)
+		}
 	}
 	return res, nil
 }
@@ -616,7 +636,7 @@ func (s *sampler) service() time.Duration {
 	return time.Duration(x * float64(time.Second))
 }
 
-func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
+func runOpen(ctx context.Context, cfg Config, target Target, slow *slowTracker) (Result, error) {
 	smp := newSampler(cfg)
 	placeHist, removeHist := hdrhist.New(), hdrhist.New()
 	var placed, removed, shed, placeErrs, removeErrs atomic.Int64
@@ -649,36 +669,47 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 		case <-sleepCtx.Done():
 			return // departure abandoned at drain; the ball stays live
 		}
+		// Every op carries a freshly minted trace id so its server-side
+		// spans (if the server samples or tail-captures it) are joinable
+		// with the client-observed latency in the slow_ops table.
+		trace := obs.NewTraceID()
+		opCtx := obs.WithTrace(ctx, trace)
 		t0 := time.Now()
 		var err error
 		if key != "" {
-			err = kt.RemoveKey(ctx, bin, key)
+			err = kt.RemoveKey(opCtx, bin, key)
 		} else {
-			err = target.Remove(ctx, bin)
+			err = target.Remove(opCtx, bin)
 		}
 		if err != nil {
 			removeErrs.Add(1)
 			return
 		}
-		removeHist.RecordSince(t0)
+		el := time.Since(t0)
+		removeHist.Record(el.Nanoseconds())
+		slow.note(trace, "remove", el.Nanoseconds())
 		removed.Add(1)
 	}
 	arrive := func(bulk int, key string, services []time.Duration) {
 		defer wg.Done()
 		defer outstanding.Add(-1)
+		trace := obs.NewTraceID()
+		opCtx := obs.WithTrace(ctx, trace)
 		t0 := time.Now()
 		var bins []int
 		var err error
 		if key != "" {
-			bins, _, err = kt.PlaceKey(ctx, key)
+			bins, _, err = kt.PlaceKey(opCtx, key)
 		} else {
-			bins, _, err = target.Place(ctx, bulk)
+			bins, _, err = target.Place(opCtx, bulk)
 		}
 		if err != nil {
 			placeErrs.Add(1)
 			return
 		}
-		placeHist.RecordSince(t0)
+		el := time.Since(t0)
+		placeHist.Record(el.Nanoseconds())
+		slow.note(trace, "place", el.Nanoseconds())
 		placed.Add(int64(len(bins)))
 		for i, bin := range bins {
 			wg.Add(1)
@@ -773,7 +804,7 @@ func runOpen(ctx context.Context, cfg Config, target Target) (Result, error) {
 	return res, nil
 }
 
-func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
+func runClosed(ctx context.Context, cfg Config, target Target, slow *slowTracker) (Result, error) {
 	placeHist, removeHist := hdrhist.New(), hdrhist.New()
 	var placed, removed, placeErrs, removeErrs atomic.Int64
 	// Errors are accounted per worker (each owns its slot; read after
@@ -812,13 +843,15 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 					}
 					key = "k" + strconv.Itoa(id)
 				}
+				trace := obs.NewTraceID()
+				opCtx := obs.WithTrace(runCtx, trace)
 				t0 := time.Now()
 				var bins []int
 				var err error
 				if key != "" {
-					bins, _, err = kt.PlaceKey(runCtx, key)
+					bins, _, err = kt.PlaceKey(opCtx, key)
 				} else {
-					bins, _, err = target.Place(runCtx, 1)
+					bins, _, err = target.Place(opCtx, 1)
 				}
 				if err != nil {
 					if runCtx.Err() == nil {
@@ -833,7 +866,9 @@ func runClosed(ctx context.Context, cfg Config, target Target) (Result, error) {
 					}
 					continue
 				}
-				placeHist.RecordSince(t0)
+				el := time.Since(t0)
+				placeHist.Record(el.Nanoseconds())
+				slow.note(trace, "place", el.Nanoseconds())
 				placed.Add(1)
 				t1 := time.Now()
 				// The pair is the unit of work: finish the remove even

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/keyed"
 	"repro/internal/netutil"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -55,6 +56,17 @@ func (t InProc) RemoveKey(ctx context.Context, bin int, key string) error {
 // ReadKeyedStats implements KeyedStatsReader.
 func (t InProc) ReadKeyedStats(context.Context) (keyed.Stats, bool, error) {
 	return t.D.KeyedStats(), true, nil
+}
+
+// ReadTrace implements TraceReader from the dispatcher's recorder.
+func (t InProc) ReadTrace(context.Context) (obs.TraceResponse, bool, error) {
+	r := t.D.Obs()
+	return obs.TraceResponse{Hop: r.Hop(), Ops: r.Ops(0)}, true, nil
+}
+
+// ReadStageStats implements StageStatsReader.
+func (t InProc) ReadStageStats(context.Context) (map[string]obs.StageSummary, bool, error) {
+	return t.D.Obs().StageSummaries(), true, nil
 }
 
 // HTTPTarget drives a bbserved instance over its HTTP API.
@@ -104,6 +116,9 @@ func (t *HTTPTarget) post(ctx context.Context, path string, v any) (int, error) 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.Base+path, nil)
 	if err != nil {
 		return 0, err
+	}
+	if id := obs.TraceFrom(ctx); id != 0 {
+		req.Header.Set(obs.Header, obs.FormatTrace(id))
 	}
 	t.ops.Add(1)
 	resp, err := t.Client.Do(req)
@@ -247,4 +262,36 @@ func (t *HTTPTarget) ReadKeyedStats(ctx context.Context) (keyed.Stats, bool, err
 		return *sr.Keyed, true, nil
 	}
 	return keyed.Stats{}, false, nil
+}
+
+// ReadTrace implements TraceReader via GET /v1/trace; ok is false when
+// the server predates the endpoint (404).
+func (t *HTTPTarget) ReadTrace(ctx context.Context) (obs.TraceResponse, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/v1/trace", nil)
+	if err != nil {
+		return obs.TraceResponse{}, false, err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return obs.TraceResponse{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.TraceResponse{}, false, nil
+	}
+	var doc obs.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return obs.TraceResponse{}, false, err
+	}
+	return doc, true, nil
+}
+
+// ReadStageStats implements StageStatsReader from the stats document's
+// obs block (served by both tiers).
+func (t *HTTPTarget) ReadStageStats(ctx context.Context) (map[string]obs.StageSummary, bool, error) {
+	sr, err := t.readStatsResponse(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	return sr.Obs, len(sr.Obs) > 0, nil
 }

@@ -1,0 +1,135 @@
+package load
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// TraceReader is implemented by targets that expose the server-side
+// trace ring (GET /v1/trace or the in-proc recorder), so runs can join
+// their slowest client-observed operations against the server's
+// per-stage decomposition. ok is false when the target has no trace
+// surface (e.g. an old server without the endpoint).
+type TraceReader interface {
+	ReadTrace(ctx context.Context) (doc obs.TraceResponse, ok bool, err error)
+}
+
+// StageStatsReader is implemented by targets that report the server's
+// per-stage latency decomposition (the stats document's obs block). ok
+// is false when the target reports none.
+type StageStatsReader interface {
+	ReadStageStats(ctx context.Context) (stages map[string]obs.StageSummary, ok bool, err error)
+}
+
+// SlowOp is one row of a run's slow_ops section: a top-10 slowest
+// operation as timed by the client, joined (by trace id) against the
+// server's trace ring when the server retained it. ServerNs and the
+// stage fields stay empty when the op was fast enough server-side to
+// escape tail capture — the gap between ClientNs and ServerNs is then
+// itself diagnostic (time spent in transit or queueing off-server).
+type SlowOp struct {
+	Trace    string           `json:"trace"`
+	Op       string           `json:"op"`
+	ClientNs int64            `json:"client_ns"`
+	ServerNs int64            `json:"server_ns,omitempty"`
+	Hop      string           `json:"hop,omitempty"`
+	Stages   []obs.Span       `json:"stages,omitempty"`
+	Attrs    map[string]int64 `json:"attrs,omitempty"`
+}
+
+// slowTrackerSize is the slow_ops table depth.
+const slowTrackerSize = 10
+
+// slowTracker keeps the top-N slowest client-timed operations of a
+// run. The floor fast path keeps the common case (an op faster than
+// everything already tabled) lock-free.
+type slowTracker struct {
+	floor atomic.Int64 // min ns in a full table; ops at or below skip the lock
+	mu    sync.Mutex
+	ops   []clientOp
+}
+
+type clientOp struct {
+	trace uint64
+	op    string
+	ns    int64
+}
+
+func (st *slowTracker) note(trace uint64, op string, ns int64) {
+	if trace == 0 || ns <= st.floor.Load() {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.ops) < slowTrackerSize {
+		st.ops = append(st.ops, clientOp{trace, op, ns})
+		if len(st.ops) == slowTrackerSize {
+			st.refloor()
+		}
+		return
+	}
+	mi := 0
+	for i, o := range st.ops {
+		if o.ns < st.ops[mi].ns {
+			mi = i
+		}
+	}
+	if ns > st.ops[mi].ns {
+		st.ops[mi] = clientOp{trace, op, ns}
+		st.refloor()
+	}
+}
+
+func (st *slowTracker) refloor() {
+	min := st.ops[0].ns
+	for _, o := range st.ops[1:] {
+		if o.ns < min {
+			min = o.ns
+		}
+	}
+	st.floor.Store(min)
+}
+
+// join renders the table slowest-first, attaching each op's server-side
+// record when the trace ring retained it.
+func (st *slowTracker) join(doc obs.TraceResponse) []SlowOp {
+	st.mu.Lock()
+	ops := append([]clientOp(nil), st.ops...)
+	st.mu.Unlock()
+	if len(ops) == 0 {
+		return nil
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].ns > ops[j].ns })
+	byTrace := make(map[string]*obs.Op, len(doc.Ops))
+	for _, op := range doc.Ops {
+		byTrace[op.Trace] = op
+	}
+	out := make([]SlowOp, 0, len(ops))
+	for _, o := range ops {
+		so := SlowOp{Trace: obs.FormatTrace(o.trace), Op: o.op, ClientNs: o.ns}
+		if sv, ok := byTrace[so.Trace]; ok {
+			so.ServerNs = sv.DurationNs
+			so.Hop = sv.Hop
+			so.Stages = sv.Spans
+			so.Attrs = sv.Attrs
+		}
+		out = append(out, so)
+	}
+	return out
+}
+
+// stageP99 projects the stage decomposition to its p99 column.
+func stageP99(m map[string]obs.StageSummary) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for stage, s := range m {
+		out[stage] = s.P99Ns
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
@@ -18,6 +19,10 @@ import (
 // HTTPTarget's decode shape.
 type WireTarget struct {
 	C *wire.Client
+	// Probe, when set, is an HTTP target for the same server, used for
+	// the endpoints the wire protocol does not carry (GET /v1/trace).
+	// cmd/bbload reuses its discovery probe here.
+	Probe *HTTPTarget
 }
 
 // NewWireTarget dials a wire listener at addr (host:port) with a pool
@@ -108,6 +113,26 @@ func (t *WireTarget) ReadKeyedStats(ctx context.Context) (keyed.Stats, bool, err
 		return *sr.Keyed, true, nil
 	}
 	return keyed.Stats{}, false, nil
+}
+
+// ReadTrace implements TraceReader through the HTTP probe (the wire
+// protocol carries trace ids on requests but has no trace-dump verb);
+// ok is false without a probe.
+func (t *WireTarget) ReadTrace(ctx context.Context) (obs.TraceResponse, bool, error) {
+	if t.Probe == nil {
+		return obs.TraceResponse{}, false, nil
+	}
+	return t.Probe.ReadTrace(ctx)
+}
+
+// ReadStageStats implements StageStatsReader from the wire STATS
+// document's obs block.
+func (t *WireTarget) ReadStageStats(ctx context.Context) (map[string]obs.StageSummary, bool, error) {
+	sr, err := t.readStatsResponse(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	return sr.Obs, len(sr.Obs) > 0, nil
 }
 
 // ReadTransportStats implements TransportStatsReader from the wire

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+)
+
+// Header carries the trace id hop-to-hop over HTTP: 16 lowercase hex
+// digits. The wire protocol carries the same id in the optional
+// trailing trace field (internal/wire, protocol version 2).
+const Header = "X-BB-Trace"
+
+type ctxKey struct{}
+
+// WithTrace returns ctx tagged with the trace id; id 0 returns ctx
+// unchanged (no allocation for the untraced path).
+func WithTrace(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// TraceFrom extracts the trace id from ctx (0 when untraced).
+func TraceFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(ctxKey{}).(uint64)
+	return id
+}
+
+// FormatTrace renders a trace id as the canonical 16-hex-digit form.
+func FormatTrace(id uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTrace parses a header value back into an id; malformed or
+// empty values are 0 (untraced), never an error — a bad header must
+// not fail the request it rides on.
+func ParseTrace(s string) uint64 {
+	if s == "" || len(s) > 16 {
+		return 0
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}

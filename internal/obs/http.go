@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// TraceResponse is the body of GET /v1/trace: the component's
+// retained-op ring, oldest first.
+type TraceResponse struct {
+	Hop string `json:"hop"`
+	Ops []*Op  `json:"ops"`
+}
+
+// TraceHandler serves the recorder's ring as GET /v1/trace. Query
+// parameters: min_ns or min_ms filter to ops at least that slow.
+// A nil recorder serves an empty document.
+func (r *Recorder) TraceHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		minDur, err := parseMinDur(req)
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		resp := TraceResponse{Hop: r.Hop(), Ops: r.Ops(minDur)}
+		if resp.Ops == nil {
+			resp.Ops = []*Op{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	}
+}
+
+func parseMinDur(req *http.Request) (time.Duration, error) {
+	q := req.URL.Query()
+	if s := q.Get("min_ns"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("min_ns must be a non-negative integer, got %q", s)
+		}
+		return time.Duration(v), nil
+	}
+	if s := q.Get("min_ms"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("min_ms must be a non-negative number, got %q", s)
+		}
+		return time.Duration(v * float64(time.Millisecond)), nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	ballsbins "repro"
+	"repro/internal/obs"
+)
+
+// benchDispatcher builds the headline single-shard core used by the
+// obs-overhead comparison; the allocator itself is O(1) per place, so
+// the dispatcher/combiner path dominates and any tracing cost shows.
+func benchDispatcher(b *testing.B, o obs.Options) *Dispatcher {
+	b.Helper()
+	d := NewDispatcher(Config{
+		Spec:   ballsbins.Adaptive(),
+		N:      1 << 16,
+		Shards: 1,
+		Seed:   1,
+		Obs:    o,
+	})
+	b.Cleanup(d.Close)
+	return d
+}
+
+func benchPlace(b *testing.B, d *Dispatcher) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := d.PlaceMany(ctx, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDispatcherPlace measures the combined dispatch path with
+// observability off, on-but-untraced (the production default: every op
+// feeds the stage histograms, ~1/1024 is materialized into the ring),
+// and fully sampled (every op materialized — the worst case, used by
+// tests and smoke jobs, not production). The ≤2% untraced-overhead
+// gate compares obs=untraced against obs=off.
+func BenchmarkDispatcherPlace(b *testing.B) {
+	b.Run("obs=off", func(b *testing.B) {
+		benchPlace(b, benchDispatcher(b, obs.Options{Disabled: true}))
+	})
+	b.Run("obs=untraced", func(b *testing.B) {
+		benchPlace(b, benchDispatcher(b, obs.Options{}))
+	})
+	b.Run("obs=sampled", func(b *testing.B) {
+		benchPlace(b, benchDispatcher(b, obs.Options{SampleEvery: 1}))
+	})
+}

@@ -42,6 +42,7 @@ import (
 	ballsbins "repro"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -98,6 +99,10 @@ type Config struct {
 	// exact pre-crash key→shard assignment before returning, and
 	// Close writes a final compacting snapshot.
 	KeyedStore *keyed.StoreOptions
+	// Obs tunes the observability recorder behind /v1/trace and the
+	// bb_stage_* series (hop defaults to "serve"); zero values take the
+	// obs defaults. Set Obs.Disabled to run without recording.
+	Obs obs.Options
 }
 
 type opKind uint8
@@ -120,7 +125,11 @@ type request struct {
 	samples int64
 	err     error
 	t0      time.Time // enqueue time, for the dispatch-latency histogram
-	done    chan struct{}
+	// cap accumulates the request's queue/apply spans. A value field:
+	// the request is heap-allocated anyway, so the untraced path pays
+	// no extra allocation for it.
+	cap  obs.Capture
+	done chan struct{}
 }
 
 // Dispatcher is the arrival-combining front-end. Construct with
@@ -134,6 +143,7 @@ type Dispatcher struct {
 	store   *keyed.Store  // nil unless Config.KeyedStore was set
 	keyedOK bool          // spec terminates under shard-pinned traffic
 	latency *hdrhist.Hist // enqueue → completion, per request
+	obs     *obs.Recorder // stage decomposition + slow-op ring (nilable)
 	// drainMu is held shared for the span of every enqueue and
 	// exclusively by Close between setting draining and closing the
 	// queues, so no send can race a close. (A WaitGroup would not do:
@@ -202,6 +212,10 @@ func OpenDispatcher(cfg Config) (*Dispatcher, *keyed.RecoveryInfo, error) {
 	} else {
 		km = keyed.New(kc)
 	}
+	obsOpts := cfg.Obs
+	if obsOpts.Hop == "" {
+		obsOpts.Hop = "serve"
+	}
 	d := &Dispatcher{
 		sa:      ballsbins.NewSharded(cfg.Spec, cfg.N, cfg.Shards, opts...),
 		cfg:     cfg,
@@ -210,6 +224,7 @@ func OpenDispatcher(cfg Config) (*Dispatcher, *keyed.RecoveryInfo, error) {
 		km:      km,
 		store:   store,
 		latency: hdrhist.New(),
+		obs:     obs.NewRecorder(obsOpts),
 		closed:  make(chan struct{}),
 	}
 	// Threshold-family and fixed-bound specs reject keyed traffic (see
@@ -260,6 +275,7 @@ func (d *Dispatcher) Place(ctx context.Context) (bin int, samples int64, err err
 		return 0, 0, err
 	}
 	req := &request{op: opPlace, count: 1, t0: time.Now(), done: make(chan struct{})}
+	req.cap = d.obs.BeginAt(obs.TraceFrom(ctx), "place", req.t0)
 	d.queues[d.sa.NextShard()] <- req
 	<-req.done
 	return req.bins[0], req.samples, nil
@@ -289,11 +305,16 @@ func (d *Dispatcher) PlaceKeyed(ctx context.Context, key string) (bin int, sampl
 	if err := ctx.Err(); err != nil {
 		return 0, 0, err
 	}
-	shard, _, _, err := d.km.Route(key)
+	shard, probes, hit, err := d.km.Route(key)
 	if err != nil {
 		return 0, 0, err // unreachable: serve shards never leave rotation
 	}
 	req := &request{op: opPlace, count: 1, t0: time.Now(), done: make(chan struct{})}
+	req.cap = d.obs.BeginAt(obs.TraceFrom(ctx), "place", req.t0)
+	req.cap.Attr("key_probes", int64(probes))
+	if hit {
+		req.cap.Attr("key_hit", 1)
+	}
 	d.queues[shard] <- req
 	<-req.done
 	return req.bins[0], req.samples, nil
@@ -350,12 +371,17 @@ func (d *Dispatcher) PlaceMany(ctx context.Context, count int) ([]int, int64, er
 	}
 
 	counts := d.sa.NextShardBatch(int64(count))
+	trace := obs.TraceFrom(ctx)
 	reqs := make([]*request, 0, min(count, d.cfg.Shards))
 	for s, c := range counts {
 		if c == 0 {
 			continue
 		}
 		req := &request{op: opPlace, count: int(c), t0: time.Now(), done: make(chan struct{})}
+		// One capture per shard chunk, sharing the bulk's trace id —
+		// a traced bulk shows how its chunks fanned out.
+		req.cap = d.obs.BeginAt(trace, "place", req.t0)
+		req.cap.Attr("bulk", int64(count))
 		d.queues[s] <- req
 		reqs = append(reqs, req)
 	}
@@ -386,6 +412,7 @@ func (d *Dispatcher) Remove(ctx context.Context, bin int) error {
 	}
 
 	req := &request{op: opRemove, bin: bin, t0: time.Now(), done: make(chan struct{})}
+	req.cap = d.obs.BeginAt(obs.TraceFrom(ctx), "remove", req.t0)
 	d.queues[d.sa.ShardOf(bin)] <- req
 	<-req.done
 	return req.err
@@ -464,6 +491,7 @@ func (d *Dispatcher) combine(s int) {
 // and publishes fresh per-shard stats while the lock is still held (so
 // the stats snapshot is exactly the post-batch shard state).
 func (d *Dispatcher) apply(s int, batch []*request) {
+	applyStart := time.Now()
 	d.sa.WithShardLocked(s, func(a *ballsbins.Allocator, base int) {
 		for _, r := range batch {
 			switch r.op {
@@ -485,8 +513,16 @@ func (d *Dispatcher) apply(s int, batch []*request) {
 		}
 		d.stats.publish(s, a, len(batch))
 	})
+	// One clock read closes the whole batch: queue is enqueue→apply
+	// start (lock wait included in apply), so the two stages sum
+	// exactly to the op total the capture ends with.
+	end := time.Now()
 	for _, r := range batch {
-		d.latency.RecordSince(r.t0)
+		d.latency.Record(end.Sub(r.t0).Nanoseconds())
+		r.cap.StageAt("queue", r.t0, applyStart)
+		r.cap.StageAt("apply", applyStart, end)
+		r.cap.Attr("batch", int64(len(batch)))
+		r.cap.EndAt(end, r.err)
 		close(r.done)
 	}
 }
@@ -495,3 +531,7 @@ func (d *Dispatcher) apply(s int, batch []*request) {
 // time from a request's enqueue to its completion, covering queueing
 // delay plus its share of the combined batch.
 func (d *Dispatcher) Latency() hdrhist.Snapshot { return d.latency.Snapshot() }
+
+// Obs returns the dispatcher's observability recorder (nil when
+// Config.Obs.Disabled).
+func (d *Dispatcher) Obs() *obs.Recorder { return d.obs }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	ballsbins "repro"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -66,6 +68,11 @@ type StatsResponse struct {
 	// reply batching); omitted when the process runs without
 	// -wire-addr.
 	Wire *wire.Stats `json:"wire,omitempty"`
+	// Obs is the per-stage latency decomposition (queue, apply, op
+	// totals) from the observability recorder; omitted when recording
+	// is disabled. bbproxy's stats carry the same block for its own
+	// stages (probe, forward).
+	Obs map[string]obs.StageSummary `json:"obs,omitempty"`
 }
 
 // Latency summarizes a latency histogram in nanoseconds.
@@ -117,9 +124,16 @@ func NewHandlerWire(d *Dispatcher, info Info, ws *wire.Server) http.Handler {
 	mux.HandleFunc("POST /v1/remove", h.remove)
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /v1/snapshot", h.snapshot)
+	mux.HandleFunc("GET /v1/trace", d.Obs().TraceHandler())
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
+}
+
+// traceCtx threads an upstream X-BB-Trace header into the request
+// context so the dispatcher's capture joins the caller's trace.
+func traceCtx(r *http.Request) context.Context {
+	return obs.WithTrace(r.Context(), obs.ParseTrace(r.Header.Get(obs.Header)))
 }
 
 // WriteJSON writes v as indented JSON with the given status. Shared by
@@ -177,14 +191,15 @@ func (h *handler) place(w http.ResponseWriter, r *http.Request) {
 			"bulk place (count=%d) cannot carry a key: keyed placement is one ball per request; send count=1 requests for key %q", count, key)
 		return
 	}
+	ctx := traceCtx(r)
 	var bins []int
 	var samples int64
 	if key != "" {
 		var bin int
-		bin, samples, err = h.d.PlaceKeyed(r.Context(), key)
+		bin, samples, err = h.d.PlaceKeyed(ctx, key)
 		bins = []int{bin}
 	} else {
-		bins, samples, err = h.d.PlaceMany(r.Context(), count)
+		bins, samples, err = h.d.PlaceMany(ctx, count)
 	}
 	if err != nil {
 		// A cancelled bulk request may still have committed part of
@@ -223,7 +238,7 @@ func (h *handler) remove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bin %d outside [0,%d)", bin, h.d.N())
 		return
 	}
-	switch err := h.d.RemoveKeyed(r.Context(), bin, r.URL.Query().Get("key")); err {
+	switch err := h.d.RemoveKeyed(traceCtx(r), bin, r.URL.Query().Get("key")); err {
 	case nil:
 		writeJSON(w, http.StatusOK, RemoveResponse{Bin: bin, Removed: true})
 	case ErrEmptyBin:
@@ -286,6 +301,7 @@ func BuildStatsResponse(d *Dispatcher, info Info, ws *wire.Server) StatsResponse
 		LatencyNs:  LatencySummary(d.Latency()),
 		Keyed:      &ks,
 		Durability: d.Durability(),
+		Obs:        d.Obs().StageSummaries(),
 	}
 	if ws != nil {
 		s := ws.Stats()
@@ -370,6 +386,9 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "bb_dispatch_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
 	fmt.Fprintf(w, "bb_dispatch_latency_seconds_count %d\n", lat.Count)
+
+	h.d.Obs().WriteStageMetrics(w)
+	obs.WriteRuntimeMetrics(w)
 }
 
 func trimFloat(q float64) string { return strconv.FormatFloat(q, 'g', -1, 64) }

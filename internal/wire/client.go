@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrClientClosed is returned for calls after Close.
@@ -112,6 +114,9 @@ type clientConn struct {
 	deadc     chan struct{}
 	tokens    chan struct{}
 	helloInfo Hello
+	// version is the negotiated protocol version for this connection
+	// (min of both peers); trace ids are only sent at ≥ 2.
+	version int
 	mu        sync.Mutex
 	pending   map[uint64]*call
 	nextID    uint64
@@ -246,10 +251,15 @@ func (c *Client) dial() (*clientConn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("wire: handshake: %w", err)
 	}
-	if hello.Version != Version {
+	// The server answers min(client, server): accept anything in our
+	// supported range and speak the negotiated version on this
+	// connection; only a server claiming a version above our own (or
+	// below MinVersion) is unusable.
+	if hello.Version > Version || hello.Version < MinVersion {
 		nc.Close()
-		return nil, fmt.Errorf("wire: server speaks version %d, want %d", hello.Version, Version)
+		return nil, fmt.Errorf("wire: server negotiated version %d, supported [%d,%d]", hello.Version, MinVersion, Version)
 	}
+	cc.version = hello.Version
 	cc.helloInfo = hello
 	nc.SetDeadline(time.Time{})
 	go cc.sendLoop()
@@ -325,6 +335,10 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Reply, error) {
 	cc.pending[ca.id] = ca
 	cc.mu.Unlock()
 	req.ID = ca.id
+	if cc.version < 2 {
+		// A v1 peer rejects trailing bytes; the trace id stays local.
+		req.Trace = 0
+	}
 	ca.req = AppendRequest(nil, req)
 
 	select {
@@ -364,9 +378,10 @@ func (c *Client) op(ctx context.Context, req Request) ([]byte, error) {
 }
 
 // Place places count balls in one request and returns their bins and
-// the probes spent.
+// the probes spent. A ctx trace id (obs.WithTrace) rides along on
+// connections negotiated at protocol ≥ 2.
 func (c *Client) Place(ctx context.Context, count int) ([]int, int64, error) {
-	body, err := c.op(ctx, Request{Type: MsgPlace, Count: count})
+	body, err := c.op(ctx, Request{Type: MsgPlace, Count: count, Trace: obs.TraceFrom(ctx)})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -375,7 +390,7 @@ func (c *Client) Place(ctx context.Context, count int) ([]int, int64, error) {
 
 // PlaceKeyed places one ball under a routing key.
 func (c *Client) PlaceKeyed(ctx context.Context, key string) ([]int, int64, error) {
-	body, err := c.op(ctx, Request{Type: MsgPlaceKeyed, Key: key})
+	body, err := c.op(ctx, Request{Type: MsgPlaceKeyed, Key: key, Trace: obs.TraceFrom(ctx)})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -389,7 +404,7 @@ func (c *Client) Remove(ctx context.Context, bin int, key string) error {
 	if key != "" {
 		t = MsgRemoveKeyed
 	}
-	_, err := c.op(ctx, Request{Type: t, Bin: bin, Key: key})
+	_, err := c.op(ctx, Request{Type: t, Bin: bin, Key: key, Trace: obs.TraceFrom(ctx)})
 	return err
 }
 

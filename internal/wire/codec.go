@@ -61,6 +61,10 @@ type Request struct {
 	Count   int    // MsgPlace
 	Bin     int    // MsgRemove, MsgRemoveKeyed
 	Key     string // MsgPlaceKeyed, MsgRemoveKeyed
+	// Trace is the optional obs trace id (protocol ≥ 2). Encoded as a
+	// trailing uvarint when nonzero; 0 means untraced and encodes
+	// nothing, so v1 peers never see the field.
+	Trace uint64
 }
 
 // appendHeader writes the common [type][uvarint id] request prefix.
@@ -90,6 +94,12 @@ func AppendRequest(dst []byte, req Request) []byte {
 	case MsgRemoveKeyed:
 		dst = binary.AppendUvarint(dst, uint64(req.Bin))
 		dst = appendString(dst, req.Key)
+	}
+	// The trailing trace id (protocol ≥ 2). Callers must leave Trace 0
+	// on connections negotiated at version 1: a v1 parser rejects any
+	// trailing bytes.
+	if req.Trace != 0 {
+		dst = binary.AppendUvarint(dst, req.Trace)
 	}
 	return dst
 }
@@ -160,6 +170,13 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Key = c.str()
 	default:
 		return Request{}, fmt.Errorf("wire: unknown message type %d", payload[0])
+	}
+	// Optional trailing trace id (protocol ≥ 2). Parsed leniently —
+	// the field is self-delimiting, so a v2 server accepts it from any
+	// op message without per-type dispatch; bytes beyond it are still
+	// a framing error.
+	if c.ok && len(c.b) != 0 {
+		req.Trace = c.uvarint()
 	}
 	if !c.ok || len(c.b) != 0 {
 		return Request{}, ErrTruncated

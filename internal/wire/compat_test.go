@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRequestTraceCodec pins the v2 wire extension: the trace id is a
+// trailing uvarint, absent when zero, so a v1 encoding is byte-for-byte
+// a prefix of the v2 encoding of the same request.
+func TestRequestTraceCodec(t *testing.T) {
+	cases := []Request{
+		{Type: MsgPlace, ID: 9, Count: 3},
+		{Type: MsgPlaceKeyed, ID: 10, Key: "user:7"},
+		{Type: MsgRemove, ID: 11, Bin: 42},
+		{Type: MsgRemoveKeyed, ID: 12, Bin: 0, Key: "k"},
+	}
+	for _, base := range cases {
+		v1 := AppendRequest(nil, base)
+		traced := base
+		traced.Trace = 0xdeadbeefcafe
+		v2 := AppendRequest(nil, traced)
+		if !bytes.HasPrefix(v2, v1) {
+			t.Fatalf("%v: traced encoding is not an extension of the untraced one", base.Type)
+		}
+		if len(v2) == len(v1) {
+			t.Fatalf("%v: trace id encoded nothing", base.Type)
+		}
+		got, err := ParseRequest(v2)
+		if err != nil {
+			t.Fatalf("%v: parse traced: %v", base.Type, err)
+		}
+		if got != traced {
+			t.Fatalf("%v: round trip = %+v, want %+v", base.Type, got, traced)
+		}
+		// A v1 peer's encoding (no trailing field) must parse with
+		// Trace 0 — old clients keep working against a v2 server.
+		got, err = ParseRequest(v1)
+		if err != nil {
+			t.Fatalf("%v: parse untraced: %v", base.Type, err)
+		}
+		if got != base {
+			t.Fatalf("%v: untraced round trip = %+v, want %+v", base.Type, got, base)
+		}
+	}
+}
+
+// TestHandshakeNegotiatesMin checks the server answers min(client,
+// server) for supported versions and rejects versions outside
+// [MinVersion, Version].
+func TestHandshakeNegotiatesMin(t *testing.T) {
+	_, addr := startServer(t, newTestHandler(8), ServerOptions{})
+	hello := func(version int) (Reply, Hello) {
+		t.Helper()
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		req := AppendRequest(nil, Request{Type: MsgHello, ID: 0, Version: version})
+		if _, err := nc.Write(AppendFrame(nil, req)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := ReadFrame(bufio.NewReader(nc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ParseReply(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Hello
+		if rep.Code == CodeOK {
+			if h, err = ParseHelloBody(rep.Body); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rep, h
+	}
+	if rep, h := hello(MinVersion); rep.Code != CodeOK || h.Version != MinVersion {
+		t.Fatalf("HELLO(v%d) = code %v version %d, want OK v%d", MinVersion, rep.Code, h.Version, MinVersion)
+	}
+	if rep, h := hello(Version); rep.Code != CodeOK || h.Version != Version {
+		t.Fatalf("HELLO(v%d) = code %v version %d, want OK v%d", Version, rep.Code, h.Version, Version)
+	}
+	if rep, _ := hello(MinVersion - 1); rep.Code != CodeBadRequest {
+		t.Fatalf("HELLO(v%d) = code %v, want CodeBadRequest", MinVersion-1, rep.Code)
+	}
+	if rep, _ := hello(Version + 1); rep.Code != CodeBadRequest {
+		t.Fatalf("HELLO(v%d) = code %v, want CodeBadRequest", Version+1, rep.Code)
+	}
+}
+
+// tracingHandler records the trace id the server hands Place via ctx.
+type tracingHandler struct {
+	*testHandler
+	got atomic.Uint64
+}
+
+func (h *tracingHandler) Place(ctx context.Context, count int) ([]int, int64, error) {
+	h.got.Store(obs.TraceFrom(ctx))
+	return h.testHandler.Place(ctx, count)
+}
+
+// TestTraceReachesHandler sends a traced place over a v2↔v2 connection
+// and asserts the id surfaces in the handler's context.
+func TestTraceReachesHandler(t *testing.T) {
+	h := &tracingHandler{testHandler: newTestHandler(8)}
+	_, addr := startServer(t, h, ServerOptions{})
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const id = uint64(0xfeedface)
+	if _, _, err := c.Place(obs.WithTrace(context.Background(), id), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.got.Load(); got != id {
+		t.Fatalf("handler saw trace %#x, want %#x", got, id)
+	}
+}
+
+// TestClientDowngradesToV1 fakes an old server that negotiates the
+// handshake down to version 1 and asserts the client then strips trace
+// ids from its requests — the payload must be byte-identical to a
+// v1 encoding even though the caller's ctx carries a trace id.
+func TestClientDowngradesToV1(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	serverErr := make(chan error, 1)
+	gotPayload := make(chan []byte, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		// Handshake: whatever the client proposes, answer version 1.
+		payload, err := ReadFrame(br)
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		req, err := ParseRequest(payload)
+		if err != nil || req.Type != MsgHello {
+			serverErr <- err
+			return
+		}
+		body := AppendHelloBody(nil, Hello{Version: 1, N: 8, Shards: 1, Protocol: "old"})
+		if _, err := nc.Write(AppendFrame(nil, AppendReply(nil, req.ID, CodeOK, body))); err != nil {
+			serverErr <- err
+			return
+		}
+		// First op: capture the raw payload, answer a place body.
+		payload, err = ReadFrame(br)
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		gotPayload <- append([]byte(nil), payload...)
+		req, err = ParseRequest(payload)
+		if err != nil {
+			serverErr <- err
+			return
+		}
+		body = AppendPlaceBody(nil, []int{3}, 1)
+		if _, err := nc.Write(AppendFrame(nil, AppendReply(nil, req.ID, CodeOK, body))); err != nil {
+			serverErr <- err
+			return
+		}
+		serverErr <- nil
+	}()
+
+	c, err := Dial(ln.Addr().String(), ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if h := c.Hello(); h.Version != 1 {
+		t.Fatalf("negotiated version = %d, want 1", h.Version)
+	}
+	ctx := obs.WithTrace(context.Background(), 0xabcdef)
+	bins, _, err := c.Place(ctx, 1)
+	if err != nil || len(bins) != 1 || bins[0] != 3 {
+		t.Fatalf("place over v1 = %v, %v", bins, err)
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("fake v1 server: %v", err)
+	}
+	payload := <-gotPayload
+	req, err := ParseRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AppendRequest(nil, Request{Type: MsgPlace, ID: req.ID, Count: 1})
+	if !bytes.Equal(payload, want) {
+		t.Fatalf("v1 connection carried extra bytes: got %x, want %x", payload, want)
+	}
+}

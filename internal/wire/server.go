@@ -4,8 +4,13 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Handler is what a wire server serves. The serve and cluster tiers
@@ -47,6 +52,9 @@ type ServerOptions struct {
 	// MaxBatch caps reply frames coalesced into one socket write
 	// (default 256).
 	MaxBatch int
+	// Logger receives structured connection-lifecycle and decode-error
+	// events (default slog.Default).
+	Logger *slog.Logger
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -58,6 +66,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	return o
 }
@@ -189,6 +200,11 @@ func (s *Server) serveConn(nc net.Conn) {
 			// else means the stream lost sync.
 			if err == ErrBadCRC || err == ErrFrameTooLarge || err == ErrTruncated {
 				s.c.decodeErrors.Add(1)
+				s.opts.Logger.Warn("wire: dropping connection on frame decode error",
+					"remote", nc.RemoteAddr(), "err", err)
+			} else if err != io.EOF {
+				s.opts.Logger.Debug("wire: connection read ended",
+					"remote", nc.RemoteAddr(), "err", err)
 			}
 			break
 		}
@@ -196,6 +212,8 @@ func (s *Server) serveConn(nc net.Conn) {
 		req, err := ParseRequest(payload)
 		if err != nil {
 			s.c.decodeErrors.Add(1)
+			s.opts.Logger.Warn("wire: dropping connection on request decode error",
+				"remote", nc.RemoteAddr(), "err", err)
 			break
 		}
 		switch req.Type {
@@ -261,14 +279,23 @@ func (s *Server) writeLoop(nc net.Conn, replies <-chan []byte, done chan<- struc
 func (s *Server) handle(ctx context.Context, req Request) []byte {
 	var body []byte
 	var err error
+	if req.Trace != 0 {
+		// Propagate the trace id into the tier's own recorder (the
+		// dispatcher or router reads it back with obs.TraceFrom).
+		ctx = obs.WithTrace(ctx, req.Trace)
+	}
 	switch req.Type {
 	case MsgHello:
-		if req.Version != Version {
-			err = &Error{Code: CodeBadRequest, Msg: "protocol version mismatch"}
+		// Negotiate down: answer min(client, server) so a v1 peer
+		// keeps its exact v1 stream; refuse only clients newer than
+		// this server or older than MinVersion.
+		if req.Version > Version || req.Version < MinVersion {
+			err = &Error{Code: CodeBadRequest,
+				Msg: fmt.Sprintf("protocol version %d outside supported [%d,%d]", req.Version, MinVersion, Version)}
 			break
 		}
 		h := s.h.Hello()
-		h.Version = Version
+		h.Version = min(req.Version, Version)
 		body = AppendHelloBody(nil, h)
 	case MsgPing:
 		if s.h.Draining() {

@@ -44,8 +44,23 @@ import (
 )
 
 // Version is the protocol version exchanged in the HELLO handshake.
-// A server refuses mismatched clients with CodeBadRequest.
-const Version = 1
+// The handshake negotiates down: the server answers min(client,
+// server) and refuses only clients NEWER than itself (they know
+// features it cannot honor); a client likewise accepts any server
+// reply ≤ its own version. Both sides then speak the negotiated
+// version for the life of the connection.
+//
+// Version history:
+//
+//	1: initial protocol.
+//	2: op requests may carry an optional trailing trace-id uvarint
+//	   (obs propagation). The field is strictly additive — a v2 peer
+//	   never sends it on a connection negotiated at 1, so v1 parsers
+//	   (which reject trailing bytes) are unaffected.
+const Version = 2
+
+// MinVersion is the oldest peer version still accepted.
+const MinVersion = 1
 
 // MaxFrame bounds a frame payload, mirroring wal.MaxRecord: a torn or
 // corrupt length prefix is detected by bound before it can drive a
