@@ -68,8 +68,14 @@ import (
 	"repro/internal/keyed"
 	"repro/internal/load"
 	"repro/internal/serve"
+	"repro/internal/watch"
 	"repro/internal/wire"
 )
+
+// watchCadence is the watchdog tick on the generator's own in-proc
+// targets: fast enough that even a short CI run collects a usable
+// gap_over_time series. URL targets keep the server's own -watch-every.
+const watchCadence = 250 * time.Millisecond
 
 // report is the bbserve/v1 (or bbcluster/v1) schema: the shared
 // benchio envelope plus one case per generator run.
@@ -182,6 +188,11 @@ func main() {
 				line += fmt.Sprintf("  [restart: recovered %d keys in %dms, post-restart hit %.3f]",
 					res.AssignmentsRecovered, res.RecoveryMs, res.AffinityHitRatePostRestart)
 			}
+			if len(res.GapOverTime) > 0 {
+				last := res.GapOverTime[len(res.GapOverTime)-1]
+				line += fmt.Sprintf("  [watch: %d pts, end gap %d, violations %d]",
+					len(res.GapOverTime), last.Gap, res.Violations)
+			}
 			if len(res.StageP99Ns) > 0 {
 				stages := make([]string, 0, len(res.StageP99Ns))
 				for stage := range res.StageP99Ns {
@@ -280,6 +291,7 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 		}
 		d := serve.NewDispatcher(serve.Config{
 			Spec: spec, N: n, Shards: shards, Seed: sf.Seed, Engine: eng, Horizon: horizon,
+			Watch: watch.Options{Cadence: watchCadence},
 		})
 		defer d.Close()
 		tgt = load.InProc{D: d}
@@ -333,6 +345,7 @@ func runOne(ctx context.Context, sf *cli.SpecFlags, sc load.Scenario,
 			Engine: eng, Seed: sf.Seed, Horizon: horizon,
 			Policy: policy, Keyed: keyedCfg, Staleness: staleness,
 			DataDir: runDir, SnapshotEvery: snapEvery, Fsync: fsyncMode,
+			Watch: watch.Options{Cadence: watchCadence},
 		})
 		if err != nil {
 			return load.Result{}, err

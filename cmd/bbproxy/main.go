@@ -29,8 +29,16 @@
 //	POST /v1/place?key=K      keyed placement (bulk + key is a 400)
 //	POST /v1/remove?bin=g[&key=K]  remove from global bin g (slot·n + local)
 //	GET  /v1/stats            aggregated cluster view + per-backend rows
+//	GET  /v1/events           invariant watchdog event journal
+//	                          (EVICTION/REJOIN/REBALANCE/…)
+//	GET  /v1/timeseries       watchdog time series (?window=N)
 //	GET  /healthz             200 while routable, 503 otherwise
 //	GET  /metrics             Prometheus text format
+//
+// -watch-every sets the invariant watchdog's cadence (0 disables it):
+// each tick re-checks the paper's cross-backend bound against the live
+// load view, and membership changes journal EVICTION/REJOIN/REBALANCE
+// events the moment they happen.
 //
 // Backends that fail -fail-after consecutive health probes (or live
 // requests) are evicted from routing and rejoin automatically after
@@ -73,6 +81,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wal"
+	"repro/internal/watch"
 	"repro/internal/wire"
 )
 
@@ -169,6 +178,7 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "net/http/pprof listen address (empty = off)")
 		traceSlow   = flag.Duration("trace-slow", 0, "trace ops at or above this latency (0 = default 10ms)")
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N ops into the trace ring (0 = default 1024)")
+		watchEvery  = flag.Duration("watch-every", watch.DefaultCadence, "invariant watchdog cadence (0 disables the watchdog)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
@@ -286,6 +296,7 @@ func main() {
 		RiseAfter:      *riseAfter,
 		Keyed:          keyedCfg,
 		Obs:            obs.Options{SlowThreshold: *traceSlow, SampleEvery: *traceSample},
+		Watch:          watch.Options{Cadence: *watchEvery, Disabled: *watchEvery <= 0},
 		Logger:         logger,
 	}
 	if *dataDir != "" {

@@ -15,6 +15,8 @@
 //	POST /v1/remove?bin=i[&key=K]  remove one ball from bin i (key
 //	                          releases it from the keyed tier too)
 //	GET  /v1/stats            lock-free monitoring view (+ keyed block)
+//	GET  /v1/events           invariant watchdog event journal
+//	GET  /v1/timeseries       watchdog time series (?window=N)
 //	GET  /v1/snapshot         lock-all consistent snapshot
 //	GET  /healthz             200 ok, 503 once draining
 //	GET  /metrics             Prometheus text format (+ bb_wire_* series)
@@ -39,7 +41,12 @@
 //
 // Observability: -debug-addr serves net/http/pprof; -trace-slow and
 // -trace-sample tune the request-trace recorder behind GET /v1/trace;
-// -log-level and -log-format control the structured (log/slog) output.
+// -watch-every sets the invariant watchdog's cadence (0 disables it) —
+// the watchdog re-checks the paper's load bounds against the live
+// system each tick, journals lifecycle events behind GET /v1/events,
+// and keeps the time series behind GET /v1/timeseries (the surface
+// cmd/bbtop renders); -log-level and -log-format control the
+// structured (log/slog) output.
 package main
 
 import (
@@ -63,6 +70,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wal"
+	"repro/internal/watch"
 	"repro/internal/wire"
 )
 
@@ -87,6 +95,7 @@ func main() {
 		fsync       = flag.String("fsync", wal.SyncInterval, "WAL fsync policy: always, interval, never")
 		traceSlow   = flag.Duration("trace-slow", 0, "trace ops at or above this latency (0 = default 10ms)")
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N ops into the trace ring (0 = default 1024)")
+		watchEvery  = flag.Duration("watch-every", watch.DefaultCadence, "invariant watchdog cadence (0 disables the watchdog)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
@@ -132,7 +141,8 @@ func main() {
 			HotShare: *hotShare,
 			MaxKeys:  *maxKeys,
 		},
-		Obs: obs.Options{SlowThreshold: *traceSlow, SampleEvery: *traceSample},
+		Obs:   obs.Options{SlowThreshold: *traceSlow, SampleEvery: *traceSample},
+		Watch: watch.Options{Cadence: *watchEvery, Disabled: *watchEvery <= 0},
 	}
 	if *dataDir != "" {
 		cfg.KeyedStore = &keyed.StoreOptions{

@@ -170,6 +170,25 @@
 // against /v1/trace to print per-stage server breakdowns; see the
 // README's Observability section.
 //
+// The paper's bounds are also checked live (internal/watch): both
+// daemons run an invariant watchdog that evaluates each tier's
+// provable load bound — ⌈m/n⌉+1 per shard and its sharded
+// composition on bbserved, ⌈i/K⌉ plus bulk slack across backends on
+// bbproxy, and the keyed tiers' per-bin replica bounds — against
+// consistent snapshots on a cadence (-watch-every), recording
+// breaches and lifecycle transitions (EVICTION, REJOIN, REBALANCE,
+// RECOVERY, DRAIN) in a bounded typed event journal served as GET
+// /v1/events and counted as bb_invariant_violations_total on
+// /metrics. Each tick also appends one aggregate point (gap, Ψ,
+// ops/s, combining factor, ...) to a fixed-width time-series ring
+// behind GET /v1/timeseries, which bbload folds into its bench
+// envelopes as gap_over_time and cmd/bbtop renders as a live
+// terminal dashboard (-once -format json for scripting). Checks are
+// armed only under the conditions that make them sound — policy
+// family, anonymous traffic, stable membership, no acceptance-loop
+// fallbacks — so a reported violation is a real bound breach, not
+// estimator noise; see the README's invariant table.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

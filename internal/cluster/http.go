@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/watch"
 	"repro/internal/wire"
 )
 
@@ -31,6 +32,10 @@ type StatsResponse struct {
 	Wire *wire.Stats `json:"wire,omitempty"`
 	// Obs is the routing hop's per-stage latency decomposition.
 	Obs map[string]obs.StageSummary `json:"obs,omitempty"`
+	// Watch is the invariant watchdog's summary; omitted when the
+	// watchdog is disabled. The full journal and time series live at
+	// /v1/events and /v1/timeseries.
+	Watch *watch.StatsBlock `json:"watch,omitempty"`
 }
 
 type handler struct {
@@ -62,6 +67,8 @@ func NewHandlerWire(rt *Router, info serve.Info, ws *wire.Server) http.Handler {
 	mux.HandleFunc("POST /v1/remove", h.remove)
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /v1/trace", rt.Obs().TraceHandler())
+	mux.HandleFunc("GET /v1/events", rt.Watch().EventsHandler())
+	mux.HandleFunc("GET /v1/timeseries", rt.Watch().TimeseriesHandler())
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -163,6 +170,7 @@ func BuildStatsResponse(rt *Router, info serve.Info, ws *wire.Server) StatsRespo
 		WindowSec:       secs,
 		Cluster:         cs,
 		Obs:             rt.Obs().StageSummaries(),
+		Watch:           rt.Watch().StatsBlockDoc(),
 	}
 	if ws != nil {
 		s := ws.Stats()
@@ -251,6 +259,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bb_proxy_place_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
 	fmt.Fprintf(w, "bb_proxy_place_latency_seconds_count %d\n", lat.Count)
 
+	h.rt.Watch().WriteMetrics(w)
 	h.rt.Obs().WriteStageMetrics(w)
 	obs.WritePickStaleness(w, h.rt.PickStaleness())
 	obs.WriteRuntimeMetrics(w)

@@ -41,8 +41,12 @@ type Policy interface {
 	// Pick chooses a slot from healthy (non-empty) for a bulk of count
 	// balls, reading stale loads from view. probes is the number of
 	// load-view probes consumed — the routing analogue of the paper's
-	// allocation time.
-	Pick(r *rng.Rand, view *LoadView, healthy []int, count int) (slot int, probes int)
+	// allocation time. fallback reports that an acceptance loop
+	// exhausted its probe cap and took the least-loaded probe instead:
+	// the chosen backend did NOT pass the policy's acceptance test, so
+	// load-bound invariants derived from that test do not cover this
+	// pick. Policies without an acceptance loop never set it.
+	Pick(r *rng.Rand, view *LoadView, healthy []int, count int) (slot int, probes int, fallback bool)
 }
 
 // probeCap bounds the sampling loop of the unbounded policies: beyond
@@ -61,8 +65,8 @@ type single struct{}
 
 func (single) Name() string { return "single" }
 
-func (single) Pick(r *rng.Rand, _ *LoadView, healthy []int, _ int) (int, int) {
-	return healthy[r.Intn(len(healthy))], 1
+func (single) Pick(r *rng.Rand, _ *LoadView, healthy []int, _ int) (int, int, bool) {
+	return healthy[r.Intn(len(healthy))], 1, false
 }
 
 // greedy is d-choice routing: the Greedy(d) baseline (probes with
@@ -71,7 +75,7 @@ type greedy struct{ d int }
 
 func (g greedy) Name() string { return fmt.Sprintf("greedy[%d]", g.d) }
 
-func (g greedy) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, int) {
+func (g greedy) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, int, bool) {
 	best := healthy[r.Intn(len(healthy))]
 	bestLoad := view.Load(best)
 	for j := 1; j < g.d; j++ {
@@ -80,13 +84,14 @@ func (g greedy) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, in
 			best, bestLoad = c, l
 		}
 	}
-	return best, g.d
+	// Min-of-d IS greedy's contract, not a fallback.
+	return best, g.d, false
 }
 
 // accepting implements the shared rejection loop of the threshold
 // family: sample until K·(load−1) < bound(i), up to cap probes, then
 // fall back to the least loaded backend probed.
-func accepting(r *rng.Rand, view *LoadView, healthy []int, bound int64, maxProbes int) (int, int) {
+func accepting(r *rng.Rand, view *LoadView, healthy []int, bound int64, maxProbes int) (int, int, bool) {
 	k := int64(len(healthy))
 	best := -1
 	var bestLoad int64
@@ -94,13 +99,13 @@ func accepting(r *rng.Rand, view *LoadView, healthy []int, bound int64, maxProbe
 		s := healthy[r.Intn(len(healthy))]
 		load := view.Load(s)
 		if k*(load-1) < bound {
-			return s, probe
+			return s, probe, false
 		}
 		if best < 0 || load < bestLoad {
 			best, bestLoad = s, load
 		}
 	}
-	return best, maxProbes
+	return best, maxProbes, true
 }
 
 // adaptive is the paper's protocol as a routing policy: accept a
@@ -111,7 +116,7 @@ type adaptive struct{}
 
 func (adaptive) Name() string { return "adaptive" }
 
-func (adaptive) Pick(r *rng.Rand, view *LoadView, healthy []int, count int) (int, int) {
+func (adaptive) Pick(r *rng.Rand, view *LoadView, healthy []int, count int) (int, int, bool) {
 	i := view.Total(healthy) + int64(count)
 	return accepting(r, view, healthy, i, probeCap(len(healthy)))
 }
@@ -122,7 +127,7 @@ type threshold struct{ m int64 }
 
 func (t threshold) Name() string { return fmt.Sprintf("threshold[%d]", t.m) }
 
-func (t threshold) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, int) {
+func (t threshold) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, int, bool) {
 	return accepting(r, view, healthy, t.m, probeCap(len(healthy)))
 }
 
@@ -132,7 +137,7 @@ type boundedRetry struct{ r int }
 
 func (b boundedRetry) Name() string { return fmt.Sprintf("threshold-retry[%d]", b.r) }
 
-func (b boundedRetry) Pick(r *rng.Rand, view *LoadView, healthy []int, count int) (int, int) {
+func (b boundedRetry) Pick(r *rng.Rand, view *LoadView, healthy []int, count int) (int, int, bool) {
 	i := view.Total(healthy) + int64(count)
 	return accepting(r, view, healthy, i, b.r)
 }
@@ -143,7 +148,7 @@ type fixed struct{ bound int64 }
 
 func (f fixed) Name() string { return fmt.Sprintf("fixed[<%d]", f.bound) }
 
-func (f fixed) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, int) {
+func (f fixed) Pick(r *rng.Rand, view *LoadView, healthy []int, _ int) (int, int, bool) {
 	k := int64(len(healthy))
 	return accepting(r, view, healthy, k*(f.bound-1), probeCap(len(healthy)))
 }

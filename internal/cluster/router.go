@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
+	"repro/internal/watch"
 )
 
 // Config describes a Router.
@@ -53,6 +54,10 @@ type Config struct {
 	// Obs tunes the router's trace recorder (hop defaults to "proxy");
 	// the zero value enables it with package defaults.
 	Obs obs.Options
+	// Watch tunes the invariant watchdog + time-series collector behind
+	// /v1/events and /v1/timeseries (see internal/watch); zero values
+	// take the watch defaults. Set Watch.Disabled to run without one.
+	Watch watch.Options
 	// Logger receives structured membership and lifecycle events
 	// (default slog.Default).
 	Logger *slog.Logger
@@ -78,8 +83,25 @@ type Router struct {
 	picks     atomic.Int64
 	probes    atomic.Int64
 	failovers atomic.Int64
+	// fallbacks counts picks that exhausted the acceptance probe cap
+	// and took the least-loaded probe: those backends never passed the
+	// policy's acceptance test, so the watchdog's cross-backend bound
+	// is disarmed once any pick has fallen back.
+	fallbacks atomic.Int64
+	// maxBulk is the largest ball count one pick has carried: the
+	// acceptance rule admits a backend before the whole bulk lands on
+	// it, so the provable cross-backend bound is ⌈i/K⌉+maxBulk (the
+	// paper's ⌈i/K⌉+1 exactly when traffic is single-ball).
+	maxBulk atomic.Int64
+	// ledger is the router's own per-slot routing record (cumulative
+	// balls placed/removed through this router). Unlike the LoadView —
+	// whose polled+delta estimate has transient double- and under-count
+	// windows around refreshes — the ledger is exact at operation
+	// completion, so the watchdog checks its bound against it.
+	ledger []slotLedger
 
 	obs    *obs.Recorder
+	watch  *watch.Monitor // invariant watchdog + time series (nilable)
 	logger *slog.Logger
 	// pickStaleness records, per pick, how old the chosen backend's
 	// polled load was (milliseconds) — the routing tier's staleness-at-
@@ -144,6 +166,7 @@ func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 		cfg:           cfg,
 		ms:            NewMembership(cfg.Backends, cfg.FailAfter, cfg.RiseAfter),
 		view:          NewLoadView(len(cfg.Backends)),
+		ledger:        make([]slotLedger, len(cfg.Backends)),
 		policy:        cfg.Policy,
 		n:             cfg.BinsPerBackend,
 		rnd:           rng.New(cfg.Seed),
@@ -191,20 +214,36 @@ func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 	// back into Membership, so nesting under the membership lock is
 	// safe), a rejoin only reopens the slot for future picks.
 	rt.ms.onChange = func(slot int, up bool) {
-		if rt.km != nil {
-			if up {
-				rt.km.SetUp(slot)
-			} else {
-				t0 := time.Now()
-				before := rt.km.Stats().MovedKeys
-				rt.km.SetDown(slot)
-				c := rt.obs.BeginAt(0, "rebalance", t0)
-				c.Attr("slot", int64(slot))
-				c.Attr("keys_moved", rt.km.Stats().MovedKeys-before)
-				c.End(nil)
+		if rt.km != nil && !up {
+			t0 := time.Now()
+			// resident (the dead slot's replica count) is read before
+			// SetDown from the same KeyMap the rebalance mutates; the
+			// paper's minimal-disruption claim is that a rebalance moves
+			// only what was resident on the lost bin, so moved > resident
+			// is a violation worth reporting the moment it happens rather
+			// than on the next watchdog cadence.
+			var resident int64
+			if st := rt.km.Stats(); slot < len(st.PerBinKeys) {
+				resident = st.PerBinKeys[slot]
+			}
+			moved, shed := rt.km.SetDown(slot)
+			c := rt.obs.BeginAt(0, "rebalance", t0)
+			c.Attr("slot", int64(slot))
+			c.Attr("keys_moved", moved)
+			c.End(nil)
+			rt.watch.Record(watch.EventRebalance, fmt.Sprintf("slot %d down: %d key replicas moved", slot, moved),
+				map[string]int64{"slot": int64(slot), "keys_moved": moved, "keys_shed": shed, "resident": resident})
+			if moved > resident {
+				rt.watch.ReportViolation("keyed_rebalance_moved", moved, resident,
+					map[string]int64{"slot": int64(slot)})
 			}
 		}
 		if up {
+			if rt.km != nil {
+				rt.km.SetUp(slot)
+			}
+			rt.watch.Record(watch.EventRejoin, fmt.Sprintf("backend %d rejoined", slot),
+				map[string]int64{"slot": int64(slot)})
 			rt.logger.Info("cluster: backend rejoined, forcing load re-poll", "slot", slot)
 			go func() {
 				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -212,8 +251,19 @@ func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 				_ = rt.view.Refresh(ctx, slot, rt.ms.Backend(slot))
 			}()
 		} else {
+			rt.watch.Record(watch.EventEviction, fmt.Sprintf("backend %d evicted", slot),
+				map[string]int64{"slot": int64(slot)})
 			rt.logger.Warn("cluster: backend evicted", "slot", slot)
 		}
+	}
+
+	rt.watch = watch.New("proxy", cfg.Watch, rt.watchSample)
+	if rec != nil {
+		rt.watch.Record(watch.EventRecovery, "keyed tier recovered from store", map[string]int64{
+			"snapshot_keys":    rec.SnapshotKeys,
+			"replayed_records": rec.ReplayedRecords,
+			"replay_ms":        rec.ReplayMs,
+		})
 	}
 
 	// Seed the view so the first picks are informed (best-effort; a
@@ -238,6 +288,7 @@ func OpenRouter(cfg Config) (*Router, *keyed.RecoveryInfo, error) {
 			rt.refreshLoop(loopCtx)
 		}()
 	}
+	rt.watch.Start()
 	return rt, rec, nil
 }
 
@@ -306,11 +357,42 @@ func (rt *Router) Draining() bool { return rt.draining.Load() }
 // polled, i.e. the view ran on local accounting alone).
 func (rt *Router) pick(healthy []int, count int) (slot int, probes int, staleMs int64) {
 	rt.mu.Lock()
-	slot, probes = rt.policy.Pick(rt.rnd, rt.view, healthy, count)
+	slot, probes, fallback := rt.policy.Pick(rt.rnd, rt.view, healthy, count)
 	rt.mu.Unlock()
 	rt.picks.Add(1)
 	rt.probes.Add(int64(probes))
+	if fallback {
+		rt.fallbacks.Add(1)
+	}
+	for {
+		cur := rt.maxBulk.Load()
+		if int64(count) <= cur || rt.maxBulk.CompareAndSwap(cur, int64(count)) {
+			break
+		}
+	}
 	return slot, probes, rt.noteStaleness(slot)
+}
+
+// slotLedger is one backend's entry in the router ledger: cumulative
+// balls placed on and removed from the slot, counted at operation
+// completion. Kept as separate monotone counters (not one live gauge)
+// so readers can order their loads — placed before removed — and a
+// torn read can only under-state the live count, never inflate it.
+type slotLedger struct {
+	placed  atomic.Int64
+	removed atomic.Int64
+}
+
+// note records a completed backend operation (n > 0 balls placed,
+// n < 0 one removed) in both load accounts: the LoadView delta that
+// steers routing picks, and the exact ledger the watchdog reads.
+func (rt *Router) note(slot int, n int64) {
+	rt.view.Note(slot, n)
+	if n > 0 {
+		rt.ledger[slot].placed.Add(n)
+	} else {
+		rt.ledger[slot].removed.Add(-n)
+	}
 }
 
 // noteStaleness records how old slot's polled load is right now into
@@ -375,7 +457,7 @@ func (rt *Router) Place(ctx context.Context, count int) ([]int, int64, error) {
 		c.Stage("forward", fwdStart)
 		if err == nil {
 			rt.ms.ReportSuccess(slot)
-			rt.view.Note(slot, int64(count))
+			rt.note(slot, int64(count))
 			for i := range bins {
 				bins[i] += slot * rt.n
 			}
@@ -472,7 +554,7 @@ func (rt *Router) PlaceKeyed(ctx context.Context, key string) ([]int, int64, err
 		c.Stage("forward", fwdStart)
 		if perr == nil {
 			rt.ms.ReportSuccess(slot)
-			rt.view.Note(slot, 1)
+			rt.note(slot, 1)
 			for i := range bins {
 				bins[i] += slot * rt.n
 			}
@@ -573,7 +655,7 @@ func (rt *Router) RemoveKeyed(ctx context.Context, bin int, key string) error {
 	switch {
 	case err == nil:
 		rt.ms.ReportSuccess(slot)
-		rt.view.Note(slot, -1)
+		rt.note(slot, -1)
 		rt.removeLat.RecordSince(t0)
 		if rt.km != nil && key != "" {
 			rt.km.Release(key, slot)
@@ -623,9 +705,12 @@ func (rt *Router) WindowLatency() (hdrhist.Snapshot, float64) {
 // cycle loses zero assignments. It does not close the backends
 // themselves (the proxy does not own the cluster's data). Idempotent.
 func (rt *Router) Close() {
-	rt.draining.Store(true)
+	if rt.draining.CompareAndSwap(false, true) {
+		rt.watch.Record(watch.EventDrain, "router draining", nil)
+	}
 	rt.cancel()
 	rt.loops.Wait()
+	rt.watch.Close()
 	if rt.store != nil {
 		rt.store.Close()
 	}
@@ -639,6 +724,7 @@ func (rt *Router) Crash() {
 	rt.draining.Store(true)
 	rt.cancel()
 	rt.loops.Wait()
+	rt.watch.Close()
 	if rt.store != nil {
 		rt.store.Crash()
 	}

@@ -60,9 +60,12 @@ type Stats struct {
 	Picks         int64   `json:"picks"`
 	Probes        int64   `json:"probes"`
 	ProbesPerPick float64 `json:"probes_per_pick"`
-	Failovers     int64   `json:"failovers"`
-	Evictions     int64   `json:"evictions"`
-	Rejoins       int64   `json:"rejoins"`
+	// Fallbacks counts picks whose acceptance loop exhausted its probe
+	// cap (the chosen backend never passed the acceptance test).
+	Fallbacks int64 `json:"fallbacks"`
+	Failovers int64 `json:"failovers"`
+	Evictions int64 `json:"evictions"`
+	Rejoins   int64 `json:"rejoins"`
 
 	// Keyed is the keyed placement tier's block (key→backend
 	// affinity), present when the router runs one.
@@ -86,6 +89,7 @@ func (rt *Router) Stats() Stats {
 		MinBackendBalls: math.MaxInt64,
 		Picks:           rt.picks.Load(),
 		Probes:          rt.probes.Load(),
+		Fallbacks:       rt.fallbacks.Load(),
 		Failovers:       rt.failovers.Load(),
 		Evictions:       rt.ms.Evictions(),
 		Rejoins:         rt.ms.Rejoins(),

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"repro/internal/watch"
+)
+
+// Watch returns the router's invariant monitor (nil when
+// Config.Watch.Disabled).
+func (rt *Router) Watch() *watch.Monitor { return rt.watch }
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// watchSample assembles one watchdog sample for the cluster tier. The
+// time-series point comes from one rt.Stats() aggregation pass; the
+// cross-backend bound check reads the router's own ledger instead —
+// the LoadView's polled+delta estimate has transient double- and
+// under-count windows around refreshes (a Note landing after a poll
+// already captured the bulk is counted twice until the next refresh),
+// which would fabricate violations.
+//
+// The cross-backend bound needs care on four axes:
+//
+//   - Horizon. The paper's ⌈i/K⌉+1 is stated for insertions, and live
+//     ball counts are not monotone — a ball placed legitimately at a
+//     high horizon persists while others drain, so checking against
+//     the current live total would fabricate violations during removal
+//     phases. The horizon is Σ cumulative placements from the ledger,
+//     which is monotone and read after the per-slot live loads, so
+//     concurrent traffic can only raise the bound relative to what was
+//     observed, never lower it.
+//
+//   - Bulk slack. One accepted pick lands the whole bulk on the chosen
+//     backend; acceptance admitted the backend before the bulk, so the
+//     provable form is ⌈i/K⌉+maxBulk (exactly the paper's +1 when
+//     every pick carries one ball). The slack here is 2·maxBulk: the
+//     acceptance test itself runs against the stale view, whose error
+//     around a refresh is bounded by the in-flight bulk it double- or
+//     under-counts.
+//
+//   - Membership. The bound assumes a fixed K: an eviction strands the
+//     survivors' mass (placed when K was larger), and a rejoin can
+//     return a backend empty while its peers are full — both make the
+//     current-K form unsound. The check is therefore armed only while
+//     the membership has never churned (zero evictions); the kill
+//     scenarios keep their own invariants (rebalance accounting, zero
+//     phantom violations) through the event journal instead.
+//
+//   - Fallback picks. The acceptance loop carries a probe cap for
+//     termination; a pick that exhausts it takes the least-loaded
+//     probe, which never passed the acceptance test — so the bound is
+//     disarmed once any pick has fallen back (cs.Fallbacks counts
+//     them in /v1/stats).
+//
+// It is also armed only for the pure adaptive policy with no keyed
+// traffic: keyed routing pins balls to backends by key popularity
+// (bounded per key, not per pick), so the anonymous-pick evenness the
+// bound rests on does not apply.
+func (rt *Router) watchSample() watch.Sample {
+	cs := rt.Stats()
+	var s watch.Sample
+
+	var placed, removed int64
+	var minLoad = -1
+	var psi float64
+	for _, row := range cs.Rows {
+		if !row.Up {
+			continue
+		}
+		placed += row.Placed
+		removed += row.Removed
+		psi += row.Psi
+		if row.AgeMs >= 0 && (minLoad < 0 || row.MinLoad < minLoad) {
+			minLoad = row.MinLoad
+		}
+	}
+	if minLoad < 0 {
+		minLoad = 0
+	}
+
+	keyedTraffic := cs.Keyed != nil && cs.Keyed.AffinityHits+cs.Keyed.AffinityMisses > 0
+	if cs.Policy == "adaptive" && !keyedTraffic && cs.Healthy > 0 && cs.Evictions == 0 && cs.Fallbacks == 0 {
+		// Ledger read order matters: per-slot placed before removed (a
+		// torn read under-states the live count), and the horizon pass
+		// after the observed pass (concurrent placements can only raise
+		// the bound, never shrink it under the observation).
+		var observed int64
+		for slot := range rt.ledger {
+			if !rt.ms.IsUp(slot) {
+				continue
+			}
+			live := rt.ledger[slot].placed.Load() - rt.ledger[slot].removed.Load()
+			if live > observed {
+				observed = live
+			}
+		}
+		var horizon int64
+		for slot := range rt.ledger {
+			if rt.ms.IsUp(slot) {
+				horizon += rt.ledger[slot].placed.Load()
+			}
+		}
+		maxBulk := rt.maxBulk.Load()
+		if maxBulk < 1 {
+			maxBulk = 1
+		}
+		slack := 2 * maxBulk
+		s.Checks = append(s.Checks, watch.Check{
+			Invariant: "cluster_backend_max",
+			Observed:  observed,
+			Bound:     ceilDiv(horizon, int64(cs.Healthy)) + slack,
+			Fields: map[string]int64{
+				"balls": cs.Balls, "horizon": horizon,
+				"healthy": int64(cs.Healthy), "bulk_slack": slack,
+			},
+		})
+	}
+	if cs.Keyed != nil && cs.Keyed.PolicyBound > 0 {
+		// Same consistent pair as the serve tier: MaxKeyLoad and
+		// PolicyBound come from one KeyMap lock hold, plus one unit of
+		// churn-residual slack.
+		s.Checks = append(s.Checks, watch.Check{
+			Invariant: "cluster_keyed_max",
+			Observed:  cs.Keyed.MaxKeyLoad,
+			Bound:     cs.Keyed.PolicyBound + 1,
+			Fields: map[string]int64{
+				"keys": cs.Keyed.Keys, "replicas": cs.Keyed.Replicas,
+				"healthy_backends": int64(cs.Keyed.Healthy),
+			},
+		})
+	}
+
+	s.Point = watch.Point{
+		Balls:              cs.Balls,
+		Placed:             placed,
+		Removed:            removed,
+		MaxLoad:            cs.MaxLoad,
+		MinLoad:            minLoad,
+		Gap:                cs.Gap,
+		Psi:                psi,
+		PickStalenessP99Ms: rt.pickStaleness.Snapshot().Quantile(0.99),
+	}
+	if cs.Keyed != nil {
+		s.Point.AffinityHitRate = cs.Keyed.AffinityHitRate
+	}
+	if sum := rt.obs.StageSummaries(); len(sum) > 0 {
+		s.Point.StageP99Ns = make(map[string]int64, len(sum))
+		for stage, v := range sum {
+			s.Point.StageP99Ns[stage] = v.P99Ns
+		}
+	}
+	return s
+}

@@ -770,6 +770,12 @@ type Stats struct {
 	// MaxKeyLoad/MinKeyLoad cover healthy bins.
 	MaxKeyLoad int64 `json:"max_key_load"`
 	MinKeyLoad int64 `json:"min_key_load"`
+	// PolicyBound is the per-bin replica bound the policy guarantees
+	// for the current healthy-bin and replica counts, 0 for policies
+	// with no load guarantee (hash, greedy, boundedretry). Computed
+	// under the same lock as MaxKeyLoad, so the pair is a consistent
+	// observation — what the invariant watchdog checks against.
+	PolicyBound int64 `json:"policy_bound,omitempty"`
 	// PerBinKeys is the resident replica count per bin (index = bin;
 	// down bins report 0 — their keys have been rebalanced away).
 	PerBinKeys []int64 `json:"per_bin_keys"`
@@ -798,6 +804,11 @@ func (m *KeyMap) Stats() Stats {
 	}
 	if t := st.AffinityHits + st.AffinityMisses; t > 0 {
 		st.AffinityHitRate = float64(st.AffinityHits) / float64(t)
+	}
+	if m.healthy > 0 {
+		if b, ok := m.cfg.Policy.Bound(m.healthy, m.reps); ok {
+			st.PolicyBound = b
+		}
 	}
 	first := true
 	for b := 0; b < m.cfg.Bins; b++ {

@@ -35,14 +35,14 @@ func TestDecodeOpRejectsMalformed(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{},
-		{0},            // unknown type 0
-		{99},           // unknown type
-		{byte(OpAssign)},                  // missing bin
-		{byte(OpAssign), 3},               // missing key length
-		{byte(OpAssign), 3, 5, 'a'},       // key shorter than declared
-		{byte(OpAssign), 3, 1, 'a', 'b'},  // trailing bytes
-		{byte(OpDown), 1, 0},              // trailing bytes on binary op
-		{byte(OpMove), 1},                 // missing To
+		{0},                              // unknown type 0
+		{99},                             // unknown type
+		{byte(OpAssign)},                 // missing bin
+		{byte(OpAssign), 3},              // missing key length
+		{byte(OpAssign), 3, 5, 'a'},      // key shorter than declared
+		{byte(OpAssign), 3, 1, 'a', 'b'}, // trailing bytes
+		{byte(OpDown), 1, 0},             // trailing bytes on binary op
+		{byte(OpMove), 1},                // missing To
 		{byte(OpForget), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, // overflowing uvarint
 	}
 	for _, b := range bad {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/keyed"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/watch"
 )
 
 // ClusterTarget drives a routing tier in process: bbload builds K
@@ -72,6 +73,10 @@ type ClusterConfig struct {
 	DataDir       string
 	SnapshotEvery int
 	Fsync         string
+	// Watch configures the invariant watchdog on the router AND on each
+	// in-proc backend, so a cluster run re-proves the paper bounds on
+	// every tier it spans. Set Watch.Disabled to run without watchdogs.
+	Watch watch.Options
 }
 
 // NewInprocCluster builds K in-proc backends and a router over them.
@@ -92,6 +97,7 @@ func NewInprocCluster(cfg ClusterConfig) (*ClusterTarget, error) {
 			Seed:    cfg.Seed + uint64(i),
 			Engine:  cfg.Engine,
 			Horizon: cfg.Horizon,
+			Watch:   cfg.Watch,
 		})
 		t.dispatchers = append(t.dispatchers, d)
 		backends[i] = &cluster.InprocBackend{D: d, Label: fmt.Sprintf("inproc-%d", i)}
@@ -106,6 +112,7 @@ func NewInprocCluster(cfg ClusterConfig) (*ClusterTarget, error) {
 		FailAfter:      cfg.FailAfter,
 		RiseAfter:      cfg.RiseAfter,
 		Keyed:          cfg.Keyed,
+		Watch:          cfg.Watch,
 	}
 	if cfg.DataDir != "" {
 		t.rcfg.KeyedStore = &keyed.StoreOptions{
@@ -172,6 +179,22 @@ func (t *ClusterTarget) ReadTrace(context.Context) (obs.TraceResponse, bool, err
 // ReadStageStats implements StageStatsReader.
 func (t *ClusterTarget) ReadStageStats(context.Context) (map[string]obs.StageSummary, bool, error) {
 	return t.router().Obs().StageSummaries(), true, nil
+}
+
+// ReadWatch implements WatchReader with the routing hop's time series.
+// The violation verdict covers every tier the run spans: the router's
+// count plus each in-proc backend's own watchdog — a bound broken on a
+// backend fails the run even though the routing series stays clean.
+func (t *ClusterTarget) ReadWatch(context.Context) (watch.SeriesResponse, bool, error) {
+	m := t.router().Watch()
+	if m == nil {
+		return watch.SeriesResponse{}, false, nil
+	}
+	doc := m.SeriesDoc(0)
+	for _, d := range t.dispatchers {
+		doc.ViolationsTotal += d.Watch().ViolationsTotal()
+	}
+	return doc, true, nil
 }
 
 // RestartProxy implements ProxyRestarter: it crashes the router

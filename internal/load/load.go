@@ -394,6 +394,15 @@ type Result struct {
 	// bbproxy).
 	SlowOps    []SlowOp         `json:"slow_ops,omitempty"`
 	StageP99Ns map[string]int64 `json:"stage_p99_ns,omitempty"`
+
+	// Watchdog columns, stamped when the target runs the invariant
+	// watchdog: the server's gap-over-time series for the run and the
+	// cumulative bound-violation count at run end. Violations carries no
+	// omitempty — on a watched run, 0 is the acceptance result (every
+	// paper bound held), not missing data (GapOverTime being non-empty
+	// discriminates watched runs).
+	GapOverTime []GapPoint `json:"gap_over_time,omitempty"`
+	Violations  int64      `json:"violations"`
 }
 
 // Run executes one generator run against the target.
@@ -526,6 +535,12 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 	if sr, ok := target.(StageStatsReader); ok {
 		if m, isObs, serr := sr.ReadStageStats(ctx); serr == nil && isObs {
 			res.StageP99Ns = stageP99(m)
+		}
+	}
+	if wr, ok := target.(WatchReader); ok {
+		if doc, isWatched, werr := wr.ReadWatch(ctx); werr == nil && isWatched {
+			res.GapOverTime = gapSeries(doc)
+			res.Violations = doc.ViolationsTotal
 		}
 	}
 	if tr, ok := target.(TraceReader); ok {

@@ -344,11 +344,11 @@ func (r *Recorder) StageSnapshots() map[string]hdrhist.Snapshot {
 // StageSummary is the JSON-facing digest of one stage histogram — the
 // obs block in both daemons' /v1/stats.
 type StageSummary struct {
-	Count int64 `json:"count"`
-	P50Ns int64 `json:"p50_ns"`
-	P99Ns int64 `json:"p99_ns"`
+	Count  int64 `json:"count"`
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
 	P999Ns int64 `json:"p999_ns"`
-	MaxNs int64 `json:"max_ns"`
+	MaxNs  int64 `json:"max_ns"`
 }
 
 // StageSummaries digests every stage histogram (nil map on nil).

@@ -44,6 +44,7 @@ import (
 	"repro/internal/keyed"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/watch"
 )
 
 // ErrDraining is returned by Place/Remove once Close has begun: the
@@ -103,6 +104,10 @@ type Config struct {
 	// bb_stage_* series (hop defaults to "serve"); zero values take the
 	// obs defaults. Set Obs.Disabled to run without recording.
 	Obs obs.Options
+	// Watch tunes the invariant watchdog + time-series collector behind
+	// /v1/events and /v1/timeseries (see internal/watch); zero values
+	// take the watch defaults. Set Watch.Disabled to run without one.
+	Watch watch.Options
 }
 
 type opKind uint8
@@ -139,11 +144,12 @@ type Dispatcher struct {
 	cfg     Config
 	queues  []chan *request
 	stats   *Stats
-	km      *keyed.KeyMap // key → shard affinity (keyed placements)
-	store   *keyed.Store  // nil unless Config.KeyedStore was set
-	keyedOK bool          // spec terminates under shard-pinned traffic
-	latency *hdrhist.Hist // enqueue → completion, per request
-	obs     *obs.Recorder // stage decomposition + slow-op ring (nilable)
+	km      *keyed.KeyMap  // key → shard affinity (keyed placements)
+	store   *keyed.Store   // nil unless Config.KeyedStore was set
+	keyedOK bool           // spec terminates under shard-pinned traffic
+	latency *hdrhist.Hist  // enqueue → completion, per request
+	obs     *obs.Recorder  // stage decomposition + slow-op ring (nilable)
+	watch   *watch.Monitor // invariant watchdog + time series (nilable)
 	// drainMu is held shared for the span of every enqueue and
 	// exclusively by Close between setting draining and closing the
 	// queues, so no send can race a close. (A WaitGroup would not do:
@@ -242,6 +248,15 @@ func OpenDispatcher(cfg Config) (*Dispatcher, *keyed.RecoveryInfo, error) {
 		d.workers.Wait()
 		close(d.closed)
 	}()
+	d.watch = watch.New("serve", cfg.Watch, d.watchSample)
+	if rec != nil {
+		d.watch.Record(watch.EventRecovery, "keyed tier recovered from store", map[string]int64{
+			"snapshot_keys":    rec.SnapshotKeys,
+			"replayed_records": rec.ReplayedRecords,
+			"replay_ms":        rec.ReplayMs,
+		})
+	}
+	d.watch.Start()
 	return d, rec, nil
 }
 
@@ -443,6 +458,7 @@ func (d *Dispatcher) Draining() bool { return d.draining.Load() }
 // drain completes and is idempotent.
 func (d *Dispatcher) Close() {
 	if d.draining.CompareAndSwap(false, true) {
+		d.watch.Record(watch.EventDrain, "dispatcher draining", nil)
 		d.drainMu.Lock() // every admitted enqueue has reached its queue
 		for _, q := range d.queues {
 			close(q)
@@ -450,6 +466,7 @@ func (d *Dispatcher) Close() {
 		d.drainMu.Unlock()
 	}
 	<-d.closed
+	d.watch.Close()
 	if d.store != nil {
 		d.store.Close()
 	}

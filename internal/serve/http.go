@@ -12,6 +12,7 @@ import (
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
 	"repro/internal/obs"
+	"repro/internal/watch"
 	"repro/internal/wire"
 )
 
@@ -73,6 +74,10 @@ type StatsResponse struct {
 	// is disabled. bbproxy's stats carry the same block for its own
 	// stages (probe, forward).
 	Obs map[string]obs.StageSummary `json:"obs,omitempty"`
+	// Watch is the invariant watchdog's summary (violations, event
+	// journal cursor); omitted when the watchdog is disabled. The full
+	// journal and time series live at /v1/events and /v1/timeseries.
+	Watch *watch.StatsBlock `json:"watch,omitempty"`
 }
 
 // Latency summarizes a latency histogram in nanoseconds.
@@ -125,6 +130,8 @@ func NewHandlerWire(d *Dispatcher, info Info, ws *wire.Server) http.Handler {
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /v1/snapshot", h.snapshot)
 	mux.HandleFunc("GET /v1/trace", d.Obs().TraceHandler())
+	mux.HandleFunc("GET /v1/events", d.Watch().EventsHandler())
+	mux.HandleFunc("GET /v1/timeseries", d.Watch().TimeseriesHandler())
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -302,6 +309,7 @@ func BuildStatsResponse(d *Dispatcher, info Info, ws *wire.Server) StatsResponse
 		Keyed:      &ks,
 		Durability: d.Durability(),
 		Obs:        d.Obs().StageSummaries(),
+		Watch:      d.Watch().StatsBlockDoc(),
 	}
 	if ws != nil {
 		s := ws.Stats()
@@ -387,6 +395,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "bb_dispatch_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
 	fmt.Fprintf(w, "bb_dispatch_latency_seconds_count %d\n", lat.Count)
 
+	h.d.Watch().WriteMetrics(w)
 	h.d.Obs().WriteStageMetrics(w)
 	obs.WriteRuntimeMetrics(w)
 }

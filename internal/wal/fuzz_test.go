@@ -37,11 +37,11 @@ func FuzzWALTornTail(f *testing.F) {
 	}
 	segName := filepath.Base(segs[0])
 
-	f.Add(uint16(0), uint16(0), byte(0))                      // empty file
-	f.Add(uint16(len(pristine)), uint16(0), byte(0))          // intact
-	f.Add(uint16(len(pristine)-1), uint16(0), byte(0))        // torn last byte
-	f.Add(uint16(frameHeader+3), uint16(0), byte(0))          // torn first payload
-	f.Add(uint16(len(pristine)), uint16(5), byte(0xff))       // corrupt first CRC
+	f.Add(uint16(0), uint16(0), byte(0))                       // empty file
+	f.Add(uint16(len(pristine)), uint16(0), byte(0))           // intact
+	f.Add(uint16(len(pristine)-1), uint16(0), byte(0))         // torn last byte
+	f.Add(uint16(frameHeader+3), uint16(0), byte(0))           // torn first payload
+	f.Add(uint16(len(pristine)), uint16(5), byte(0xff))        // corrupt first CRC
 	f.Add(uint16(len(pristine)), uint16(frameHeader), byte(1)) // corrupt first payload
 
 	f.Fuzz(func(t *testing.T, cut uint16, flipAt uint16, flipWith byte) {

@@ -1,0 +1,166 @@
+package watch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// EventsResponse is the body of GET /v1/events.
+type EventsResponse struct {
+	Hop             string           `json:"hop"`
+	ViolationsTotal int64            `json:"violations_total"`
+	Violations      map[string]int64 `json:"violations,omitempty"`
+	EventCounts     map[string]int64 `json:"event_counts"`
+	Events          []Event          `json:"events"`
+}
+
+// EventsDoc assembles the /v1/events document (empty doc on nil).
+func (m *Monitor) EventsDoc(since int64, typ EventType) EventsResponse {
+	resp := EventsResponse{
+		Hop:             m.Hop(),
+		ViolationsTotal: m.ViolationsTotal(),
+		Violations:      m.ViolationCounts(),
+		EventCounts:     map[string]int64{},
+		Events:          []Event{},
+	}
+	for t, n := range m.EventCounts() {
+		resp.EventCounts[string(t)] = n
+	}
+	for _, ev := range m.Events(since) {
+		if typ != "" && ev.Type != typ {
+			continue
+		}
+		resp.Events = append(resp.Events, ev)
+	}
+	return resp
+}
+
+// EventsHandler serves GET /v1/events. Query parameters:
+//
+//	since=SEQ   only events with seq > SEQ (incremental tailing)
+//	type=NAME   only events of that type (e.g. type=EVICTION)
+//
+// Safe on a nil monitor (serves the empty document).
+func (m *Monitor) EventsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var since int64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || v < 0 {
+				httpError(w, "since must be a non-negative integer, got %q", s)
+				return
+			}
+			since = v
+		}
+		typ := EventType(r.URL.Query().Get("type"))
+		if typ != "" && typeIndex(typ) < 0 {
+			httpError(w, "unknown event type %q", string(typ))
+			return
+		}
+		httpJSON(w, m.EventsDoc(since, typ))
+	}
+}
+
+// SeriesResponse is the body of GET /v1/timeseries.
+type SeriesResponse struct {
+	Hop             string  `json:"hop"`
+	CadenceMs       int64   `json:"cadence_ms"`
+	ViolationsTotal int64   `json:"violations_total"`
+	Points          []Point `json:"points"`
+}
+
+// SeriesDoc assembles the /v1/timeseries document: the last window
+// points (window<=0: everything retained). Empty doc on nil.
+func (m *Monitor) SeriesDoc(window int) SeriesResponse {
+	points := m.Series(window)
+	if points == nil {
+		points = []Point{}
+	}
+	return SeriesResponse{
+		Hop:             m.Hop(),
+		CadenceMs:       m.Cadence().Milliseconds(),
+		ViolationsTotal: m.ViolationsTotal(),
+		Points:          points,
+	}
+}
+
+// TimeseriesHandler serves GET /v1/timeseries?window=N (the last N
+// points; absent or 0 means all retained). Safe on a nil monitor.
+func (m *Monitor) TimeseriesHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		window := 0
+		if s := r.URL.Query().Get("window"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				httpError(w, "window must be a non-negative integer, got %q", s)
+				return
+			}
+			window = v
+		}
+		httpJSON(w, m.SeriesDoc(window))
+	}
+}
+
+// WriteMetrics renders the watchdog's Prometheus series: the
+// per-invariant violation counters and the per-type event counters.
+// Shared by bbserved and bbproxy so the series cannot drift between
+// tiers; a nil monitor writes nothing.
+func (m *Monitor) WriteMetrics(w io.Writer) {
+	if m == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP bb_invariant_violations_total Paper-bound violations detected by the watchdog.\n# TYPE bb_invariant_violations_total counter\n")
+	for inv, n := range m.ViolationCounts() {
+		fmt.Fprintf(w, "bb_invariant_violations_total{invariant=%q} %d\n", inv, n)
+	}
+	fmt.Fprintf(w, "# HELP bb_event_total Watchdog journal events by type.\n# TYPE bb_event_total counter\n")
+	for _, t := range EventTypes() {
+		fmt.Fprintf(w, "bb_event_total{type=%q} %d\n", string(t), m.EventCounts()[t])
+	}
+}
+
+// StatsBlock is the watch summary embedded in both tiers' /v1/stats
+// documents (jq-friendly: violations without scraping /metrics).
+type StatsBlock struct {
+	ViolationsTotal int64 `json:"violations_total"`
+	EventsTotal     int64 `json:"events_total"`
+	LastEventSeq    int64 `json:"last_event_seq"`
+	CadenceMs       int64 `json:"cadence_ms"`
+}
+
+// StatsBlockDoc returns the stats-embedded summary, nil on a nil
+// monitor (the block is omitted when the watchdog is off).
+func (m *Monitor) StatsBlockDoc() *StatsBlock {
+	if m == nil {
+		return nil
+	}
+	var events int64
+	for _, n := range m.EventCounts() {
+		events += n
+	}
+	return &StatsBlock{
+		ViolationsTotal: m.ViolationsTotal(),
+		EventsTotal:     events,
+		LastEventSeq:    m.LastSeq(),
+		CadenceMs:       m.Cadence().Milliseconds(),
+	}
+}
+
+// httpJSON/httpError mirror the serve helpers without importing
+// internal/serve (watch sits below both tiers in the package graph).
+func httpJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -117,10 +117,10 @@ type clientConn struct {
 	// version is the negotiated protocol version for this connection
 	// (min of both peers); trace ids are only sent at ≥ 2.
 	version int
-	mu        sync.Mutex
-	pending   map[uint64]*call
-	nextID    uint64
-	dead      bool
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	dead    bool
 }
 
 // Dial connects to a wire server at addr (host:port), performs the
