@@ -58,10 +58,19 @@
 // replay runs), and the SIGTERM drain writes a final snapshot so a
 // clean restart loses nothing. -fsync picks the append durability
 // policy and -snapshot-every the compaction cadence.
+//
+// With -diag-dir the flight recorder (internal/diag) is armed — same
+// triggers as bbserved (invariant violation, recovery anomaly, armed
+// crash point, SIGQUIT) — and the proxy's bundles capture the
+// cross-tier trace picture: the trace section fans out to every live
+// backend's retained-op ring, so one bundle holds the complete
+// proxy→backend op path. GET /v1/trace/{id} serves the same assembly
+// live.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -77,6 +86,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/diag"
 	"repro/internal/keyed"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -179,6 +189,7 @@ func main() {
 		traceSlow   = flag.Duration("trace-slow", 0, "trace ops at or above this latency (0 = default 10ms)")
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N ops into the trace ring (0 = default 1024)")
 		watchEvery  = flag.Duration("watch-every", watch.DefaultCadence, "invariant watchdog cadence (0 disables the watchdog)")
+		diagDir     = flag.String("diag-dir", "", "flight-recorder bundle directory (empty = postmortem capture off)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
@@ -333,13 +344,12 @@ func main() {
 		}
 	}
 
-	if *debugAddr != "" {
-		go serveDebug(logger, *debugAddr)
-	}
-
 	rt, rec, err := cluster.OpenRouter(rcfg)
 	if err != nil {
 		fatal(err, 1)
+	}
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr, rt.Watch())
 	}
 	if rec != nil {
 		logger.Info("recovered keyed state",
@@ -372,6 +382,53 @@ func main() {
 	var real http.Handler = cluster.NewHandlerWire(rt, info, ws)
 	handler.Store(&real)
 
+	// Arm the flight recorder last: its stats closure captures the
+	// fully-assembled surface, and its trace capture fans out across
+	// the live backends so proxy bundles hold the cross-tier picture.
+	diagRec, err := diag.New(diag.Options{
+		Dir: *diagDir, Hop: "proxy", Build: obs.Build(wire.Version), Logger: logger,
+	}, diag.Sources{
+		Monitor: rt.Watch(),
+		Obs:     rt.Obs(),
+		StatsJSON: func(ctx context.Context) ([]byte, error) {
+			return json.Marshal(cluster.BuildStatsResponse(rt, info, ws))
+		},
+		TraceOps: rt.GatherAllTraces,
+		Durability: func() any {
+			if ds := rt.Durability(); ds != nil {
+				return ds
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		fatal(err, 1)
+	}
+	if diagRec != nil {
+		rt.BindDiag(diagRec)
+		var torn int64
+		if ds := rt.Durability(); ds != nil {
+			torn = ds.RecoveryTornBytes
+		}
+		diagRec.CheckStartup(context.Background(), torn)
+		// SIGQUIT dumps a bundle and keeps serving — deliberately
+		// separate from the SIGINT/SIGTERM drain path.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				path, err := diagRec.Dump(ctx, diag.TriggerSignal, "operator SIGQUIT")
+				cancel()
+				if err != nil {
+					logger.Error("diag: SIGQUIT dump failed", "err", err)
+				} else {
+					logger.Info("diag: SIGQUIT bundle written", "path", path)
+				}
+			}
+		}()
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -402,14 +459,16 @@ func main() {
 }
 
 // serveDebug exposes net/http/pprof on its own mux/listener so profile
-// endpoints never ride the public API surface.
-func serveDebug(logger *slog.Logger, addr string) {
+// endpoints never ride the public API surface. The watchdog override
+// hook (a test/CI instrument) rides the operator-only listener too.
+func serveDebug(logger *slog.Logger, addr string, mon *watch.Monitor) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("POST /debug/watch/override", watch.OverrideHandler(mon))
 	logger.Info("debug server listening", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		logger.Error("debug server exited", "err", err)

@@ -39,18 +39,29 @@
 // dispatcher (which writes a final snapshot when durable), and the
 // process exits once both are done.
 //
-// Observability: -debug-addr serves net/http/pprof; -trace-slow and
-// -trace-sample tune the request-trace recorder behind GET /v1/trace;
-// -watch-every sets the invariant watchdog's cadence (0 disables it) —
-// the watchdog re-checks the paper's load bounds against the live
-// system each tick, journals lifecycle events behind GET /v1/events,
-// and keeps the time series behind GET /v1/timeseries (the surface
-// cmd/bbtop renders); -log-level and -log-format control the
-// structured (log/slog) output.
+// Observability: -debug-addr serves net/http/pprof (plus the watchdog
+// override hook POST /debug/watch/override used by the CI smoke test);
+// -trace-slow and -trace-sample tune the request-trace recorder behind
+// GET /v1/trace (GET /v1/trace/{id} assembles one trace id into a
+// tree); -watch-every sets the invariant watchdog's cadence (0
+// disables it) — the watchdog re-checks the paper's load bounds
+// against the live system each tick, journals lifecycle events behind
+// GET /v1/events, and keeps the time series behind GET /v1/timeseries
+// (the surface cmd/bbtop renders); -log-level and -log-format control
+// the structured (log/slog) output.
+//
+// With -diag-dir the flight recorder (internal/diag) is armed: an
+// invariant violation, a WAL recovery that found torn bytes, a restart
+// with a fault-injection crash point armed, or an operator SIGQUIT
+// each snapshot a self-contained postmortem bundle (events, time
+// series, traces, stats, profiles, build identity) into the directory,
+// rate-limited and pruned to a bounded set. cmd/bbdoctor reads the
+// bundles offline.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -66,6 +77,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/diag"
 	"repro/internal/keyed"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -96,6 +108,7 @@ func main() {
 		traceSlow   = flag.Duration("trace-slow", 0, "trace ops at or above this latency (0 = default 10ms)")
 		traceSample = flag.Int("trace-sample", 0, "head-sample 1 in N ops into the trace ring (0 = default 1024)")
 		watchEvery  = flag.Duration("watch-every", watch.DefaultCadence, "invariant watchdog cadence (0 disables the watchdog)")
+		diagDir     = flag.String("diag-dir", "", "flight-recorder bundle directory (empty = postmortem capture off)")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text, json")
 	)
@@ -179,13 +192,12 @@ func main() {
 		}
 	}
 
-	if *debugAddr != "" {
-		go serveDebug(logger, *debugAddr)
-	}
-
 	d, rec, err := serve.OpenDispatcher(cfg)
 	if err != nil {
 		fatal(err, 1)
+	}
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr, d.Watch())
 	}
 	if rec != nil {
 		logger.Info("recovered keyed state",
@@ -213,6 +225,51 @@ func main() {
 	}
 	var real http.Handler = serve.NewHandlerWire(d, info, ws)
 	handler.Store(&real)
+
+	// Arm the flight recorder last: its stats closure captures the
+	// fully-assembled surface (dispatcher + wire server).
+	diagRec, err := diag.New(diag.Options{
+		Dir: *diagDir, Hop: "serve", Build: obs.Build(wire.Version), Logger: logger,
+	}, diag.Sources{
+		Monitor: d.Watch(),
+		Obs:     d.Obs(),
+		StatsJSON: func(ctx context.Context) ([]byte, error) {
+			return json.Marshal(serve.BuildStatsResponse(d, info, ws))
+		},
+		Durability: func() any {
+			if ds := d.Durability(); ds != nil {
+				return ds
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		fatal(err, 1)
+	}
+	if diagRec != nil {
+		d.BindDiag(diagRec)
+		var torn int64
+		if ds := d.Durability(); ds != nil {
+			torn = ds.RecoveryTornBytes
+		}
+		diagRec.CheckStartup(context.Background(), torn)
+		// SIGQUIT is the operator's "dump and keep running" trigger —
+		// deliberately separate from the SIGINT/SIGTERM drain path.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				path, err := diagRec.Dump(ctx, diag.TriggerSignal, "operator SIGQUIT")
+				cancel()
+				if err != nil {
+					logger.Error("diag: SIGQUIT dump failed", "err", err)
+				} else {
+					logger.Info("diag: SIGQUIT bundle written", "path", path)
+				}
+			}
+		}()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -249,14 +306,18 @@ func main() {
 }
 
 // serveDebug exposes net/http/pprof on its own mux/listener so profile
-// endpoints never ride the public API surface.
-func serveDebug(logger *slog.Logger, addr string) {
+// endpoints never ride the public API surface. The watchdog override
+// hook lives here too: it is a test/CI instrument (inject a bogus
+// bound, observe the violation machinery end to end), so it belongs on
+// the operator-only listener.
+func serveDebug(logger *slog.Logger, addr string, mon *watch.Monitor) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("POST /debug/watch/override", watch.OverrideHandler(mon))
 	logger.Info("debug server listening", "addr", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {
 		logger.Error("debug server exited", "err", err)

@@ -189,6 +189,25 @@
 // fallbacks — so a reported violation is a real bound breach, not
 // estimator noise; see the README's invariant table.
 //
+// When it does break, the flight recorder (internal/diag, armed with
+// -diag-dir) captures the postmortem: on a watchdog violation, an
+// operator SIGQUIT, a WAL recovery that truncated a torn tail, or a
+// restart with a crash point still armed, the daemon snapshots a
+// self-contained diagnostic bundle — full stats, event journal, time
+// series, last check results, every retained trace across every tier,
+// goroutine/heap profiles, and the build stamp — as one CRC-framed
+// .bbdiag file written crash-safely (a dump that itself dies leaves a
+// prefix-exact readable bundle), rate-limited and with bounded
+// retention. One trace id can be assembled across tiers live too: GET
+// /v1/trace/{id} on bbproxy gathers the ops from its own ring and
+// every backend's and returns them as a containment tree (the serve
+// dispatch nested under the proxy forward that caused it; wire TRACE
+// message, HELLO v3). cmd/bbdoctor analyzes a bundle offline — or a
+// live daemon over the same surfaces — rendering the violation
+// timeline and assembled traces and exiting non-zero on violations,
+// which is what CI gates on; see the README's Postmortem diagnostics
+// section.
+//
 // # The two engines
 //
 // Every run executes on one of two placement engines (see Engine,

@@ -69,6 +69,15 @@ func (b *InprocBackend) Health(context.Context) error {
 	return nil
 }
 
+// ReadTrace implements TraceBackend straight off the dispatcher's
+// retained-op ring. id "" returns the whole ring.
+func (b *InprocBackend) ReadTrace(ctx context.Context, id string) ([]*obs.Op, error) {
+	if id == "" {
+		return b.D.Obs().Ops(0), nil
+	}
+	return b.D.Obs().OpsByTrace(id), nil
+}
+
 // HTTPBackend drives a remote bbserved over its HTTP API with a
 // per-backend pooled transport (keep-alive connections are reused
 // across requests, so steady routing to a backend costs no handshakes).
@@ -201,6 +210,25 @@ func (b *HTTPBackend) Info(ctx context.Context) (serve.Info, error) {
 		return serve.Info{}, fmt.Errorf("cluster: stats on %s: status %d", b.base, status)
 	}
 	return sr.Info, nil
+}
+
+// ReadTrace implements TraceBackend via GET /v1/trace (optionally
+// ?id= filtered): the backend's retained-op ring, for cross-tier
+// trace assembly and bundle capture.
+func (b *HTTPBackend) ReadTrace(ctx context.Context, id string) ([]*obs.Op, error) {
+	path := "/v1/trace"
+	if id != "" {
+		path += "?id=" + url.QueryEscape(id)
+	}
+	var tr obs.TraceResponse
+	status, err := b.do(ctx, http.MethodGet, path, &tr)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: trace on %s: status %d", b.base, status)
+	}
+	return tr.Ops, nil
 }
 
 // Health implements Backend via GET /healthz.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/watch"
@@ -36,12 +37,16 @@ type StatsResponse struct {
 	// watchdog is disabled. The full journal and time series live at
 	// /v1/events and /v1/timeseries.
 	Watch *watch.StatsBlock `json:"watch,omitempty"`
+	// Diag is the flight recorder's summary; omitted when the proxy
+	// runs without -diag-dir.
+	Diag *diag.Stats `json:"diag,omitempty"`
 }
 
 type handler struct {
-	rt   *Router
-	info serve.Info
-	ws   *wire.Server // nil when wire serving is off
+	rt    *Router
+	info  serve.Info
+	ws    *wire.Server // nil when wire serving is off
+	build obs.BuildInfo
 }
 
 // NewHandler mounts the proxy API over a router — the same surface as
@@ -61,14 +66,19 @@ func NewHandler(rt *Router, info serve.Info) http.Handler {
 // protocol: the wire server's counters join /v1/stats (wire block) and
 // /metrics (bb_wire_* series). ws may be nil.
 func NewHandlerWire(rt *Router, info serve.Info, ws *wire.Server) http.Handler {
-	h := &handler{rt: rt, info: info, ws: ws}
+	h := &handler{rt: rt, info: info, ws: ws, build: obs.Build(wire.Version)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", h.place)
 	mux.HandleFunc("POST /v1/remove", h.remove)
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /v1/trace", rt.Obs().TraceHandler())
+	mux.HandleFunc("GET /v1/trace/{id}", rt.Obs().AssembledTraceHandler(
+		func(req *http.Request, id uint64) ([]string, []*obs.Op) {
+			return rt.GatherTrace(req.Context(), id)
+		}))
 	mux.HandleFunc("GET /v1/events", rt.Watch().EventsHandler())
 	mux.HandleFunc("GET /v1/timeseries", rt.Watch().TimeseriesHandler())
+	mux.HandleFunc("GET /v1/version", obs.VersionHandler(h.build))
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -171,6 +181,7 @@ func BuildStatsResponse(rt *Router, info serve.Info, ws *wire.Server) StatsRespo
 		Cluster:         cs,
 		Obs:             rt.Obs().StageSummaries(),
 		Watch:           rt.Watch().StatsBlockDoc(),
+		Diag:            rt.Diag().StatsDoc(),
 	}
 	if ws != nil {
 		s := ws.Stats()
@@ -262,5 +273,6 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	h.rt.Watch().WriteMetrics(w)
 	h.rt.Obs().WriteStageMetrics(w)
 	obs.WritePickStaleness(w, h.rt.PickStaleness())
+	obs.WriteBuildMetrics(w, h.build)
 	obs.WriteRuntimeMetrics(w)
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
 	"repro/internal/obs"
@@ -101,7 +102,8 @@ type Router struct {
 	ledger []slotLedger
 
 	obs    *obs.Recorder
-	watch  *watch.Monitor // invariant watchdog + time series (nilable)
+	watch  *watch.Monitor                // invariant watchdog + time series (nilable)
+	diag   atomic.Pointer[diag.Recorder] // flight recorder, bound late (nilable)
 	logger *slog.Logger
 	// pickStaleness records, per pick, how old the chosen backend's
 	// polled load was (milliseconds) — the routing tier's staleness-at-
@@ -677,6 +679,21 @@ func (rt *Router) RemoveKeyed(ctx context.Context, bin int, key string) error {
 
 // Obs returns the router's trace recorder.
 func (rt *Router) Obs() *obs.Recorder { return rt.obs }
+
+// BindDiag attaches the flight recorder (built late by the daemon,
+// since its capture closures need the assembled stats surface) and
+// wires it to the watchdog's violation hook.
+func (rt *Router) BindDiag(rec *diag.Recorder) {
+	if rec == nil {
+		return
+	}
+	rt.diag.Store(rec)
+	rt.watch.OnViolation(rec.OnViolation)
+}
+
+// Diag returns the bound flight recorder (nil when diagnostics are
+// off).
+func (rt *Router) Diag() *diag.Recorder { return rt.diag.Load() }
 
 // PickStaleness returns the staleness-at-pick distribution snapshot
 // (milliseconds of load-view age at each routing decision).

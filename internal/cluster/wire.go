@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/wire"
 )
@@ -87,6 +88,19 @@ func (h *RouterWire) Remove(ctx context.Context, bin int, key string) error {
 // document.
 func (h *RouterWire) StatsJSON(ctx context.Context) ([]byte, error) {
 	return json.Marshal(BuildStatsResponse(h.rt, h.info, h.ws.Load()))
+}
+
+// TraceJSON implements wire.Handler (protocol ≥ 3): the proxy's own
+// retained ops for one trace id. Cross-tier assembly stays on the HTTP
+// GET /v1/trace/{id} route; the wire message keeps one uniform meaning
+// on both tiers — "this daemon's ring, filtered".
+func (h *RouterWire) TraceJSON(ctx context.Context, id uint64) ([]byte, error) {
+	r := h.rt.Obs()
+	resp := obs.TraceResponse{Hop: r.Hop(), Ops: r.OpsByTrace(obs.FormatTrace(id))}
+	if resp.Ops == nil {
+		resp.Ops = []*obs.Op{}
+	}
+	return json.Marshal(resp)
 }
 
 // Hello implements wire.Handler for the n-agreement handshake.
@@ -193,6 +207,27 @@ func (b *WireBackend) Stats(ctx context.Context) (serve.StatsView, error) {
 // like GET /healthz.
 func (b *WireBackend) Health(ctx context.Context) error {
 	return wireErr(b.wc.Ping(ctx))
+}
+
+// ReadTrace implements TraceBackend. An exact-id lookup rides the wire
+// TRACE message when the connection negotiated protocol ≥ 3; a v2
+// backend (or a whole-ring read, which the wire message does not
+// carry) falls back to the retained HTTP backend.
+func (b *WireBackend) ReadTrace(ctx context.Context, id string) ([]*obs.Op, error) {
+	if id != "" {
+		body, err := b.wc.TraceJSON(ctx, obs.ParseTrace(id))
+		if err == nil {
+			var tr obs.TraceResponse
+			if err := json.Unmarshal(body, &tr); err != nil {
+				return nil, fmt.Errorf("cluster: decode wire trace from %s: %w", b.Name(), err)
+			}
+			return tr.Ops, nil
+		}
+		if !errors.Is(err, wire.ErrTraceUnsupported) {
+			return nil, wireErr(err)
+		}
+	}
+	return b.hb.ReadTrace(ctx, id)
 }
 
 // Close tears down the wire connection pool.

@@ -1,0 +1,181 @@
+package diag
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBundle(t *testing.T, sections []Section) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "b.bbdiag")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, s := range sections {
+		if err := w.WriteSection(s.Name, s.Data); err != nil {
+			t.Fatalf("WriteSection(%q): %v", s.Name, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	sections := []Section{
+		{Name: "meta", Data: []byte(`{"schema":"bbdiag/v1"}`)},
+		{Name: "empty", Data: nil},
+		{Name: "blob", Data: bytes.Repeat([]byte{0xAB}, 100_000)},
+	}
+	path := writeBundle(t, sections)
+
+	b, err := ReadBundle(path)
+	if err != nil {
+		t.Fatalf("ReadBundle: %v", err)
+	}
+	if !b.Complete || b.TornBytes != 0 {
+		t.Fatalf("clean bundle: complete=%t torn=%d, want complete, 0 torn", b.Complete, b.TornBytes)
+	}
+	if len(b.Sections) != len(sections) {
+		t.Fatalf("read %d sections, want %d", len(b.Sections), len(sections))
+	}
+	for i, s := range sections {
+		got := b.Sections[i]
+		if got.Name != s.Name || !bytes.Equal(got.Data, s.Data) {
+			t.Fatalf("section %d = %q (%d bytes), want %q (%d bytes)",
+				i, got.Name, len(got.Data), s.Name, len(s.Data))
+		}
+	}
+	if got := b.Section("meta"); !bytes.Equal(got, sections[0].Data) {
+		t.Fatalf("Section(meta) = %q", got)
+	}
+	if got := b.Section("missing"); got != nil {
+		t.Fatalf("Section(missing) = %q, want nil", got)
+	}
+}
+
+func TestBundleCreateRefusesExisting(t *testing.T) {
+	path := writeBundle(t, nil)
+	if _, err := Create(path); err == nil {
+		t.Fatal("Create over an existing bundle succeeded; bundles must never be clobbered")
+	}
+}
+
+func TestBundleBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-bundle")
+	if err := os.WriteFile(path, []byte("definitely not a bundle"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(path); err != ErrNotBundle {
+		t.Fatalf("ReadBundle(garbage) = %v, want ErrNotBundle", err)
+	}
+}
+
+// TestBundleTruncatedEveryPrefix is the exhaustive torn-tail check: a
+// bundle truncated at every possible byte offset must read without
+// error and decode an exact prefix of the original sections — the same
+// contract FuzzWALTornTail proves for the WAL.
+func TestBundleTruncatedEveryPrefix(t *testing.T) {
+	sections := []Section{
+		{Name: "meta", Data: []byte(`{"hop":"serve"}`)},
+		{Name: "events", Data: bytes.Repeat([]byte("e"), 300)},
+		{Name: "trace", Data: []byte("0123456789")},
+	}
+	path := writeBundle(t, sections)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	for cut := 0; cut <= len(full); cut++ {
+		p := filepath.Join(dir, "cut.bbdiag")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadBundle(p)
+		if cut < len(Magic) {
+			if err != ErrNotBundle {
+				t.Fatalf("cut=%d: err = %v, want ErrNotBundle", cut, err)
+			}
+			os.Remove(p)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut=%d: ReadBundle failed: %v", cut, err)
+		}
+		if len(b.Sections) > len(sections) {
+			t.Fatalf("cut=%d: read %d sections from a prefix of %d", cut, len(b.Sections), len(sections))
+		}
+		for i, got := range b.Sections {
+			if got.Name != sections[i].Name || !bytes.Equal(got.Data, sections[i].Data) {
+				t.Fatalf("cut=%d: section %d = %q, not a prefix of the original", cut, i, got.Name)
+			}
+		}
+		if b.Complete && cut < len(full) {
+			t.Fatalf("cut=%d: truncated bundle reports complete", cut)
+		}
+		if !b.Complete && cut == len(full) {
+			t.Fatal("full bundle reports incomplete")
+		}
+		os.Remove(p)
+	}
+}
+
+// FuzzBundleTornTail mirrors FuzzWALTornTail: arbitrary tail bytes
+// (truncation, garbage, bit flips) after a valid prefix must never
+// error, never invent a section, and never mark the bundle complete
+// unless the end marker genuinely survived.
+func FuzzBundleTornTail(f *testing.F) {
+	base := func() []byte {
+		path := filepath.Join(f.TempDir(), "seed.bbdiag")
+		w, err := Create(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		w.WriteSection("meta", []byte(`{"hop":"serve","trigger":"manual"}`))
+		w.WriteSection("events", bytes.Repeat([]byte("x"), 64))
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}()
+
+	f.Add(len(base), []byte(nil))
+	f.Add(len(base)-3, []byte(nil))
+	f.Add(len(base), []byte{0xFF, 0x00, 0x12})
+	f.Add(10, []byte("garbage"))
+	f.Fuzz(func(t *testing.T, cut int, tail []byte) {
+		if cut < 0 || cut > len(base) {
+			t.Skip()
+		}
+		data := append(append([]byte(nil), base[:cut]...), tail...)
+		path := filepath.Join(t.TempDir(), "fuzz.bbdiag")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadBundle(path)
+		if err != nil {
+			if err == ErrNotBundle {
+				return // magic damaged: correctly rejected
+			}
+			t.Fatalf("ReadBundle: %v", err)
+		}
+		if len(b.Sections) > 2 {
+			t.Fatalf("invented sections: got %d", len(b.Sections))
+		}
+		for _, s := range b.Sections {
+			if s.Name != "meta" && s.Name != "events" {
+				t.Fatalf("invented section %q", s.Name)
+			}
+		}
+	})
+}

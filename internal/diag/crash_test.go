@@ -1,0 +1,134 @@
+package diag
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestMain lets the test binary double as the crash victim: re-exec'd
+// with BB_DIAG_CRASH_DIR set, it dumps a bundle (dying at the armed
+// BB_CRASHPOINT) instead of running the suite — the same harness shape
+// as the WAL's crash tests.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv("BB_DIAG_CRASH_DIR"); dir != "" {
+		crashWorkload(dir)
+		os.Exit(0) // reached only if the armed point never fired
+	}
+	os.Exit(m.Run())
+}
+
+// crashWorkload writes one bundle of known sections, so the surviving
+// prefix after a kill is exactly predictable per section index.
+func crashWorkload(dir string) {
+	w, err := Create(filepath.Join(dir, "crash.bbdiag"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash workload create:", err)
+		os.Exit(1)
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("sec-%d", i)
+		if err := w.WriteSection(name, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			fmt.Fprintln(os.Stderr, "crash workload section:", err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "crash workload close:", err)
+		os.Exit(1)
+	}
+}
+
+// runCrashVictim re-execs this binary with the crash point armed and
+// returns the path of the bundle it died over.
+func runCrashVictim(t *testing.T, point string) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"BB_DIAG_CRASH_DIR="+dir,
+		faultinject.EnvVar+"="+point)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != faultinject.KillStatus {
+		t.Fatalf("victim armed with %s exited %v (want status %d); output:\n%s",
+			point, err, faultinject.KillStatus, out)
+	}
+	return filepath.Join(dir, "crash.bbdiag")
+}
+
+// checkPrefix asserts the bundle decodes an exact prefix of the
+// workload's sections: never an error, never an invented or reordered
+// section, never a complete marker.
+func checkPrefix(t *testing.T, path string) *Bundle {
+	t.Helper()
+	b, err := ReadBundle(path)
+	if err != nil {
+		t.Fatalf("ReadBundle after crash: %v", err)
+	}
+	for i, s := range b.Sections {
+		wantName := fmt.Sprintf("sec-%d", i)
+		wantData := fmt.Sprintf("payload-%d", i)
+		if s.Name != wantName || string(s.Data) != wantData {
+			t.Fatalf("section %d = %q/%q, want %q/%q", i, s.Name, s.Data, wantName, wantData)
+		}
+	}
+	if b.Complete {
+		t.Fatal("crashed bundle reports complete")
+	}
+	return b
+}
+
+func TestCrashMidSection(t *testing.T) {
+	// Die on the 3rd section with half its frame durably written: the
+	// two complete sections must read back, the torn half counted.
+	b := checkPrefix(t, runCrashVictim(t, "diag.section.partial:kill:3"))
+	if len(b.Sections) != 2 {
+		t.Fatalf("recovered %d sections, want 2", len(b.Sections))
+	}
+	if b.TornBytes == 0 {
+		t.Fatal("no torn bytes counted for a mid-section crash")
+	}
+}
+
+func TestCrashOnFirstSection(t *testing.T) {
+	// Die on the very first section: magic only, zero sections, still
+	// a readable (empty, incomplete) bundle.
+	b := checkPrefix(t, runCrashVictim(t, "diag.section.partial:kill:1"))
+	if len(b.Sections) != 0 {
+		t.Fatalf("recovered %d sections, want 0", len(b.Sections))
+	}
+}
+
+func TestCrashOnEndMarker(t *testing.T) {
+	// Die writing the end marker itself: every payload section is
+	// intact but the bundle must still report incomplete.
+	b := checkPrefix(t, runCrashVictim(t, "diag.section.partial:kill:7"))
+	if len(b.Sections) != 6 {
+		t.Fatalf("recovered %d sections, want all 6", len(b.Sections))
+	}
+}
+
+func TestInjectedSectionError(t *testing.T) {
+	// err mode: the 4th section write fails without killing the
+	// process; the writer's sticky error path must surface it and the
+	// prefix must still read back.
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"BB_DIAG_CRASH_DIR="+dir,
+		faultinject.EnvVar+"=diag.section.partial:err:4")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("err-mode victim exited %v (want status 1); output:\n%s", err, out)
+	}
+	b := checkPrefix(t, filepath.Join(dir, "crash.bbdiag"))
+	if len(b.Sections) != 3 {
+		t.Fatalf("recovered %d sections, want 3", len(b.Sections))
+	}
+}

@@ -1,0 +1,370 @@
+package diag
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/watch"
+)
+
+// Schema versions the bundle's section contents (the container framing
+// is versioned separately by the file magic).
+const Schema = "bbdiag/v1"
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxBundles  = 16
+	DefaultMinInterval = 30 * time.Second
+)
+
+// Trigger names. Every bundle's meta section records which path
+// captured it.
+const (
+	TriggerViolation  = "violation"  // watch invariant breach
+	TriggerSignal     = "sigquit"    // operator kill -QUIT
+	TriggerRecovery   = "recovery"   // WAL replay found torn bytes
+	TriggerCrashPoint = "crashpoint" // restarted with a fault armed
+	TriggerManual     = "manual"     // explicit Dump call (bbdoctor, tests)
+)
+
+// Options configures a Recorder. Zero values take the defaults above.
+type Options struct {
+	// Dir is where bundles land; "" disables the recorder (New returns
+	// nil, and all methods are nil-safe no-ops) — the -diag-dir flag's
+	// default, mirroring -data-dir.
+	Dir string
+	// Hop tags bundles with the capturing tier ("serve", "proxy").
+	Hop string
+	// MaxBundles bounds retention: beyond it the oldest bundles are
+	// pruned after each dump, so a flapping trigger cannot fill the
+	// disk. Default DefaultMaxBundles.
+	MaxBundles int
+	// MinInterval rate-limits async triggers; a trigger landing inside
+	// the window is counted dropped, not queued. Synchronous Dump
+	// bypasses it (an operator's SIGQUIT always dumps). Default
+	// DefaultMinInterval.
+	MinInterval time.Duration
+	// Build is stamped into every bundle's meta section.
+	Build obs.BuildInfo
+	// Logger receives dump lifecycle records (default slog.Default).
+	Logger *slog.Logger
+}
+
+// Sources are the capture closures the owning tier wires in. Any nil
+// source simply omits its section — a bundle is best-effort by design
+// (it is written while the process may be dying).
+type Sources struct {
+	// Monitor supplies the event journal, time series and last checks.
+	Monitor *watch.Monitor
+	// Obs supplies the local retained-op ring (and its hop tag).
+	Obs *obs.Recorder
+	// StatsJSON returns the tier's full /v1/stats document.
+	StatsJSON func(ctx context.Context) ([]byte, error)
+	// TraceOps overrides the trace section's op gather — the proxy
+	// wires its cross-tier fan-out here so bundles hold the complete
+	// op path, not the proxy fragment. Nil reads Obs's ring.
+	TraceOps func(ctx context.Context) (sources []string, ops []*obs.Op)
+	// Durability returns the tier's durability block (any JSON-
+	// marshalable value), or nil when the tier runs without a WAL.
+	Durability func() any
+}
+
+// Meta is the bundle's first section: why, when, where, and what build.
+type Meta struct {
+	Schema          string           `json:"schema"`
+	Hop             string           `json:"hop"`
+	Trigger         string           `json:"trigger"`
+	Reason          string           `json:"reason"`
+	TimeUnixMs      int64            `json:"t_ms"`
+	Fields          map[string]int64 `json:"fields,omitempty"`
+	Build           obs.BuildInfo    `json:"build"`
+	ArmedCrashPoint string           `json:"armed_crash_point,omitempty"`
+}
+
+// TraceSection is the bundle's trace section: the gathered ops plus
+// their cross-tier assembly.
+type TraceSection struct {
+	Sources   []string             `json:"sources"`
+	Ops       []*obs.Op            `json:"ops"`
+	Assembled []obs.AssembledTrace `json:"assembled"`
+}
+
+// Stats is the diag block embedded in both tiers' /v1/stats.
+type Stats struct {
+	Dir                string `json:"dir"`
+	BundlesWritten     int64  `json:"bundles_written"`
+	DroppedRateLimited int64  `json:"dropped_rate_limited"`
+	Errors             int64  `json:"errors"`
+	LastTrigger        string `json:"last_trigger,omitempty"`
+	LastPath           string `json:"last_path,omitempty"`
+	LastUnixMs         int64  `json:"last_unix_ms,omitempty"`
+}
+
+// Recorder is the flight recorder. All methods are safe for concurrent
+// use and safe on a nil receiver (the disabled configuration).
+type Recorder struct {
+	opts Options
+	src  Sources
+
+	written atomic.Int64
+	dropped atomic.Int64
+	errors  atomic.Int64
+	lastNs  atomic.Int64 // unixnano of last successful dump start
+
+	mu sync.Mutex // serializes dumps
+
+	// The last* fields live under their own lock, NOT mu: a dump holds
+	// mu while calling the StatsJSON source, and the daemons' stats
+	// documents embed StatsDoc — sharing mu would self-deadlock every
+	// dump (and hang /v1/stats behind it).
+	lastMu      sync.Mutex
+	lastTrigger string
+	lastPath    string
+	lastMs      int64
+	seq         atomic.Int64 // disambiguates same-millisecond filenames
+}
+
+// New builds a Recorder, or nil when o.Dir is empty. The directory is
+// created eagerly so a misconfigured path fails at startup, not at the
+// first crash.
+func New(o Options, src Sources) (*Recorder, error) {
+	if o.Dir == "" {
+		return nil, nil
+	}
+	if o.MaxBundles <= 0 {
+		o.MaxBundles = DefaultMaxBundles
+	}
+	if o.MinInterval <= 0 {
+		o.MinInterval = DefaultMinInterval
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Recorder{opts: o, src: src}, nil
+}
+
+// Enabled reports whether the recorder captures anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// StatsDoc returns the stats-embedded diag block, nil on nil (the
+// block is omitted when the recorder is off).
+func (r *Recorder) StatsDoc() *Stats {
+	if r == nil {
+		return nil
+	}
+	r.lastMu.Lock()
+	defer r.lastMu.Unlock()
+	return &Stats{
+		Dir:                r.opts.Dir,
+		BundlesWritten:     r.written.Load(),
+		DroppedRateLimited: r.dropped.Load(),
+		Errors:             r.errors.Load(),
+		LastTrigger:        r.lastTrigger,
+		LastPath:           r.lastPath,
+		LastUnixMs:         r.lastMs,
+	}
+}
+
+// Trigger requests an asynchronous rate-limited dump: the capture runs
+// on its own goroutine so the triggering path (the watchdog tick, a
+// recovery check) never blocks on disk. Triggers inside MinInterval of
+// the previous dump are dropped and counted — a flapping invariant
+// cannot fill the disk or stall the watchdog.
+func (r *Recorder) Trigger(trigger, reason string, fields map[string]int64) {
+	if r == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := r.lastNs.Load()
+	if last != 0 && now-last < int64(r.opts.MinInterval) {
+		r.dropped.Add(1)
+		return
+	}
+	if !r.lastNs.CompareAndSwap(last, now) {
+		r.dropped.Add(1) // lost the race: someone else is dumping
+		return
+	}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := r.dump(ctx, trigger, reason, fields); err != nil {
+			r.opts.Logger.Error("diag: bundle dump failed", "trigger", trigger, "err", err)
+		}
+	}()
+}
+
+// OnViolation adapts the recorder to watch.Monitor's violation hook:
+//
+//	mon.OnViolation(rec.OnViolation)
+//
+// Nil-safe, so the daemons wire it unconditionally.
+func (r *Recorder) OnViolation(ev watch.Event) {
+	if r == nil {
+		return
+	}
+	r.Trigger(TriggerViolation, ev.Detail, ev.Fields)
+}
+
+// Dump captures a bundle synchronously, bypassing the rate limit — the
+// SIGQUIT path and tests. It returns the bundle's path.
+func (r *Recorder) Dump(ctx context.Context, trigger, reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.lastNs.Store(time.Now().UnixNano())
+	return r.dump(ctx, trigger, reason, nil)
+}
+
+// CheckStartup fires the restart-time triggers: an armed fault-
+// injection crash point (the process is being crash-tested; capture
+// the post-recovery state before the fault fires again) and a WAL
+// replay that found torn bytes (the previous process died mid-append;
+// preserve what recovery saw). Call it once after recovery completes.
+func (r *Recorder) CheckStartup(ctx context.Context, recoveryTornBytes int64) {
+	if r == nil {
+		return
+	}
+	if recoveryTornBytes > 0 {
+		r.Trigger(TriggerRecovery,
+			fmt.Sprintf("WAL recovery dropped %d torn tail bytes", recoveryTornBytes),
+			map[string]int64{"recovery_torn_bytes": recoveryTornBytes})
+		return
+	}
+	if point := faultinject.Armed(); point != "" {
+		r.Trigger(TriggerCrashPoint, "restarted with crash point armed: "+point, nil)
+	}
+}
+
+// dump writes one bundle. Section order is stable (meta first, end
+// marker last) so readers and the crash tests can reason about
+// prefixes.
+func (r *Recorder) dump(ctx context.Context, trigger, reason string, fields map[string]int64) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	name := fmt.Sprintf("diag-%s-%d-%04d-%s.bbdiag",
+		r.opts.Hop, now.UnixMilli(), r.seq.Add(1)%10000, sanitize(trigger))
+	path := filepath.Join(r.opts.Dir, name)
+	w, err := Create(path)
+	if err != nil {
+		r.errors.Add(1)
+		return "", err
+	}
+
+	meta := Meta{
+		Schema: Schema, Hop: r.opts.Hop, Trigger: trigger, Reason: reason,
+		TimeUnixMs: now.UnixMilli(), Fields: fields, Build: r.opts.Build,
+		ArmedCrashPoint: faultinject.Armed(),
+	}
+	writeJSON(w, "meta", meta)
+
+	if r.src.StatsJSON != nil {
+		if doc, err := r.src.StatsJSON(ctx); err == nil {
+			w.WriteSection("stats", doc)
+		}
+	}
+	if m := r.src.Monitor; m != nil {
+		writeJSON(w, "events", m.EventsDoc(0, ""))
+		writeJSON(w, "timeseries", m.SeriesDoc(0))
+		writeJSON(w, "checks", m.LastChecks())
+	}
+	var sources []string
+	var ops []*obs.Op
+	if r.src.TraceOps != nil {
+		sources, ops = r.src.TraceOps(ctx)
+	} else if r.src.Obs != nil {
+		sources, ops = []string{r.src.Obs.Hop()}, r.src.Obs.Ops(0)
+	}
+	if sources != nil {
+		ts := TraceSection{Sources: sources, Ops: ops, Assembled: obs.Assemble(ops)}
+		if ts.Ops == nil {
+			ts.Ops = []*obs.Op{}
+		}
+		if ts.Assembled == nil {
+			ts.Assembled = []obs.AssembledTrace{}
+		}
+		writeJSON(w, "trace", ts)
+	}
+	if r.src.Durability != nil {
+		if d := r.src.Durability(); d != nil {
+			writeJSON(w, "durability", d)
+		}
+	}
+	w.WriteSection("goroutines", profileText("goroutine", 2))
+	w.WriteSection("heap", profileText("heap", 1))
+	writeJSON(w, "buildinfo", r.opts.Build)
+
+	if err := w.Close(); err != nil {
+		r.errors.Add(1)
+		return path, err
+	}
+	r.written.Add(1)
+	r.lastMu.Lock()
+	r.lastTrigger, r.lastPath, r.lastMs = trigger, path, now.UnixMilli()
+	r.lastMu.Unlock()
+	r.opts.Logger.Info("diag: bundle written",
+		"path", path, "trigger", trigger, "reason", reason)
+	r.prune()
+	return path, nil
+}
+
+// prune enforces MaxBundles, deleting oldest-first by filename (the
+// embedded unix-millisecond timestamp makes lexical order temporal
+// within one hop). Called under mu.
+func (r *Recorder) prune() {
+	matches, err := filepath.Glob(filepath.Join(r.opts.Dir, "*.bbdiag"))
+	if err != nil || len(matches) <= r.opts.MaxBundles {
+		return
+	}
+	sort.Strings(matches)
+	for _, path := range matches[:len(matches)-r.opts.MaxBundles] {
+		os.Remove(path)
+	}
+}
+
+func writeJSON(w *Writer, name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return // best-effort: skip the section, keep the bundle
+	}
+	w.WriteSection(name, data)
+}
+
+func profileText(name string, debug int) []byte {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return nil
+	}
+	var sb strings.Builder
+	if err := p.WriteTo(&sb, debug); err != nil {
+		return nil
+	}
+	return []byte(sb.String())
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+			return c
+		case c >= 'A' && c <= 'Z':
+			return c + ('a' - 'A')
+		}
+		return '-'
+	}, s)
+}

@@ -25,9 +25,14 @@
 //	wal.snapshot.rename   before the snapshot's atomic rename
 //	wal.snapshot.prune    between snapshot rename and old-segment prune
 //
+// and the flight recorder (see internal/diag):
+//
+//	diag.section.partial  after a partial bundle-section frame reaches
+//	                      the file (half the frame durably written)
+//
 // Tests re-exec the binary with the variable set, wait for exit
-// status 125, and then assert recovery — see internal/wal's crash
-// tests for the pattern.
+// status 125, and then assert recovery — see internal/wal's and
+// internal/diag's crash tests for the pattern.
 package faultinject
 
 import (

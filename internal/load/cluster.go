@@ -171,8 +171,11 @@ func (t *ClusterTarget) ReadKeyedStats(context.Context) (keyed.Stats, bool, erro
 
 // ReadTrace implements TraceReader from the router's recorder — the
 // routing hop's view (probe/forward spans), not the backends'.
-func (t *ClusterTarget) ReadTrace(context.Context) (obs.TraceResponse, bool, error) {
+func (t *ClusterTarget) ReadTrace(_ context.Context, id string) (obs.TraceResponse, bool, error) {
 	r := t.router().Obs()
+	if id != "" {
+		return obs.TraceResponse{Hop: r.Hop(), Ops: r.OpsByTrace(id)}, true, nil
+	}
 	return obs.TraceResponse{Hop: r.Hop(), Ops: r.Ops(0)}, true, nil
 }
 

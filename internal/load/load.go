@@ -544,9 +544,7 @@ func Run(ctx context.Context, cfg Config, target Target) (Result, error) {
 		}
 	}
 	if tr, ok := target.(TraceReader); ok {
-		if doc, isTraced, terr := tr.ReadTrace(ctx); terr == nil && isTraced {
-			res.SlowOps = slow.join(doc)
-		}
+		res.SlowOps = slow.join(ctx, tr)
 	}
 	return res, nil
 }

@@ -59,8 +59,11 @@ func (t InProc) ReadKeyedStats(context.Context) (keyed.Stats, bool, error) {
 }
 
 // ReadTrace implements TraceReader from the dispatcher's recorder.
-func (t InProc) ReadTrace(context.Context) (obs.TraceResponse, bool, error) {
+func (t InProc) ReadTrace(_ context.Context, id string) (obs.TraceResponse, bool, error) {
 	r := t.D.Obs()
+	if id != "" {
+		return obs.TraceResponse{Hop: r.Hop(), Ops: r.OpsByTrace(id)}, true, nil
+	}
 	return obs.TraceResponse{Hop: r.Hop(), Ops: r.Ops(0)}, true, nil
 }
 
@@ -264,10 +267,14 @@ func (t *HTTPTarget) ReadKeyedStats(ctx context.Context) (keyed.Stats, bool, err
 	return keyed.Stats{}, false, nil
 }
 
-// ReadTrace implements TraceReader via GET /v1/trace; ok is false when
-// the server predates the endpoint (404).
-func (t *HTTPTarget) ReadTrace(ctx context.Context) (obs.TraceResponse, bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.Base+"/v1/trace", nil)
+// ReadTrace implements TraceReader via GET /v1/trace[?id=]; ok is
+// false when the server predates the endpoint (404).
+func (t *HTTPTarget) ReadTrace(ctx context.Context, id string) (obs.TraceResponse, bool, error) {
+	u := t.Base + "/v1/trace"
+	if id != "" {
+		u += "?id=" + url.QueryEscape(id)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return obs.TraceResponse{}, false, err
 	}

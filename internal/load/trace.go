@@ -12,10 +12,12 @@ import (
 // TraceReader is implemented by targets that expose the server-side
 // trace ring (GET /v1/trace or the in-proc recorder), so runs can join
 // their slowest client-observed operations against the server's
-// per-stage decomposition. ok is false when the target has no trace
-// surface (e.g. an old server without the endpoint).
+// per-stage decomposition. A non-empty id asks for exactly that trace
+// (GET /v1/trace?id= / the wire TRACE verb) — the slow-op join's
+// lookup — while "" dumps the whole ring. ok is false when the target
+// has no trace surface (e.g. an old server without the endpoint).
 type TraceReader interface {
-	ReadTrace(ctx context.Context) (doc obs.TraceResponse, ok bool, err error)
+	ReadTrace(ctx context.Context, id string) (doc obs.TraceResponse, ok bool, err error)
 }
 
 // StageStatsReader is implemented by targets that report the server's
@@ -94,9 +96,12 @@ func (st *slowTracker) refloor() {
 	st.floor.Store(min)
 }
 
-// join renders the table slowest-first, attaching each op's server-side
-// record when the trace ring retained it.
-func (st *slowTracker) join(doc obs.TraceResponse) []SlowOp {
+// join renders the table slowest-first, resolving each op's
+// server-side record with an exact-id lookup — the table holds at most
+// slowTrackerSize ids, so ten filtered reads replace shipping the
+// server's whole ring, and a miss on one id cannot be confused with a
+// snapshot race on another.
+func (st *slowTracker) join(ctx context.Context, tr TraceReader) []SlowOp {
 	st.mu.Lock()
 	ops := append([]clientOp(nil), st.ops...)
 	st.mu.Unlock()
@@ -104,18 +109,19 @@ func (st *slowTracker) join(doc obs.TraceResponse) []SlowOp {
 		return nil
 	}
 	sort.Slice(ops, func(i, j int) bool { return ops[i].ns > ops[j].ns })
-	byTrace := make(map[string]*obs.Op, len(doc.Ops))
-	for _, op := range doc.Ops {
-		byTrace[op.Trace] = op
-	}
 	out := make([]SlowOp, 0, len(ops))
 	for _, o := range ops {
 		so := SlowOp{Trace: obs.FormatTrace(o.trace), Op: o.op, ClientNs: o.ns}
-		if sv, ok := byTrace[so.Trace]; ok {
-			so.ServerNs = sv.DurationNs
-			so.Hop = sv.Hop
-			so.Stages = sv.Spans
-			so.Attrs = sv.Attrs
+		if doc, ok, err := tr.ReadTrace(ctx, so.Trace); err == nil && ok {
+			for _, sv := range doc.Ops {
+				if sv.Trace == so.Trace {
+					so.ServerNs = sv.DurationNs
+					so.Hop = sv.Hop
+					so.Stages = sv.Spans
+					so.Attrs = sv.Attrs
+					break
+				}
+			}
 		}
 		out = append(out, so)
 	}

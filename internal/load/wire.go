@@ -3,6 +3,7 @@ package load
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -115,14 +116,29 @@ func (t *WireTarget) ReadKeyedStats(ctx context.Context) (keyed.Stats, bool, err
 	return keyed.Stats{}, false, nil
 }
 
-// ReadTrace implements TraceReader through the HTTP probe (the wire
-// protocol carries trace ids on requests but has no trace-dump verb);
-// ok is false without a probe.
-func (t *WireTarget) ReadTrace(ctx context.Context) (obs.TraceResponse, bool, error) {
+// ReadTrace implements TraceReader. An exact-id read uses the wire
+// TRACE verb (protocol ≥ 3) so the slow-op join stays on the
+// connection it measured; a whole-ring dump — which the wire protocol
+// does not carry — and any peer predating TRACE fall back to the HTTP
+// probe. ok is false when neither path is available.
+func (t *WireTarget) ReadTrace(ctx context.Context, id string) (obs.TraceResponse, bool, error) {
+	if id != "" {
+		body, err := t.C.TraceJSON(ctx, obs.ParseTrace(id))
+		if err == nil {
+			var doc obs.TraceResponse
+			if err := json.Unmarshal(body, &doc); err != nil {
+				return obs.TraceResponse{}, false, err
+			}
+			return doc, true, nil
+		}
+		if !errors.Is(err, wire.ErrTraceUnsupported) {
+			return obs.TraceResponse{}, false, err
+		}
+	}
 	if t.Probe == nil {
 		return obs.TraceResponse{}, false, nil
 	}
-	return t.Probe.ReadTrace(ctx)
+	return t.Probe.ReadTrace(ctx, id)
 }
 
 // ReadStageStats implements StageStatsReader from the wire STATS

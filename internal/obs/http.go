@@ -16,7 +16,8 @@ type TraceResponse struct {
 }
 
 // TraceHandler serves the recorder's ring as GET /v1/trace. Query
-// parameters: min_ns or min_ms filter to ops at least that slow.
+// parameters: min_ns or min_ms filter to ops at least that slow;
+// id= filters to the ops of one trace (exact 16-hex-digit match).
 // A nil recorder serves an empty document.
 func (r *Recorder) TraceHandler() http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
@@ -27,7 +28,19 @@ func (r *Recorder) TraceHandler() http.HandlerFunc {
 			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 			return
 		}
-		resp := TraceResponse{Hop: r.Hop(), Ops: r.Ops(minDur)}
+		var resp TraceResponse
+		if s := req.URL.Query().Get("id"); s != "" {
+			id := ParseTrace(s)
+			if id == 0 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				_ = json.NewEncoder(w).Encode(map[string]string{"error": "id must be 1-16 hex digits"})
+				return
+			}
+			resp = TraceResponse{Hop: r.Hop(), Ops: r.OpsByTrace(FormatTrace(id))}
+		} else {
+			resp = TraceResponse{Hop: r.Hop(), Ops: r.Ops(minDur)}
+		}
 		if resp.Ops == nil {
 			resp.Ops = []*Op{}
 		}

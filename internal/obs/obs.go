@@ -302,6 +302,22 @@ func (r *Recorder) Ops(minDur time.Duration) []*Op {
 	return out
 }
 
+// OpsByTrace snapshots the retained ring filtered to one trace id
+// (the 16-hex-digit rendering), oldest first. Lock-free; safe on nil.
+func (r *Recorder) OpsByTrace(trace string) []*Op {
+	if r == nil {
+		return nil
+	}
+	var out []*Op
+	for i := range r.ring {
+		if op := r.ring[i].Load(); op != nil && op.Trace == trace {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
 // stageHist returns (creating on first use) the histogram for stage.
 // The stage set is tiny and fixed per component, so the copy-on-write
 // map settles after the first few requests and the hot path is one

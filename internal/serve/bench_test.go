@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	ballsbins "repro"
+	"repro/internal/diag"
 	"repro/internal/obs"
 )
 
@@ -52,5 +53,19 @@ func BenchmarkDispatcherPlace(b *testing.B) {
 	})
 	b.Run("obs=sampled", func(b *testing.B) {
 		benchPlace(b, benchDispatcher(b, obs.Options{SampleEvery: 1}))
+	})
+	// The flight recorder is passive until something goes wrong:
+	// arming it binds one atomic pointer and a violation hook, nothing
+	// per-place, so this mode must match obs=untraced within noise
+	// (the ≤2% diag-armed gate, BENCH_diag_<date>.json).
+	b.Run("diag=armed", func(b *testing.B) {
+		d := benchDispatcher(b, obs.Options{})
+		rec, err := diag.New(diag.Options{Dir: b.TempDir(), Hop: "serve"},
+			diag.Sources{Monitor: d.Watch(), Obs: d.Obs()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.BindDiag(rec)
+		benchPlace(b, d)
 	})
 }

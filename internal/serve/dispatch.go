@@ -40,6 +40,7 @@ import (
 	"time"
 
 	ballsbins "repro"
+	"repro/internal/diag"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
 	"repro/internal/obs"
@@ -144,12 +145,13 @@ type Dispatcher struct {
 	cfg     Config
 	queues  []chan *request
 	stats   *Stats
-	km      *keyed.KeyMap  // key → shard affinity (keyed placements)
-	store   *keyed.Store   // nil unless Config.KeyedStore was set
-	keyedOK bool           // spec terminates under shard-pinned traffic
-	latency *hdrhist.Hist  // enqueue → completion, per request
-	obs     *obs.Recorder  // stage decomposition + slow-op ring (nilable)
-	watch   *watch.Monitor // invariant watchdog + time series (nilable)
+	km      *keyed.KeyMap                 // key → shard affinity (keyed placements)
+	store   *keyed.Store                  // nil unless Config.KeyedStore was set
+	keyedOK bool                          // spec terminates under shard-pinned traffic
+	latency *hdrhist.Hist                 // enqueue → completion, per request
+	obs     *obs.Recorder                 // stage decomposition + slow-op ring (nilable)
+	watch   *watch.Monitor                // invariant watchdog + time series (nilable)
+	diag    atomic.Pointer[diag.Recorder] // flight recorder, bound late (nilable)
 	// drainMu is held shared for the span of every enqueue and
 	// exclusively by Close between setting draining and closing the
 	// queues, so no send can race a close. (A WaitGroup would not do:
@@ -552,3 +554,18 @@ func (d *Dispatcher) Latency() hdrhist.Snapshot { return d.latency.Snapshot() }
 // Obs returns the dispatcher's observability recorder (nil when
 // Config.Obs.Disabled).
 func (d *Dispatcher) Obs() *obs.Recorder { return d.obs }
+
+// BindDiag attaches the flight recorder (built late by the daemon,
+// since its capture closures need the assembled stats surface) and
+// wires it to the watchdog's violation hook.
+func (d *Dispatcher) BindDiag(rec *diag.Recorder) {
+	if rec == nil {
+		return
+	}
+	d.diag.Store(rec)
+	d.watch.OnViolation(rec.OnViolation)
+}
+
+// Diag returns the bound flight recorder (nil when diagnostics are
+// off).
+func (d *Dispatcher) Diag() *diag.Recorder { return d.diag.Load() }

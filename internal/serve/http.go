@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	ballsbins "repro"
+	"repro/internal/diag"
 	"repro/internal/hdrhist"
 	"repro/internal/keyed"
 	"repro/internal/obs"
@@ -78,6 +79,9 @@ type StatsResponse struct {
 	// journal cursor); omitted when the watchdog is disabled. The full
 	// journal and time series live at /v1/events and /v1/timeseries.
 	Watch *watch.StatsBlock `json:"watch,omitempty"`
+	// Diag is the flight recorder's summary (bundles written, drops,
+	// last trigger); omitted when the process runs without -diag-dir.
+	Diag *diag.Stats `json:"diag,omitempty"`
 }
 
 // Latency summarizes a latency histogram in nanoseconds.
@@ -102,9 +106,10 @@ type SnapshotResponse struct {
 }
 
 type handler struct {
-	d    *Dispatcher
-	info Info
-	ws   *wire.Server // nil when wire serving is off
+	d     *Dispatcher
+	info  Info
+	ws    *wire.Server // nil when wire serving is off
+	build obs.BuildInfo
 }
 
 // NewHandler mounts the serving API over a dispatcher:
@@ -123,15 +128,17 @@ func NewHandler(d *Dispatcher, info Info) http.Handler {
 // binary protocol: the wire server's counters join /v1/stats (wire
 // block) and /metrics (bb_wire_* series). ws may be nil.
 func NewHandlerWire(d *Dispatcher, info Info, ws *wire.Server) http.Handler {
-	h := &handler{d: d, info: info, ws: ws}
+	h := &handler{d: d, info: info, ws: ws, build: obs.Build(wire.Version)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", h.place)
 	mux.HandleFunc("POST /v1/remove", h.remove)
 	mux.HandleFunc("GET /v1/stats", h.stats)
 	mux.HandleFunc("GET /v1/snapshot", h.snapshot)
 	mux.HandleFunc("GET /v1/trace", d.Obs().TraceHandler())
+	mux.HandleFunc("GET /v1/trace/{id}", d.Obs().AssembledTraceHandler(nil))
 	mux.HandleFunc("GET /v1/events", d.Watch().EventsHandler())
 	mux.HandleFunc("GET /v1/timeseries", d.Watch().TimeseriesHandler())
+	mux.HandleFunc("GET /v1/version", obs.VersionHandler(h.build))
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
@@ -310,6 +317,7 @@ func BuildStatsResponse(d *Dispatcher, info Info, ws *wire.Server) StatsResponse
 		Durability: d.Durability(),
 		Obs:        d.Obs().StageSummaries(),
 		Watch:      d.Watch().StatsBlockDoc(),
+		Diag:       d.Diag().StatsDoc(),
 	}
 	if ws != nil {
 		s := ws.Stats()
@@ -397,6 +405,7 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 
 	h.d.Watch().WriteMetrics(w)
 	h.d.Obs().WriteStageMetrics(w)
+	obs.WriteBuildMetrics(w, h.build)
 	obs.WriteRuntimeMetrics(w)
 }
 

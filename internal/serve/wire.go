@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -84,6 +85,17 @@ func (h *DispatcherWire) Remove(ctx context.Context, bin int, key string) error 
 // wire clients decode with the same structs as HTTP clients.
 func (h *DispatcherWire) StatsJSON(ctx context.Context) ([]byte, error) {
 	return json.Marshal(BuildStatsResponse(h.d, h.info, h.ws.Load()))
+}
+
+// TraceJSON implements wire.Handler (protocol ≥ 3): the dispatcher's
+// retained ops for one trace id, as the GET /v1/trace?id= document.
+func (h *DispatcherWire) TraceJSON(ctx context.Context, id uint64) ([]byte, error) {
+	r := h.d.Obs()
+	resp := obs.TraceResponse{Hop: r.Hop(), Ops: r.OpsByTrace(obs.FormatTrace(id))}
+	if resp.Ops == nil {
+		resp.Ops = []*obs.Op{}
+	}
+	return json.Marshal(resp)
 }
 
 // Hello implements wire.Handler for the n-agreement handshake.

@@ -149,6 +149,40 @@ func (m *Monitor) StatsBlockDoc() *StatsBlock {
 	}
 }
 
+// OverrideHandler serves POST /debug/watch/override — the out-of-
+// process face of OverrideBound, mounted on the daemons' debug
+// listeners (never the public API). The CI smoke test posts
+// invariant=NAME&bound=-1 to force a deterministic violation through
+// the real watchdog → flight-recorder path; bound may be any int64,
+// and posting without clear resets nothing (use clear=1 to remove the
+// override). A nil monitor answers 503.
+func OverrideHandler(m *Monitor) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if m == nil {
+			http.Error(w, "watchdog disabled", http.StatusServiceUnavailable)
+			return
+		}
+		inv := r.URL.Query().Get("invariant")
+		if inv == "" {
+			httpError(w, "missing invariant parameter")
+			return
+		}
+		if r.URL.Query().Get("clear") != "" {
+			m.ClearOverride(inv)
+			httpJSON(w, map[string]any{"invariant": inv, "cleared": true})
+			return
+		}
+		s := r.URL.Query().Get("bound")
+		bound, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			httpError(w, "bound must be an integer, got %q", s)
+			return
+		}
+		m.OverrideBound(inv, bound)
+		httpJSON(w, map[string]any{"invariant": inv, "bound": bound})
+	}
+}
+
 // httpJSON/httpError mirror the serve helpers without importing
 // internal/serve (watch sits below both tiers in the package graph).
 func httpJSON(w http.ResponseWriter, v any) {

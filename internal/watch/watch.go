@@ -89,11 +89,11 @@ type Event struct {
 // configuration actually guarantees (a greedy spec has no hard max-
 // load bound, so its tier simply omits that check).
 type Check struct {
-	Invariant string
-	Observed  int64
-	Bound     int64
+	Invariant string `json:"invariant"`
+	Observed  int64  `json:"observed"`
+	Bound     int64  `json:"bound"`
 	// Fields is the snapshot context attached to a violation event.
-	Fields map[string]int64
+	Fields map[string]int64 `json:"fields,omitempty"`
 }
 
 // Sample is one probe result: the time-series Point plus the armed
@@ -143,12 +143,18 @@ type Monitor struct {
 
 	series *series
 
-	// mu guards the violation ledger, the edge-trigger state and the
-	// test-hook bound overrides.
+	// onViolation, when set, is invoked (in the reporting goroutine)
+	// with every violation event just after it is booked — the flight
+	// recorder's trigger hook.
+	onViolation atomic.Pointer[func(Event)]
+
+	// mu guards the violation ledger, the edge-trigger state, the
+	// test-hook bound overrides and the last-checks snapshot.
 	mu          sync.Mutex
 	violations  map[string]int64
 	inViolation map[string]bool
 	overrides   map[string]int64
+	lastChecks  []Check
 
 	// tickMu serializes Tick (collector goroutine vs. a test's manual
 	// ticks) and guards the ops/s derivation state.
@@ -274,9 +280,51 @@ func (m *Monitor) Tick(now time.Time) {
 		}
 	}
 	m.lastOps, m.lastTick = ops, now
+	m.rememberChecks(s.Checks)
 	m.evaluate(now, s.Checks)
 	p.Violations = m.violCnt.Load()
 	m.series.add(&p)
+}
+
+// rememberChecks stores this tick's armed checks (with any override
+// bounds applied) for LastChecks — the diagnostic-bundle view of how
+// close each invariant sat to its bound at capture time.
+func (m *Monitor) rememberChecks(checks []Check) {
+	snap := make([]Check, len(checks))
+	for i, ck := range checks {
+		ck.Bound = m.boundFor(ck)
+		snap[i] = ck
+	}
+	m.mu.Lock()
+	m.lastChecks = snap
+	m.mu.Unlock()
+}
+
+// LastChecks returns the most recent tick's armed checks, override
+// bounds applied (nil before the first tick or on a nil monitor).
+func (m *Monitor) LastChecks() []Check {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Check, len(m.lastChecks))
+	copy(out, m.lastChecks)
+	return out
+}
+
+// OnViolation installs fn as the violation hook: it runs synchronously
+// after each violation is booked (journal, ledger, log), receiving the
+// event just appended. One hook at a time; nil clears it. Nil-safe.
+func (m *Monitor) OnViolation(fn func(Event)) {
+	if m == nil {
+		return
+	}
+	if fn == nil {
+		m.onViolation.Store(nil)
+		return
+	}
+	m.onViolation.Store(&fn)
 }
 
 // boundFor applies a test-hook override to a check's bound.
@@ -347,12 +395,15 @@ func (m *Monitor) reportViolation(now time.Time, invariant string, observed, bou
 	}
 	f["observed"], f["bound"] = observed, bound
 	detail := fmt.Sprintf("%s: observed %d > bound %d", invariant, observed, bound)
-	m.appendAt(now, EventBoundViolation, invariant, detail, f)
+	ev := m.appendAt(now, EventBoundViolation, invariant, detail, f)
 	attrs := []any{"hop", m.hop, "invariant", invariant, "observed", observed, "bound", bound}
 	for k, v := range fields {
 		attrs = append(attrs, k, v)
 	}
 	m.logger.Error("watch: invariant violated", attrs...)
+	if fn := m.onViolation.Load(); fn != nil {
+		(*fn)(*ev)
+	}
 }
 
 // ReportViolation books a violation detected outside the tick loop —
@@ -400,7 +451,7 @@ func (m *Monitor) Record(t EventType, detail string, fields map[string]int64) {
 // appendAt publishes one event into the journal ring (the
 // obs.Recorder idiom: claim a slot with the cursor, store the
 // immutable entry behind an atomic pointer).
-func (m *Monitor) appendAt(now time.Time, t EventType, invariant, detail string, fields map[string]int64) {
+func (m *Monitor) appendAt(now time.Time, t EventType, invariant, detail string, fields map[string]int64) *Event {
 	ev := &Event{
 		Seq:        m.seq.Add(1),
 		TimeUnixMs: now.UnixMilli(),
@@ -414,6 +465,7 @@ func (m *Monitor) appendAt(now time.Time, t EventType, invariant, detail string,
 	}
 	slot := (m.cursor.Add(1) - 1) % uint64(len(m.ring))
 	m.ring[slot].Store(ev)
+	return ev
 }
 
 // Events snapshots the journal: every retained event with Seq >

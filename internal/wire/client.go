@@ -17,6 +17,11 @@ import (
 // ErrClientClosed is returned for calls after Close.
 var ErrClientClosed = errors.New("wire: client closed")
 
+// ErrTraceUnsupported is returned by TraceJSON when the connection
+// negotiated a protocol below 3 — the peer has no TRACE message, and
+// sending one would drop the connection. Callers fall back to HTTP.
+var ErrTraceUnsupported = errors.New("wire: peer protocol has no TRACE message")
+
 // errConnDead fails calls stranded on a connection that died before
 // their reply arrived. The outcome of such a call is ambiguous — the
 // server may or may not have applied it — exactly like an HTTP request
@@ -314,6 +319,11 @@ func (c *Client) roundTrip(ctx context.Context, req Request) (Reply, error) {
 	if err != nil {
 		return Reply{}, err
 	}
+	if req.Type == MsgTrace && cc.version < 3 {
+		// TRACE does not exist below protocol 3; an old server would
+		// drop the whole connection on the unknown type.
+		return Reply{}, ErrTraceUnsupported
+	}
 	// Inflight token: bounds pending map growth; released when the
 	// call completes (reply, failure, or abandoned-then-replied).
 	select {
@@ -411,6 +421,14 @@ func (c *Client) Remove(ctx context.Context, bin int, key string) error {
 // StatsJSON fetches the server's /v1/stats document over the wire.
 func (c *Client) StatsJSON(ctx context.Context) ([]byte, error) {
 	return c.op(ctx, Request{Type: MsgStats})
+}
+
+// TraceJSON fetches the server's retained ops for one trace id (the
+// GET /v1/trace?id= document) over the wire. On connections negotiated
+// below protocol 3 it returns ErrTraceUnsupported without sending
+// anything; callers fall back to the HTTP endpoint.
+func (c *Client) TraceJSON(ctx context.Context, id uint64) ([]byte, error) {
+	return c.op(ctx, Request{Type: MsgTrace, Query: id})
 }
 
 // Ping checks liveness; a draining server answers CodeDraining, so

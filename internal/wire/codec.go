@@ -65,6 +65,10 @@ type Request struct {
 	// trailing uvarint when nonzero; 0 means untraced and encodes
 	// nothing, so v1 peers never see the field.
 	Trace uint64
+	// Query is the trace id a MsgTrace request asks for (protocol ≥ 3).
+	// Unlike Trace it is part of the typed body and always encoded, so
+	// it can never be confused with the optional trailing field.
+	Query uint64
 }
 
 // appendHeader writes the common [type][uvarint id] request prefix.
@@ -94,6 +98,8 @@ func AppendRequest(dst []byte, req Request) []byte {
 	case MsgRemoveKeyed:
 		dst = binary.AppendUvarint(dst, uint64(req.Bin))
 		dst = appendString(dst, req.Key)
+	case MsgTrace:
+		dst = binary.AppendUvarint(dst, req.Query)
 	}
 	// The trailing trace id (protocol ≥ 2). Callers must leave Trace 0
 	// on connections negotiated at version 1: a v1 parser rejects any
@@ -168,6 +174,8 @@ func ParseRequest(payload []byte) (Request, error) {
 	case MsgRemoveKeyed:
 		req.Bin = int(c.uvarint())
 		req.Key = c.str()
+	case MsgTrace:
+		req.Query = c.uvarint()
 	default:
 		return Request{}, fmt.Errorf("wire: unknown message type %d", payload[0])
 	}

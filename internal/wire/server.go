@@ -32,6 +32,9 @@ type Handler interface {
 	// StatsJSON returns the same JSON document the tier's /v1/stats
 	// endpoint serves, so wire clients reuse the HTTP decode structs.
 	StatsJSON(ctx context.Context) ([]byte, error)
+	// TraceJSON returns the tier's retained ops for one trace id as
+	// the same JSON document GET /v1/trace?id= serves (protocol ≥ 3).
+	TraceJSON(ctx context.Context, id uint64) ([]byte, error)
 	// Hello identifies the server for the version + n-agreement
 	// handshake.
 	Hello() Hello
@@ -303,6 +306,10 @@ func (s *Server) handle(ctx context.Context, req Request) []byte {
 		}
 	case MsgStats:
 		body, err = s.h.StatsJSON(ctx)
+	case MsgTrace:
+		// Dispatched on the bounded-goroutine path, not inline: the
+		// proxy's TraceJSON fans out to its backends over the network.
+		body, err = s.h.TraceJSON(ctx, req.Query)
 	case MsgPlace:
 		var bins []int
 		var samples int64

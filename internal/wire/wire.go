@@ -57,7 +57,12 @@ import (
 //	   (obs propagation). The field is strictly additive — a v2 peer
 //	   never sends it on a connection negotiated at 1, so v1 parsers
 //	   (which reject trailing bytes) are unaffected.
-const Version = 2
+//	3: TRACE request (MsgTrace): fetch a daemon's retained ops for one
+//	   trace id as a JSON TraceResponse body. Same append-only rule — a
+//	   v3 client never sends TRACE on a connection negotiated below 3
+//	   (Client.TraceJSON returns ErrTraceUnsupported instead), and no
+//	   existing message changed shape.
+const Version = 3
 
 // MinVersion is the oldest peer version still accepted.
 const MinVersion = 1
@@ -82,6 +87,7 @@ const (
 	MsgRemove      MsgType = 5 // body: uvarint bin
 	MsgRemoveKeyed MsgType = 6 // body: uvarint bin, string key
 	MsgStats       MsgType = 7 // body: empty
+	MsgTrace       MsgType = 8 // body: uvarint trace id (protocol ≥ 3)
 
 	// Server → client. The reply does not repeat the request type —
 	// the client knows what it sent under each ID.
@@ -105,6 +111,8 @@ func (t MsgType) String() string {
 		return "REMOVE_KEYED"
 	case MsgStats:
 		return "STATS"
+	case MsgTrace:
+		return "TRACE"
 	case MsgReply:
 		return "REPLY"
 	}

@@ -91,6 +91,10 @@ func (h *testHandler) StatsJSON(ctx context.Context) ([]byte, error) {
 	return []byte(fmt.Sprintf(`{"placed":%d,"removed":%d}`, h.placed, h.removed)), nil
 }
 
+func (h *testHandler) TraceJSON(ctx context.Context, id uint64) ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"hop":"test","trace":"%016x","ops":[]}`, id)), nil
+}
+
 func (h *testHandler) Hello() Hello {
 	return Hello{Protocol: "test", N: h.n, Shards: 1}
 }
